@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Each benchmark reproduces one paper artifact (table or figure): it runs
+the corresponding experiment driver under pytest-benchmark timing and
+writes the regenerated rows/series to ``results/<artifact>.txt`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed.
+
+Sample counts default to laptop-friendly values; set
+``REPRO_BENCH_SAMPLES=20`` and ``REPRO_BENCH_SCALE=full`` to match the
+paper's grids exactly.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Persist an ExperimentTable under results/ and echo it."""
+
+    def _record(name, table):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.format()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+        return table
+
+    return _record

@@ -1,0 +1,147 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out:
+
+* swap-router choice (SABRE lookahead vs. naive path routing);
+* QAOA repetition count p (Sec. 3.4.2: depth ∝ p);
+* MILP threshold pruning on vs. off (Sec. 6.2.2);
+* embedding retry budget vs. physical-qubit quality.
+"""
+
+import numpy as np
+
+from repro.experiments.common import ExperimentTable, bench_samples
+from repro.gate.topologies import mumbai_coupling_map
+from repro.gate.transpiler import transpile
+from repro.joinorder.generators import uniform_query
+from repro.joinorder.pipeline import JoinOrderQuantumPipeline
+from repro.variational.ansatz import qaoa_ansatz, real_amplitudes
+from repro.variational.hamiltonian import IsingHamiltonian
+from repro.mqo.generator import random_mqo_problem
+from repro.mqo.qubo import mqo_to_bqm
+
+
+def _vqe16():
+    circuit, params = real_amplitudes(16, reps=2, entanglement="full")
+    return circuit.bind_parameters({p: 0.7 for p in params})
+
+
+def test_bench_router_ablation(benchmark, record_table):
+    """SABRE's lookahead routing vs. naive swap chains."""
+    bound = _vqe16()
+    cmap = mumbai_coupling_map()
+    samples = bench_samples(3)
+
+    def run():
+        table = ExperimentTable(
+            title="Ablation - swap router (VQE/16 qubits on Mumbai)",
+            columns=["router", "mean depth", "mean cx"],
+        )
+        for router in ("sabre", "basic"):
+            depths, cxs = [], []
+            for seed in range(samples):
+                out = transpile(bound, cmap, seed=seed, routing=router)
+                depths.append(out.depth())
+                cxs.append(out.count_ops().get("cx", 0))
+            table.add_row(
+                router=router,
+                **{
+                    "mean depth": round(float(np.mean(depths)), 1),
+                    "mean cx": round(float(np.mean(cxs)), 1),
+                },
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("ablation_router", table)
+    by_router = {r["router"]: r for r in table.rows}
+    assert by_router["sabre"]["mean depth"] < by_router["basic"]["mean depth"]
+
+
+def test_bench_qaoa_reps_ablation(benchmark, record_table):
+    """Depth grows ~linearly with p (upper bound mp + p, Sec. 3.4.2)."""
+    problem = random_mqo_problem(3, 4, seed=5)
+    hamiltonian = IsingHamiltonian.from_bqm(mqo_to_bqm(problem))
+
+    def run():
+        table = ExperimentTable(
+            title="Ablation - QAOA repetitions p (MQO, 12 plans)",
+            columns=["p", "depth optimal"],
+        )
+        for p in (1, 2, 3):
+            circuit, params = qaoa_ansatz(hamiltonian, reps=p)
+            bound = circuit.bind_parameters({q: 0.3 for q in params})
+            table.add_row(p=p, **{"depth optimal": transpile(bound, None).depth()})
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("ablation_qaoa_reps", table)
+    depths = table.column("depth optimal")
+    assert depths[1] > depths[0] and depths[2] > depths[1]
+    # roughly proportional: p=3 within 2x of 3 * (p=1)
+    assert depths[2] <= 3.5 * depths[0]
+
+
+def test_bench_pruning_ablation(benchmark, record_table):
+    """Sec. 6.2.2's cto pruning saves qubits once thresholds become
+    unreachable at early joins."""
+
+    def run():
+        table = ExperimentTable(
+            title="Ablation - threshold pruning (T=6, P=J, R=4)",
+            columns=["pruning", "qubits", "quadratic terms"],
+        )
+        graph = uniform_query(6, 5, cardinality=10.0, seed=2)
+        thresholds = [10.0 ** k for k in range(1, 5)]  # 10..10^4
+        for prune in (False, True):
+            pipe = JoinOrderQuantumPipeline(
+                graph, thresholds=thresholds, prune_thresholds=prune
+            )
+            report = pipe.report()
+            table.add_row(
+                pruning="on" if prune else "off",
+                qubits=report.num_qubits,
+                **{"quadratic terms": report.num_quadratic_terms},
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("ablation_pruning", table)
+    by_mode = {r["pruning"]: r for r in table.rows}
+    assert by_mode["on"]["qubits"] < by_mode["off"]["qubits"]
+
+
+def test_bench_embedding_tries_ablation(benchmark, record_table):
+    """More restarts buy smaller embeddings (minorminer behaviour)."""
+    import networkx as nx
+
+    from repro.annealing import chimera_graph, find_embedding
+
+    src = nx.complete_graph(10)
+    target = chimera_graph(8)
+
+    def run():
+        table = ExperimentTable(
+            title="Ablation - embedding restarts (K10 on Chimera C8)",
+            columns=["tries", "physical qubits"],
+        )
+        for tries in (1, 4):
+            result = find_embedding(src, target, tries=tries, seed=3)
+            table.add_row(
+                tries=tries,
+                **{
+                    "physical qubits": (
+                        result.num_physical_qubits if result else "failed"
+                    )
+                },
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("ablation_embedding_tries", table)
+    values = [
+        r["physical qubits"]
+        for r in table.rows
+        if isinstance(r["physical qubits"], int)
+    ]
+    assert values, "no embedding succeeded"
+    if len(values) == 2:
+        assert values[1] <= values[0]

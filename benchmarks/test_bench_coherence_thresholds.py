@@ -1,0 +1,9 @@
+"""Benchmark E5: the coherence thresholds of Eqs. 37 and 55."""
+
+from repro.experiments.coherence_thresholds import run_coherence_thresholds
+
+
+def test_bench_coherence_thresholds(benchmark, record_table):
+    table = benchmark(run_coherence_thresholds)
+    record_table("coherence_thresholds", table)
+    assert table.column("d_max") == [248, 178]  # exact paper values

@@ -1,0 +1,47 @@
+"""Benchmarks for the extension experiments beyond the paper's
+evaluation: the direct join-ordering QUBO (Sec. 7 future work), the
+noise study (Eq. 36 observed), and the MQO annealer-capacity sweep
+(Sec. 5.3.1's PPQ effect)."""
+
+from repro.experiments.jo_direct import run_direct_vs_two_step
+from repro.experiments.mqo_annealer import run_mqo_annealer_capacity
+from repro.experiments.noise_study import run_noise_study
+
+
+def test_bench_direct_vs_two_step(benchmark, record_table):
+    table = benchmark.pedantic(run_direct_vs_two_step, rounds=1, iterations=1)
+    record_table("extension_direct_vs_two_step", table)
+    for row in table.rows:
+        assert row["direct qubits"] == row["relations"] ** 2
+        assert row["saving %"] > 50.0
+        if isinstance(row["direct cost ratio"], float):
+            assert row["direct cost ratio"] <= 1.5
+
+
+def test_bench_noise_study(benchmark, record_table):
+    table = benchmark.pedantic(run_noise_study, rounds=1, iterations=1)
+    record_table("extension_noise_study", table)
+    rows = {r["p"]: r for r in table.rows}
+    # decoherence probability grows with depth (Eq. 36)
+    assert rows[3]["p_decoherence"] > rows[1]["p_decoherence"]
+    # the fraction of success probability surviving noise decays
+    assert rows[3]["retention"] < rows[1]["retention"] + 0.15
+
+
+def test_bench_mqo_annealer_capacity(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_mqo_annealer_capacity(samples=2), rounds=1, iterations=1
+    )
+    record_table("extension_mqo_annealer_capacity", table)
+    # at a fixed plan count, higher PPQ means a denser QUBO
+    for plans in {r["plans"] for r in table.rows}:
+        group = sorted(
+            (r for r in table.rows if r["plans"] == plans),
+            key=lambda r: r["ppq"],
+        )
+        quads = [r["quadratic terms"] for r in group]
+        assert quads == sorted(quads)
+    # some configuration must embed successfully
+    assert any(
+        isinstance(r["mean physical qubits"], (int, float)) for r in table.rows
+    )

@@ -1,0 +1,22 @@
+"""Benchmark E6: paper Figure 11 (join-ordering qubit scaling with
+relations and predicates)."""
+
+from repro.experiments.jo_qubits import run_figure11
+
+
+def test_bench_figure11(benchmark, record_table):
+    table = benchmark(run_figure11)
+    record_table("fig11_jo_qubit_scaling", table)
+
+    last = table.rows[-1]
+    assert last["relations"] == 42
+    # paper: ~10,000 qubits at T=42, P=J
+    assert 10_000 <= last["qubits P=J"] <= 10_500
+    # paper: doubling predicates -> roughly +50% qubits at T=42
+    ratio = last["qubits P=2J"] / last["qubits P=J"]
+    assert 1.4 <= ratio <= 1.6
+    # superlinear growth in T
+    first = table.rows[0]
+    assert last["qubits P=J"] / first["qubits P=J"] > (
+        last["relations"] / first["relations"]
+    )

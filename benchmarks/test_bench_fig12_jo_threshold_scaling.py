@@ -1,0 +1,20 @@
+"""Benchmark E7: paper Figure 12 (qubit scaling with threshold count
+and precision factor ω)."""
+
+from repro.experiments.jo_qubits import run_figure12
+
+
+def test_bench_figure12(benchmark, record_table):
+    table = benchmark(run_figure12)
+    record_table("fig12_jo_threshold_scaling", table)
+
+    last = table.rows[-1]
+    assert last["thresholds"] == 20
+    # paper: at 20 thresholds ω=0.0001 needs >2x the ω=1 qubits
+    assert last["qubits ω=0.0001"] > 2 * last["qubits ω=1"]
+    # paper: ω=0.01 grows ≈94% from 2 to 14 thresholds
+    by_r = {r["thresholds"]: r for r in table.rows}
+    growth = (by_r[14]["qubits ω=0.01"] - by_r[2]["qubits ω=0.01"]) / by_r[2][
+        "qubits ω=0.01"
+    ]
+    assert 0.85 <= growth <= 1.05

@@ -1,0 +1,49 @@
+"""Benchmark E9: paper Figure 13 (join-ordering circuit depths vs
+qubits, generation strategy, algorithm and topology)."""
+
+from repro.analysis.coherence import max_reliable_depth
+from repro.experiments.common import bench_samples
+from repro.experiments.jo_depths import run_figure13_qaoa, run_figure13_vqe
+from repro.gate.backend import fake_brooklyn
+
+D_MAX_BROOKLYN = max_reliable_depth(fake_brooklyn().properties)  # 178
+
+
+def test_bench_figure13_qaoa(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_figure13_qaoa(transpilations=bench_samples(3)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig13_jo_qaoa_depths", table)
+
+    s1 = {r["qubits"]: r for r in table.rows if r["strategy"] == "s1"}
+    s2 = {r["qubits"]: r for r in table.rows if r["strategy"] == "s2"}
+    # paper: strategy 2 ~57% deeper at 30 qubits (optimal topology)
+    overhead = s2[30]["depth optimal"] / s1[30]["depth optimal"] - 1.0
+    assert 0.3 <= overhead <= 0.9
+    # paper: strategy 1 stays below d_max well past 24 qubits while
+    # strategy 2 crosses it from ~24 qubits on Brooklyn
+    assert s2[24]["depth brooklyn"] > D_MAX_BROOKLYN
+    assert s1[21]["depth brooklyn"] < s2[30]["depth brooklyn"]
+
+
+def test_bench_figure13_vqe(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_figure13_vqe(transpilations=bench_samples(3)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig13_jo_vqe_depths", table)
+
+    # paper: every VQE depth on Brooklyn far exceeds d_max = 178
+    for row in table.rows:
+        assert row["depth brooklyn"] > D_MAX_BROOKLYN
+    # VQE optimal-topology depth is linear in qubits (PPQ-independent)
+    depths = table.column("depth optimal")
+    qubits = table.column("qubits")
+    slopes = [
+        (depths[i + 1] - depths[i]) / (qubits[i + 1] - qubits[i])
+        for i in range(len(depths) - 1)
+    ]
+    assert max(slopes) - min(slopes) <= 2.0

@@ -1,0 +1,69 @@
+"""Benchmark E10: paper Figure 14 (physical qubits needed on the
+D-Wave Advantage's Pegasus P16 topology).
+
+The default grid is trimmed relative to the paper (embedding
+thousand-node interaction graphs takes tens of minutes in pure
+Python); set ``REPRO_BENCH_SCALE=full`` for the paper's ranges.
+"""
+
+from repro.experiments.common import bench_samples
+from repro.experiments.jo_embedding import run_figure14_left, run_figure14_right
+
+
+def test_bench_figure14_left(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_figure14_left(samples=bench_samples(2)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig14_left_jo_embedding", table)
+
+    # physical demand grows with relations (for the P=J series) and
+    # with the predicate multiple at fixed relations
+    pj = [
+        r
+        for r in table.rows
+        if r["P/J"] == 1 and isinstance(r["mean physical qubits"], (int, float))
+    ]
+    assert len(pj) >= 2
+    values = [r["mean physical qubits"] for r in pj]
+    assert values == sorted(values)
+    for t in {r["relations"] for r in table.rows}:
+        group = {
+            r["P/J"]: r["mean physical qubits"]
+            for r in table.rows
+            if r["relations"] == t
+            and isinstance(r["mean physical qubits"], (int, float))
+        }
+        if 1 in group and 2 in group:
+            assert group[2] > group[1]
+    # every physical count exceeds its logical count (chains > 1)
+    for r in table.rows:
+        if isinstance(r["mean physical qubits"], (int, float)):
+            assert r["mean physical qubits"] > r["logical qubits"]
+
+
+def test_bench_figure14_right(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_figure14_right(samples=bench_samples(2)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig14_right_jo_embedding", table)
+
+    # more thresholds / smaller omega -> more physical qubits
+    for omega in (1.0,):
+        series = [
+            r["mean physical qubits"]
+            for r in table.rows
+            if r["omega"] == omega
+            and isinstance(r["mean physical qubits"], (int, float))
+        ]
+        assert series == sorted(series)
+    by_key = {
+        (r["thresholds"], r["omega"]): r["mean physical qubits"]
+        for r in table.rows
+        if isinstance(r["mean physical qubits"], (int, float))
+    }
+    if (1, 1.0) in by_key and (1, 0.0001) in by_key:
+        assert by_key[(1, 0.0001)] > by_key[(1, 1.0)]

@@ -1,0 +1,27 @@
+"""Benchmark E3: paper Figure 8 (MQO QAOA circuit depths vs plans,
+PPQ and qubit topology)."""
+
+from repro.experiments.common import bench_samples
+from repro.experiments.mqo_depths import run_figure8
+
+
+def test_bench_figure8(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_figure8(
+            instances=bench_samples(3), transpilations=bench_samples(3)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig8_mqo_qaoa_depths", table)
+
+    # paper shapes: depth grows with plan count within a PPQ class,
+    # and with PPQ at a fixed plan count; routing only adds depth
+    for ppq in (4, 8):
+        series = [r for r in table.rows if r["ppq"] == ppq]
+        depths = [r["depth optimal"] for r in series]
+        assert depths == sorted(depths)
+    at24 = {r["ppq"]: r for r in table.rows if r["plans"] == 24}
+    assert at24[8]["depth optimal"] > at24[4]["depth optimal"]
+    for row in table.rows:
+        assert row["depth mumbai"] >= row["depth optimal"]

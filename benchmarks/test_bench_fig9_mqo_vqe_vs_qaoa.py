@@ -1,0 +1,30 @@
+"""Benchmark E4: paper Figure 9 (VQE vs QAOA depths on both
+topologies) plus the coherence-threshold comparison of Sec. 5.3.2."""
+
+from repro.analysis.coherence import max_reliable_depth
+from repro.experiments.common import bench_samples
+from repro.experiments.mqo_depths import run_figure9
+from repro.gate.backend import fake_mumbai
+
+
+def test_bench_figure9(benchmark, record_table):
+    table = benchmark.pedantic(
+        lambda: run_figure9(
+            instances=bench_samples(3), transpilations=bench_samples(3)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("fig9_mqo_vqe_vs_qaoa", table)
+
+    rows = {r["plans"]: r for r in table.rows}
+    # paper: VQE depth linear in plans; mapping onto Mumbai costs ~10x
+    assert rows[24]["vqe optimal"] > rows[8]["vqe optimal"]
+    assert rows[24]["vqe mumbai"] > 5 * rows[24]["vqe optimal"]
+    # paper: VQE at 24 plans (~970 on Mumbai) far exceeds d_max = 248
+    d_max = max_reliable_depth(fake_mumbai().properties)
+    assert rows[24]["vqe mumbai"] > d_max
+    # QAOA's Mumbai overhead is far milder than VQE's
+    vqe_overhead = rows[24]["vqe mumbai"] / rows[24]["vqe optimal"]
+    qaoa_overhead = rows[24]["qaoa4 mumbai"] / rows[24]["qaoa4 optimal"]
+    assert qaoa_overhead < vqe_overhead

@@ -1,0 +1,22 @@
+"""Benchmark: penalty-weight spectrum compression (Sec. 6.1.4)."""
+
+import pytest
+
+from repro.experiments.penalty_gap import run_penalty_gap_study
+
+
+def test_bench_penalty_gap(benchmark, record_table):
+    table = benchmark.pedantic(run_penalty_gap_study, rounds=1, iterations=1)
+    record_table("extension_penalty_gap", table)
+
+    rows = table.rows
+    # the ground state (a valid optimal order) is penalty-independent
+    grounds = {r["ground energy"] for r in rows}
+    assert len(grounds) == 1
+    # the relative gap decays monotonically as A grows
+    relative = [r["relative gap"] for r in rows]
+    assert relative == sorted(relative, reverse=True)
+    # ~1/A decay: quadrupling A cuts the relative gap by ~4
+    assert relative[0] / relative[1] == pytest.approx(
+        rows[1]["A / A_min"] / rows[0]["A / A_min"], rel=0.35
+    )

@@ -1,0 +1,24 @@
+"""Benchmark E11: solution-quality sanity checks (beyond paper scope —
+validates the semantic correctness of both QUBO encodings)."""
+
+from repro.experiments.quality import run_join_order_quality, run_mqo_quality
+
+
+def test_bench_mqo_quality(benchmark, record_table):
+    table = benchmark.pedantic(run_mqo_quality, rounds=1, iterations=1)
+    record_table("quality_mqo", table)
+    optimal_flags = {
+        row["solver"]: row["optimal?"] for row in table.rows
+    }
+    # the exact eigensolver must hit the optimum; annealing too on this size
+    assert optimal_flags["exact eigensolver"]
+    assert optimal_flags["simulated annealing"]
+
+
+def test_bench_join_order_quality(benchmark, record_table):
+    table = benchmark.pedantic(run_join_order_quality, rounds=1, iterations=1)
+    record_table("quality_join_order", table)
+    for row in table.rows:
+        assert row["ratio to DP"] >= 1.0 - 1e-9
+        if row["solver"] == "qubo + annealer":
+            assert row["ratio to DP"] <= 1.25  # near-optimal

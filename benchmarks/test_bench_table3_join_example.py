@@ -1,0 +1,9 @@
+"""Benchmark E2: paper Table 3 (join-order costs for the R/S/T query)."""
+
+from repro.experiments.tables import run_table_3
+
+
+def test_bench_table3(benchmark, record_table):
+    table = benchmark(run_table_3)
+    record_table("table3_join_example", table)
+    assert table.column("cost") == [51_000.0, 60_000.0, 100_000.0]

@@ -1,0 +1,9 @@
+"""Benchmark E1: paper Tables 1 and 2 (the worked MQO example)."""
+
+from repro.experiments.tables import run_tables_1_2
+
+
+def test_bench_tables_1_2(benchmark, record_table):
+    table = benchmark(run_tables_1_2)
+    record_table("tables_1_2_mqo_example", table)
+    assert table.column("total cost") == [26.0, 21.0]

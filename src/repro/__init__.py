@@ -1,0 +1,41 @@
+"""Reproduction of *Applicability of Quantum Computing on Database Query
+Optimization* (Schönberger, SIGMOD 2022).
+
+The package is organised as a stack of substrates with the paper's two
+query-optimization studies on top:
+
+``repro.qubo``
+    Quadratic unconstrained binary optimization models (QUBO/Ising duality),
+    a symbolic expression builder and an exact brute-force solver.
+``repro.linprog``
+    Mixed/binary integer linear programming: modelling, standard-form
+    conversion with slack discretization, and a branch-and-bound solver.
+``repro.gate``
+    A gate-model quantum computing substrate: circuits, a statevector
+    simulator, IBM-Q-style heavy-hex coupling maps and a transpiler that
+    performs layout, swap routing and basis translation.
+``repro.variational``
+    Hybrid quantum-classical algorithms: VQE and QAOA with classical
+    optimizers, plus a ``MinimumEigenOptimizer`` front end for QUBOs.
+``repro.annealing``
+    A quantum-annealing substrate: Chimera/Pegasus topology generators, a
+    minorminer-style heuristic embedder, simulated annealing samplers and
+    Ocean-style composites.
+``repro.mqo``
+    Multi query optimization: problem model, QUBO formulation (paper
+    Sec. 5.1) and solvers.
+``repro.joinorder``
+    Join ordering: query graphs, the C_out cost model, the MILP → BILP →
+    QUBO pipeline (paper Sec. 6.1) and classical baselines.
+``repro.analysis``
+    Qubit-count formulas (Sec. 6.3.1), circuit-depth studies and the
+    coherence-time thresholds (Eqs. 37/55).
+``repro.experiments``
+    One module per paper table/figure, reproducing its rows/series.
+"""
+
+__version__ = "1.0.0"
+
+from repro.qubo import BinaryQuadraticModel, Vartype
+
+__all__ = ["BinaryQuadraticModel", "Vartype", "__version__"]

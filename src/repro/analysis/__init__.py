@@ -1,0 +1,41 @@
+"""Analysis helpers reproducing the paper's resource studies.
+
+* :mod:`repro.analysis.qubit_counts` — the closed-form qubit bounds of
+  Sec. 6.3.1 (Eqs. 45–54) behind Figures 11 and 12;
+* :mod:`repro.analysis.coherence` — decoherence-error and maximum-
+  reliable-depth arithmetic (Eqs. 36–37 and 55);
+* :mod:`repro.analysis.depth` — circuit-depth measurement utilities
+  shared by the Figure 8/9/13 experiments.
+"""
+
+from repro.analysis.qubit_counts import (
+    JoinOrderQubitBounds,
+    binary_slack_bound,
+    continuous_slack_bound,
+    logical_variable_bound,
+    total_qubit_bound,
+)
+from repro.analysis.coherence import (
+    decoherence_error_probability,
+    max_reliable_depth,
+)
+from repro.analysis.depth import (
+    DepthMeasurement,
+    measure_qaoa_depth,
+    measure_vqe_depth,
+    mean_transpiled_depth,
+)
+
+__all__ = [
+    "JoinOrderQubitBounds",
+    "binary_slack_bound",
+    "continuous_slack_bound",
+    "logical_variable_bound",
+    "total_qubit_bound",
+    "decoherence_error_probability",
+    "max_reliable_depth",
+    "DepthMeasurement",
+    "measure_qaoa_depth",
+    "measure_vqe_depth",
+    "mean_transpiled_depth",
+]

@@ -1,0 +1,43 @@
+"""Coherence-time arithmetic (paper Eqs. 36–37 and 55).
+
+A circuit is considered reliably executable when its depth times the
+average gate time stays within the device's binding coherence time
+``min(T1, T2)``:
+
+.. math:: d_{max} = \\lfloor \\min(T1, T2) / g_{avg} \\rfloor
+
+The paper's calibration values give ``d_max = 248`` for IBM-Q Mumbai
+and ``d_max = 178`` for IBM-Q Brooklyn — the thresholds drawn through
+Figures 8/9/13.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ProblemError
+from repro.gate.backend import Backend, BackendProperties
+
+
+def max_reliable_depth(properties: BackendProperties) -> int:
+    """``d_max`` (Eqs. 37/55)."""
+    return properties.max_reliable_depth()
+
+
+def decoherence_error_probability(
+    properties: BackendProperties, depth: int
+) -> float:
+    """``p_err = 1 − e^{−t/T}`` for a circuit of the given depth (Eq. 36)."""
+    if depth < 0:
+        raise ProblemError("depth must be non-negative")
+    return properties.decoherence_error_probability(depth)
+
+
+def is_reliably_executable(backend: Backend, depth: int) -> bool:
+    """Whether a depth fits within the backend's coherence threshold.
+
+    Backends without calibration data (simulators) accept any depth.
+    """
+    if backend.properties is None:
+        return True
+    return depth <= max_reliable_depth(backend.properties)

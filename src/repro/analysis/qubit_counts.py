@@ -1,0 +1,138 @@
+"""Closed-form qubit bounds for the join-ordering encoding
+(paper Sec. 6.3.1, Eqs. 45–54).
+
+These formulas predict the number of binary variables — and therefore
+logical qubits — the BILP encoding needs, *without* building the model:
+
+.. math::
+    n &= n_{log} + n_{bsl} + n_{csl} \\\\
+    n_{log} &\\le J(2T + P + R) - P - R \\qquad (Eq.~46) \\\\
+    n_{bsl} &= J(T + 2P) - 2P \\qquad (Eq.~47) \\\\
+    n_{csl} &\\le R \\sum_{j=2}^{J}
+        \\big(\\lfloor \\log_2(mlc_j/\\omega) \\rfloor + 1\\big)
+        \\qquad (Eq.~53)
+
+with ``T`` relations, ``J = T−1`` joins, ``P`` predicates, ``R``
+threshold values, precision factor ω, and ``mlc_j`` the sum of the
+``j`` largest log-cardinalities (Eq. 50).  The bounds assume no
+cardinality-based pruning — the paper's setting for Figures 11/12 —
+and they are exactly what the builder produces in that mode (verified
+by tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ProblemError
+from repro.linprog.standard_form import binary_slack_count
+
+
+def _validate(num_relations: int, num_predicates: int, num_thresholds: int, omega: float) -> None:
+    if num_relations < 2:
+        raise ProblemError("need at least two relations")
+    if num_predicates < 0 or num_thresholds < 1:
+        raise ProblemError("bad predicate/threshold counts")
+    if omega <= 0:
+        raise ProblemError("omega must be positive")
+
+
+def logical_variable_bound(
+    num_relations: int, num_predicates: int, num_thresholds: int
+) -> int:
+    """``n_log`` (Eq. 46): tio + tii + pao + cto variables.
+
+    ``pao``/``cto`` variables exist only for joins 1..J-1 (the first
+    join's outer operand is a single relation, Sec. 6.2.2).
+    """
+    _validate(num_relations, num_predicates, num_thresholds, 1.0)
+    t, p, r = num_relations, num_predicates, num_thresholds
+    j = t - 1
+    return j * (2 * t + p + r) - p - r
+
+
+def binary_slack_bound(num_relations: int, num_predicates: int) -> int:
+    """``n_bsl`` (Eq. 47): one slack per type-3/5/6 constraint."""
+    _validate(num_relations, num_predicates, 1, 1.0)
+    t, p = num_relations, num_predicates
+    j = t - 1
+    return j * (t + 2 * p) - 2 * p
+
+
+def max_log_cardinality(cardinalities: Sequence[float], join: int, log_base: float = 10.0) -> float:
+    """``mlc_j`` (Eq. 50) for a join whose outer operand holds ``join``
+    relations: the sum of the ``join`` largest log-cardinalities."""
+    logs = sorted((math.log(c, log_base) for c in cardinalities), reverse=True)
+    return sum(logs[:join])
+
+
+def continuous_slack_bound(
+    cardinalities: Sequence[float],
+    num_thresholds: int,
+    omega: float = 1.0,
+    log_base: float = 10.0,
+) -> int:
+    """``n_csl`` (Eq. 53): discretized-slack binaries over all type-7
+    constraints (thresholds x joins 2..J, outer sizes 2..T−1... T)."""
+    _validate(len(cardinalities), 0, num_thresholds, omega)
+    t = len(cardinalities)
+    j = t - 1
+    total = 0
+    for outer_size in range(2, j + 1):
+        mlc = max_log_cardinality(cardinalities, outer_size, log_base)
+        total += binary_slack_count(mlc, omega)
+    return num_thresholds * total
+
+
+def total_qubit_bound(
+    cardinalities: Sequence[float],
+    num_predicates: int,
+    num_thresholds: int,
+    omega: float = 1.0,
+    log_base: float = 10.0,
+) -> int:
+    """``n`` (Eq. 54): the full logical-qubit requirement."""
+    t = len(cardinalities)
+    return (
+        logical_variable_bound(t, num_predicates, num_thresholds)
+        + binary_slack_bound(t, num_predicates)
+        + continuous_slack_bound(cardinalities, num_thresholds, omega, log_base)
+    )
+
+
+@dataclass(frozen=True)
+class JoinOrderQubitBounds:
+    """Bundle of the Sec. 6.3.1 bounds for one problem configuration."""
+
+    num_relations: int
+    num_predicates: int
+    num_thresholds: int
+    omega: float
+    cardinality: float = 10.0
+    log_base: float = 10.0
+
+    @property
+    def cardinalities(self) -> Sequence[float]:
+        return [self.cardinality] * self.num_relations
+
+    @property
+    def n_log(self) -> int:
+        return logical_variable_bound(
+            self.num_relations, self.num_predicates, self.num_thresholds
+        )
+
+    @property
+    def n_bsl(self) -> int:
+        return binary_slack_bound(self.num_relations, self.num_predicates)
+
+    @property
+    def n_csl(self) -> int:
+        return continuous_slack_bound(
+            self.cardinalities, self.num_thresholds, self.omega, self.log_base
+        )
+
+    @property
+    def total(self) -> int:
+        return self.n_log + self.n_bsl + self.n_csl

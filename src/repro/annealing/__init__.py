@@ -1,0 +1,35 @@
+"""Quantum-annealing substrate (D-Wave Ocean analogue).
+
+Provides the pieces of the Ocean SDK the paper's join-ordering
+evaluation uses (Sec. 6.2.1, 6.3.5):
+
+* exact generators for the **Chimera** and **Pegasus** hardware
+  topologies (dwave_networkx analogue);
+* a **minorminer-style heuristic embedder** mapping a problem's
+  interaction graph onto a hardware graph via chains of physical
+  qubits;
+* a **simulated-annealing sampler** (neal analogue) plus an exact
+  sampler for small models;
+* **composites** that embed a model, sample it on a structured solver
+  and resolve broken chains.
+"""
+
+from repro.annealing.sampleset import SampleSet
+from repro.annealing.chimera import chimera_graph
+from repro.annealing.pegasus import pegasus_graph
+from repro.annealing.simulated_annealing import SimulatedAnnealingSampler
+from repro.annealing.exact_sampler import ExactSampler
+from repro.annealing.embedding import EmbeddingResult, find_embedding
+from repro.annealing.composites import EmbeddingComposite, StructureComposite
+
+__all__ = [
+    "SampleSet",
+    "chimera_graph",
+    "pegasus_graph",
+    "SimulatedAnnealingSampler",
+    "ExactSampler",
+    "EmbeddingResult",
+    "find_embedding",
+    "EmbeddingComposite",
+    "StructureComposite",
+]

@@ -1,0 +1,75 @@
+"""The Chimera hardware topology (paper Sec. 3.6.2, Fig. 5).
+
+A Chimera graph ``C(m, n, t)`` tiles an ``m x n`` grid of unit cells;
+each cell is a complete bipartite graph :math:`K_{t,t}` between ``t``
+*vertical* and ``t`` *horizontal* qubits.  Vertical qubits couple to
+the vertically adjacent cell's vertical qubits, horizontal qubits to
+the horizontally adjacent cell's — so each qubit has at most ``t + 2``
+couplers (6 for the production ``t = 4``, exactly as the paper states).
+
+The D-Wave 2X used for the MQO study in [Trummer & Koch 2016] is a
+``C(12, 12, 4)`` (1152 qubits).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import networkx as nx
+
+from repro.exceptions import ModelError
+
+#: Chimera coordinate: (row, column, orientation u∈{0,1}, offset k)
+ChimeraCoord = Tuple[int, int, int, int]
+
+
+def chimera_graph(m: int, n: int = None, t: int = 4, coordinates: bool = False) -> nx.Graph:
+    """Build the Chimera graph ``C(m, n, t)``.
+
+    Parameters
+    ----------
+    m, n:
+        Grid dimensions (``n`` defaults to ``m``).
+    t:
+        Shore size of each :math:`K_{t,t}` cell (production value 4).
+    coordinates:
+        When True, nodes are ``(row, col, u, k)`` tuples; otherwise
+        linear indices in row-major order (matching dwave_networkx).
+
+    Returns
+    -------
+    networkx.Graph
+        With graph attributes ``family="chimera"``, ``rows``,
+        ``columns`` and ``tile``.
+    """
+    if n is None:
+        n = m
+    if m < 1 or n < 1 or t < 1:
+        raise ModelError("chimera dimensions must be positive")
+
+    g = nx.Graph(family="chimera", rows=m, columns=n, tile=t)
+
+    def linear(i: int, j: int, u: int, k: int) -> int:
+        return ((i * n + j) * 2 + u) * t + k
+
+    label = (lambda *c: tuple(c)) if coordinates else (lambda *c: linear(*c))
+
+    for i in range(m):
+        for j in range(n):
+            # intra-cell K_{t,t}
+            for k0 in range(t):
+                for k1 in range(t):
+                    g.add_edge(label(i, j, 0, k0), label(i, j, 1, k1))
+            # inter-cell couplers
+            if i + 1 < m:
+                for k in range(t):
+                    g.add_edge(label(i, j, 0, k), label(i + 1, j, 0, k))
+            if j + 1 < n:
+                for k in range(t):
+                    g.add_edge(label(i, j, 1, k), label(i, j + 1, 1, k))
+    return g
+
+
+def dwave_2x_graph() -> nx.Graph:
+    """The C(12,12,4) topology of the D-Wave 2X used in [9]."""
+    return chimera_graph(12, 12, 4)

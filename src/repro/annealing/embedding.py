@@ -1,0 +1,457 @@
+"""Heuristic minor embedding of problem graphs onto hardware graphs.
+
+Finding a minor embedding — mapping each *logical* variable to a
+connected chain of *physical* qubits so that every logical interaction
+has at least one physical coupler between the two chains — is
+NP-complete, so like the paper (Sec. 3.6.2) a heuristic of the
+minorminer family [Cai, Macready & Roy 2014] is used:
+
+1. logical nodes are embedded one at a time; node ``u``'s chain is
+   grown from the *root* physical qubit that minimises the summed
+   (penalty-weighted) distance to the chains of ``u``'s already
+   embedded neighbours, taking the union of the shortest paths to each
+   such chain.  Each connection path is *split*: the half nearer the
+   root joins ``u``'s chain, the far half is donated to the
+   neighbour's chain (CMR's accretion rule — chains grow toward each
+   other instead of one chain having to reach everybody);
+2. during construction chains may *overlap*; overlapping physical
+   qubits carry an exponential usage penalty, escalating every
+   improvement round, so routing is progressively pushed off shared
+   qubits;
+3. improvement sweeps rip up one logical node at a time and re-embed
+   it; an attempt succeeds when no physical qubit is shared.
+
+Distances are computed with ``scipy.sparse.csgraph.dijkstra``
+(``min_only`` multi-source mode) over a CSR matrix whose edge weights
+equal the usage penalty of the head node, keeping the inner loop in C.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from repro.exceptions import EmbeddingError
+
+
+@dataclass
+class EmbeddingResult:
+    """A minor embedding: logical node → chain of physical qubits."""
+
+    chains: Dict[Hashable, Tuple[int, ...]]
+
+    @property
+    def num_physical_qubits(self) -> int:
+        """Total physical qubits used — the y-axis of paper Fig. 14."""
+        return sum(len(c) for c in self.chains.values())
+
+    @property
+    def max_chain_length(self) -> int:
+        return max((len(c) for c in self.chains.values()), default=0)
+
+    def average_chain_length(self) -> float:
+        if not self.chains:
+            return 0.0
+        return self.num_physical_qubits / len(self.chains)
+
+    def is_valid(self, source: nx.Graph, target: nx.Graph) -> bool:
+        """Validate chain connectivity, disjointness and edge coverage."""
+        used: Set[int] = set()
+        for node, chain in self.chains.items():
+            if not chain:
+                return False
+            if used & set(chain):
+                return False
+            used |= set(chain)
+            if not nx.is_connected(target.subgraph(chain)):
+                return False
+        for a, b in source.edges:
+            if a == b:
+                continue
+            chain_a, chain_b = set(self.chains[a]), set(self.chains[b])
+            if not any(target.has_edge(p, q) for p in chain_a for q in chain_b):
+                return False
+        return True
+
+
+class _TargetIndex:
+    """CSR adjacency of the target graph with mutable node penalties.
+
+    The CSR sparsity structure is built once; only the data vector is
+    rewritten per routing call (edge weight = penalty of head node).
+    """
+
+    def __init__(self, target: nx.Graph) -> None:
+        self.nodes: List[int] = list(target.nodes)
+        self.index: Dict[int, int] = {n: i for i, n in enumerate(self.nodes)}
+        self.n = len(self.nodes)
+        rows, cols = [], []
+        for a, b in target.edges:
+            ia, ib = self.index[a], self.index[b]
+            rows.extend((ia, ib))
+            cols.extend((ib, ia))
+        matrix = csr_matrix(
+            (np.ones(len(rows)), (np.array(rows), np.array(cols))),
+            shape=(self.n, self.n),
+        )
+        matrix.sum_duplicates()
+        self._matrix = matrix
+        self._heads = matrix.indices.copy()
+
+    def weighted_matrix(self, penalties: np.ndarray) -> csr_matrix:
+        """Adjacency where traversing into node j costs ``penalties[j]``."""
+        self._matrix.data = penalties[self._heads]
+        return self._matrix
+
+
+def find_embedding(
+    source: nx.Graph,
+    target: nx.Graph,
+    tries: int = 3,
+    improvement_rounds: int = 40,
+    penalty_base: float = 8.0,
+    seed: Optional[int] = None,
+    max_chain_length: Optional[int] = None,
+    stop_at_first: bool = False,
+) -> Optional[EmbeddingResult]:
+    """Embed ``source`` as a minor of ``target``.
+
+    Returns ``None`` when every attempt fails — the condition the paper
+    reports as "an embedding can no longer be reliably found"
+    (Sec. 6.3.5 keeps only points where ≥50 % of attempts succeed).
+
+    Parameters
+    ----------
+    source:
+        The problem's interaction graph (QUBO variables + quadratic terms).
+    target:
+        The hardware graph (Chimera/Pegasus).
+    tries:
+        Independent randomized restarts.
+    improvement_rounds:
+        Maximum rip-up-and-reroute sweeps per restart.
+    penalty_base:
+        Base of the exponential overuse penalty (doubled per round).
+    seed:
+        Randomizes node orders and tie-breaks.
+    max_chain_length:
+        Optional hard cap; an attempt producing a longer chain fails.
+    stop_at_first:
+        Return the first valid embedding instead of the best over all
+        tries (cheaper when only feasibility matters).
+    """
+    if source.number_of_nodes() == 0:
+        return EmbeddingResult(chains={})
+    if source.number_of_nodes() > target.number_of_nodes():
+        return None
+    rng = np.random.default_rng(seed)
+    index = _TargetIndex(target)
+
+    best: Optional[EmbeddingResult] = None
+    for attempt in range(max(1, tries)):
+        chains = _single_attempt(
+            source, index, rng, improvement_rounds, penalty_base,
+            degree_order=(attempt == 0),
+        )
+        if chains is None:
+            continue
+        result = EmbeddingResult(
+            chains={
+                u: tuple(index.nodes[i] for i in chain) for u, chain in chains.items()
+            }
+        )
+        if max_chain_length is not None and result.max_chain_length > max_chain_length:
+            continue
+        if best is None or result.num_physical_qubits < best.num_physical_qubits:
+            best = result
+        if stop_at_first:
+            break
+    if best is None:
+        best = _clique_template_fallback(source, target, max_chain_length)
+    return best
+
+
+def _clique_template_fallback(
+    source: nx.Graph,
+    target: nx.Graph,
+    max_chain_length: Optional[int],
+) -> Optional[EmbeddingResult]:
+    """Deterministic rescue for square Chimera targets.
+
+    When the heuristic fails but the source fits inside the target's
+    native clique capacity, Choi's TRIAD template (see
+    :mod:`repro.annealing.clique_embedding`) always succeeds — every
+    interaction graph is a subgraph of the complete graph.
+    """
+    if target.graph.get("family") != "chimera":
+        return None
+    m = target.graph.get("rows")
+    if m is None or target.graph.get("columns") != m:
+        return None
+    t = target.graph.get("tile", 4)
+    n = source.number_of_nodes()
+    if n > t * m or max_chain_length is not None and m + 1 > max_chain_length:
+        return None
+    from repro.annealing.clique_embedding import chimera_clique_embedding
+
+    template = chimera_clique_embedding(n, m, t, node_labels=list(source.nodes))
+    # the template assumes linear qubit labels; verify before trusting
+    if not all(q in target for chain in template.chains.values() for q in chain):
+        return None
+    return template
+
+
+def _single_attempt(
+    source: nx.Graph,
+    index: _TargetIndex,
+    rng: np.random.Generator,
+    improvement_rounds: int,
+    penalty_base: float,
+    degree_order: bool = True,
+) -> Optional[Dict[Hashable, List[int]]]:
+    """One randomized embedding attempt; chains use target *indices*."""
+    usage = np.zeros(index.n, dtype=np.int32)  # physical qubit -> #chains
+    chains: Dict[Hashable, Set[int]] = {}
+    escalation = [penalty_base]  # grows each round to force convergence
+
+    def penalties(exclude_chain: Sequence[int] = ()) -> np.ndarray:
+        u = usage.copy()
+        for i in exclude_chain:
+            u[i] -= 1
+        # cap the exponent and the absolute penalty: a used qubit must
+        # be expensive but never unreachable, or routing dead-ends on
+        # dense instances where temporary overlap is the only way out
+        return np.minimum(
+            np.power(escalation[0], np.minimum(u, 12).astype(float)), 1e9
+        )
+
+    def rip_up(node: Hashable) -> Set[int]:
+        old = chains.get(node, set())
+        for i in old:
+            usage[i] -= 1
+        chains[node] = set()
+        return old
+
+    def commit(node: Hashable, chain: Set[int], extensions: Dict[Hashable, Set[int]]) -> None:
+        chains[node] = chain
+        for i in chain:
+            usage[i] += 1
+        # path halves donated to neighbour chains (CMR path splitting)
+        for other, extra in extensions.items():
+            fresh = extra - chains[other]
+            chains[other] |= fresh
+            for i in fresh:
+                usage[i] += 1
+
+    if degree_order:
+        nodes = sorted(source.nodes, key=lambda u: (-source.degree[u], rng.random()))
+    else:
+        nodes = sorted(source.nodes, key=lambda _: rng.random())
+
+    # initial pass: paths are *split* between both endpoint chains so
+    # chains grow toward each other (CMR accretion)
+    for node in nodes:
+        routed = _route_chain(source, index, chains, node, penalties(), rng, split=True)
+        if routed is None:
+            return None
+        commit(node, *routed)
+
+    # Improvement sweeps: rip up and re-route nodes, escalating the
+    # overuse penalty, until no physical qubit is shared.  Two
+    # re-routing modes complement each other: whole-path routing
+    # (split=False) converges quickly on large sparse graphs, while
+    # path-splitting (split=True) resolves dense clique-like graphs
+    # where one chain cannot reach all neighbours alone.  Start with
+    # whole-path routing and flip to splitting once progress stalls.
+    #
+    # After the first full sweep, only the *dirty* nodes — those whose
+    # chains touch an overlapped qubit, plus their source neighbours —
+    # are re-routed; untouched chains are already conflict-free and
+    # re-routing them only burns Dijkstra time.  Every fourth round a
+    # full sweep compacts the whole embedding.
+    best_overlap = math.inf
+    stale = 0
+    split_mode = False
+    for round_number in range(improvement_rounds):
+        full_sweep = round_number == 0 or round_number % 4 == 3
+        if full_sweep:
+            worklist = list(source.nodes)
+        else:
+            shared = {i for i in np.flatnonzero(usage > 1)}
+            dirty = {
+                node for node, chain in chains.items() if chain & shared
+            }
+            worklist = list(dirty)
+            for node in dirty:
+                worklist.extend(source.neighbors(node))
+            worklist = list(dict.fromkeys(worklist))
+        for node in sorted(worklist, key=lambda _: rng.random()):
+            old = rip_up(node)
+            routed = _route_chain(
+                source, index, chains, node, penalties(), rng, split=split_mode
+            )
+            if routed is None:
+                routed = (old, {})  # restore
+            commit(node, *routed)
+            # trim after commit so donated path-halves are visible to
+            # the contact checks
+            trimmed = _trim_chain(source, index, chains, node, chains[node])
+            for q in chains[node] - trimmed:
+                usage[q] -= 1
+            chains[node] = trimmed
+        overlap = int(np.sum(usage > 1))
+        if overlap == 0:
+            break
+        if overlap < best_overlap:
+            best_overlap = overlap
+            stale = 0
+        else:
+            stale += 1
+            if not split_mode and stale >= 2:
+                split_mode = True  # stalled: let chains grow toward each other
+                stale = 0
+            elif stale >= 6 and best_overlap > max(4, source.number_of_nodes() // 20):
+                break  # plateaued far from a valid embedding
+        # raise the stakes on shared qubits every round; the penalty
+        # cap keeps even heavily-contended qubits reachable
+        escalation[0] = min(escalation[0] * 2.0, 1e6)
+
+    if np.any(usage > 1):
+        return None
+    return {node: sorted(chain) for node, chain in chains.items()}
+
+
+def _route_chain(
+    source: nx.Graph,
+    index: _TargetIndex,
+    chains: Dict[Hashable, Set[int]],
+    node: Hashable,
+    penalties: np.ndarray,
+    rng: np.random.Generator,
+    split: bool = True,
+) -> Optional[Tuple[Set[int], Dict[Hashable, Set[int]]]]:
+    """Grow a chain for ``node`` toward its embedded neighbours.
+
+    Returns ``(chain, extensions)``.  With ``split=True`` the far half
+    of each connection path is donated to the corresponding neighbour's
+    chain; otherwise the whole path joins this node's chain.
+    """
+    embedded_neighbors = [v for v in source.neighbors(node) if chains.get(v)]
+    if not embedded_neighbors:
+        # no placed neighbours: put the node on the cheapest free qubit
+        start = int(np.argmin(penalties + rng.random(index.n) * 1e-6))
+        return {start}, {}
+
+    matrix = index.weighted_matrix(penalties)
+    dists, preds, origins = [], [], []
+    for v in embedded_neighbors:
+        chain = sorted(chains[v])
+        dist, pred, sources = dijkstra(
+            matrix,
+            directed=True,
+            indices=chain,
+            return_predecessors=True,
+            min_only=True,
+        )
+        dists.append(dist)
+        preds.append(pred)
+        origins.append(sources)
+
+    # Total cost per candidate root: the root's own penalty is paid once
+    # plus, per neighbour, the path cost *excluding* the root's entry
+    # (each Dijkstra distance already charges the root entry, except for
+    # roots inside the neighbour chain itself where the distance is 0).
+    totals = penalties.copy()
+    for dist in dists:
+        totals += np.maximum(0.0, dist - penalties)
+    totals += rng.random(index.n) * 1e-9  # random tie-break
+
+    root = int(np.argmin(totals))
+    if not math.isfinite(totals[root]):
+        return None
+
+    chain: Set[int] = {root}
+    extensions: Dict[Hashable, Set[int]] = {}
+    for v, dist, pred in zip(embedded_neighbors, dists, preds):
+        if not math.isfinite(dist[root]):
+            return None
+        # walk predecessors from root back into the neighbour chain
+        path = [root]
+        current = root
+        while True:
+            parent = int(pred[current])
+            if parent < 0:
+                break
+            path.append(parent)
+            current = parent
+        # path = [root, ..., src in chain(v)]; interior nodes are split:
+        # the near half joins this chain, the far half extends v's.
+        interior = [p for p in path[1:] if p not in chains[v]]
+        cut = (len(interior) + 1) // 2 if split else len(interior)
+        chain.update(interior[:cut])
+        if interior[cut:]:
+            extensions.setdefault(v, set()).update(interior[cut:])
+    return chain, extensions
+
+
+def _trim_chain(
+    source: nx.Graph,
+    index: _TargetIndex,
+    chains: Dict[Hashable, Set[int]],
+    node: Hashable,
+    chain: Set[int],
+) -> Set[int]:
+    """Drop chain leaves not needed for any neighbour contact.
+
+    A physical qubit can be removed when it is a leaf of the chain's
+    induced tree and is not the *only* contact point to some embedded
+    neighbour's chain.  Repeats until fixpoint.
+    """
+    if len(chain) <= 1:
+        return chain
+    # adjacency within the target restricted to the chain
+    matrix = index._matrix
+    indptr, cols = matrix.indptr, matrix.indices
+
+    def target_neighbors(q: int):
+        return cols[indptr[q]:indptr[q + 1]]
+
+    neighbor_chains = [
+        chains[v] for v in source.neighbors(node) if chains.get(v)
+    ]
+    changed = True
+    while changed and len(chain) > 1:
+        changed = False
+        degree = {q: 0 for q in chain}
+        for q in chain:
+            for t in target_neighbors(q):
+                if t in chain:
+                    degree[q] += 1
+        for q in list(chain):
+            if degree[q] > 1:
+                continue  # interior node: removal may disconnect
+            candidate = chain - {q}
+            needed = False
+            for other in neighbor_chains:
+                touches_via_q = any(int(t) in other for t in target_neighbors(q))
+                if not touches_via_q:
+                    continue
+                still_touches = any(
+                    int(t) in other
+                    for p in candidate
+                    for t in target_neighbors(p)
+                )
+                if not still_touches:
+                    needed = True
+                    break
+            if not needed:
+                chain = candidate
+                changed = True
+                break
+    return chain

@@ -1,0 +1,61 @@
+"""Exhaustive sampler for small binary quadratic models.
+
+The Ocean ``ExactSolver`` analogue: enumerates every assignment so the
+full energy spectrum is available.  Useful to validate the QUBO
+encodings (e.g. that every MQO plan-selection constraint is honoured by
+*all* low-energy states, not just the ground state).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.annealing.sampleset import SampleSet
+from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+
+_MAX_EXACT_VARIABLES = 22
+
+
+class ExactSampler:
+    """Enumerate all assignments of a BQM (≤ 22 variables)."""
+
+    def sample(
+        self,
+        bqm: BinaryQuadraticModel,
+        num_reads: Optional[int] = None,
+        **_: object,
+    ) -> SampleSet:
+        """Return every assignment with its energy, sorted ascending.
+
+        ``num_reads`` truncates the returned set to the lowest-energy
+        assignments (all of them when None).
+        """
+        n = bqm.num_variables
+        if n == 0:
+            return SampleSet.from_samples([{}], [bqm.offset], vartype=bqm.vartype)
+        if n > _MAX_EXACT_VARIABLES:
+            raise SolverError(
+                f"exact sampling over {n} variables is infeasible "
+                f"(limit {_MAX_EXACT_VARIABLES})"
+            )
+        q, offset, order = bqm.to_numpy_matrix()
+        count = 1 << n
+        indices = np.arange(count, dtype=np.uint32)
+        bits = ((indices[:, None] >> np.arange(n, dtype=np.uint32)[None, :]) & 1).astype(
+            float
+        )
+        energies = np.einsum("ij,jk,ik->i", bits, q, bits) + offset
+        ranking = np.argsort(energies, kind="stable")
+        if num_reads is not None:
+            ranking = ranking[:num_reads]
+        lo, hi = bqm.vartype.values
+        samples = []
+        for row_index in ranking:
+            row = bits[row_index]
+            samples.append({v: (hi if row[i] else lo) for i, v in enumerate(order)})
+        return SampleSet.from_samples(
+            samples, [float(energies[r]) for r in ranking], vartype=bqm.vartype
+        )

@@ -1,0 +1,137 @@
+"""The Pegasus hardware topology (paper Secs. 3.6.2, 6.3.5).
+
+The Pegasus graph ``P(m)`` is the topology of the D-Wave Advantage
+system (``P16``, 5640 qubits, 15 couplers per qubit).  The construction
+follows the geometric description of Boothby et al., *Next-Generation
+Topology of D-Wave Quantum Processors* (2020):
+
+Each qubit is a unit-length segment on a 12m x 12m grid,
+
+* **vertical** qubit ``(0, w, k, z)`` occupies column ``x = 12w + k``
+  and rows ``y ∈ [12z + S[k], 12z + S[k] + 11]``;
+* **horizontal** qubit ``(1, w, k, z)`` occupies row ``y = 12w + k``
+  and columns ``x ∈ [12z + S[k], 12z + S[k] + 11]``;
+
+with the production offset sequence
+``S = (2,2,2,2, 6,6,6,6, 10,10,10,10)``.  Three coupler families:
+
+* **internal** — a vertical and a horizontal qubit whose segments
+  cross (12 per qubit);
+* **external** — colinear qubits in consecutive tiles,
+  ``(u,w,k,z) ~ (u,w,k,z+1)`` (≤2 per qubit);
+* **odd** — parallel neighbouring qubits, ``(u,w,2j,z) ~ (u,w,2j+1,z)``
+  (1 per qubit),
+
+for a maximum degree of 15.  Boundary qubits whose segments cross no
+perpendicular qubit (the ``8(m-1)`` of them) are dropped, which yields
+the advertised ``24m(m-1) - 8(m-1)`` qubits — 5640 for ``P16``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import networkx as nx
+
+from repro.exceptions import ModelError
+
+#: Pegasus coordinate: (orientation u∈{0,1}, perpendicular tile w, offset k, parallel tile z)
+PegasusCoord = Tuple[int, int, int, int]
+
+#: Production offset sequence shared by both orientations.
+OFFSETS: Tuple[int, ...] = (2, 2, 2, 2, 6, 6, 6, 6, 10, 10, 10, 10)
+
+
+def pegasus_graph(m: int, coordinates: bool = False) -> nx.Graph:
+    """Build the Pegasus graph ``P(m)``.
+
+    Parameters
+    ----------
+    m:
+        Tile dimension; the D-Wave Advantage is ``m = 16``.
+    coordinates:
+        When True, nodes are ``(u, w, k, z)`` tuples; otherwise linear
+        indices ``((u * m + w) * 12 + k) * (m - 1) + z``.
+
+    Returns
+    -------
+    networkx.Graph
+        With graph attributes ``family="pegasus"`` and ``rows=m``.
+    """
+    if m < 2:
+        raise ModelError("pegasus requires m >= 2")
+
+    span = m - 1  # number of parallel tiles
+
+    def linear(u: int, w: int, k: int, z: int) -> int:
+        return ((u * m + w) * 12 + k) * span + z
+
+    label = (lambda *c: tuple(c)) if coordinates else (lambda *c: linear(*c))
+
+    g = nx.Graph(family="pegasus", rows=m)
+
+    # position index: perpendicular coordinate -> (w, k)
+    # vertical qubit (0, w, k, z): column x = 12w + k, rows [12z+S[k], +11]
+    # horizontal qubit (1, w, k, z): row y = 12w + k, cols [12z+S[k], +11]
+    def crossing_partner(coordinate: int, offset_k: int) -> Tuple[int, int]:
+        """Tile/offset of the perpendicular qubit covering ``coordinate``."""
+        return divmod(coordinate, 12)
+
+    # internal couplers: for every vertical qubit, walk the 12 grid rows
+    # its segment covers and attach to the horizontal qubit crossing there.
+    for w in range(m):
+        for k in range(12):
+            x = 12 * w + k
+            for z in range(span):
+                y_lo = 12 * z + OFFSETS[k]
+                for y in range(y_lo, y_lo + 12):
+                    wh, kh = divmod(y, 12)
+                    if wh >= m:
+                        continue
+                    # horizontal qubit at row y covering column x needs
+                    # z' with 12 z' + S[kh] <= x < 12 z' + S[kh] + 12
+                    zh, rem = divmod(x - OFFSETS[kh], 12)
+                    if 0 <= zh < span:
+                        g.add_edge(label(0, w, k, z), label(1, wh, kh, zh))
+
+    # external couplers: colinear qubits in consecutive parallel tiles
+    for u in range(2):
+        for w in range(m):
+            for k in range(12):
+                for z in range(span - 1):
+                    a, b = label(u, w, k, z), label(u, w, k, z + 1)
+                    if g.has_node(a) and g.has_node(b):
+                        g.add_edge(a, b)
+
+    # odd couplers: parallel neighbours within the same tile
+    for u in range(2):
+        for w in range(m):
+            for j in range(6):
+                for z in range(span):
+                    a, b = label(u, w, 2 * j, z), label(u, w, 2 * j + 1, z)
+                    if g.has_node(a) and g.has_node(b):
+                        g.add_edge(a, b)
+
+    # drop boundary qubits with no internal couplers (fabric trimming):
+    # vertical k∈{0,1} at w=0, vertical k∈{10,11} at w=m-1, and the
+    # horizontal mirror images.
+    fabricless = []
+    for u in range(2):
+        for k in (0, 1):
+            for z in range(span):
+                fabricless.append(label(u, 0, k, z))
+        for k in (10, 11):
+            for z in range(span):
+                fabricless.append(label(u, m - 1, k, z))
+    g.remove_nodes_from(fabricless)
+    return g
+
+
+def advantage_graph() -> nx.Graph:
+    """The P16 topology of the D-Wave Advantage (5640 qubits)."""
+    return pegasus_graph(16)
+
+
+def pegasus_node_count(m: int) -> int:
+    """Closed-form fabric size: ``24m(m-1) - 8(m-1)``."""
+    return 24 * m * (m - 1) - 8 * (m - 1)

@@ -1,0 +1,111 @@
+"""Sample sets: collections of solver samples with energies.
+
+A light-weight analogue of ``dimod.SampleSet``: an ordered collection
+of (assignment, energy, occurrences) records shared by every sampler in
+the package (simulated annealing, exact, composites, and the
+sampler-style interface of the brute-force QUBO solver).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.qubo.bqm import Vartype
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One sample with its energy and multiplicity."""
+
+    sample: Dict[Hashable, int]
+    energy: float
+    num_occurrences: int = 1
+    #: fraction of chains broken during unembedding (composites only)
+    chain_break_fraction: float = 0.0
+
+
+class SampleSet:
+    """An energy-sorted collection of samples."""
+
+    def __init__(self, records: Sequence[SampleRecord], vartype: Vartype) -> None:
+        self._records: List[SampleRecord] = sorted(records, key=lambda r: r.energy)
+        self.vartype = vartype
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[Dict[Hashable, int]],
+        energies: Sequence[float],
+        vartype: Vartype,
+        num_occurrences: Optional[Sequence[int]] = None,
+        chain_break_fractions: Optional[Sequence[float]] = None,
+    ) -> "SampleSet":
+        """Build a sample set from parallel sequences."""
+        if len(samples) != len(energies):
+            raise SolverError("samples and energies must have equal length")
+        occurrences = num_occurrences or [1] * len(samples)
+        breaks = chain_break_fractions or [0.0] * len(samples)
+        records = [
+            SampleRecord(dict(s), float(e), int(o), float(b))
+            for s, e, o, b in zip(samples, energies, occurrences, breaks)
+        ]
+        return cls(records, vartype)
+
+    # ------------------------------------------------------------------
+    @property
+    def first(self) -> SampleRecord:
+        """The lowest-energy record."""
+        if not self._records:
+            raise SolverError("sample set is empty")
+        return self._records[0]
+
+    @property
+    def records(self) -> List[SampleRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SampleRecord]:
+        return iter(self._records)
+
+    def energies(self) -> np.ndarray:
+        """All energies, ascending."""
+        return np.array([r.energy for r in self._records], dtype=float)
+
+    def lowest(self, atol: float = 1e-9) -> "SampleSet":
+        """The subset of records tied with the minimum energy."""
+        if not self._records:
+            return SampleSet([], self.vartype)
+        best = self._records[0].energy
+        ties = [r for r in self._records if r.energy <= best + atol]
+        return SampleSet(ties, self.vartype)
+
+    def aggregate(self) -> "SampleSet":
+        """Merge duplicate samples, summing occurrences."""
+        seen: Dict[tuple, SampleRecord] = {}
+        for r in self._records:
+            key = tuple(sorted(r.sample.items(), key=lambda kv: str(kv[0])))
+            if key in seen:
+                prev = seen[key]
+                seen[key] = SampleRecord(
+                    prev.sample,
+                    prev.energy,
+                    prev.num_occurrences + r.num_occurrences,
+                    max(prev.chain_break_fraction, r.chain_break_fraction),
+                )
+            else:
+                seen[key] = r
+        return SampleSet(list(seen.values()), self.vartype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._records:
+            return "SampleSet(empty)"
+        return (
+            f"SampleSet({len(self._records)} records, "
+            f"best energy {self._records[0].energy:g}, {self.vartype.name})"
+        )

@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    Run paper-reproduction experiment drivers by name (or ``all``)
+    and print their tables.
+``solve-mqo``
+    Generate a random MQO instance and solve it on the chosen path.
+``solve-join``
+    Generate a query graph and solve the join ordering problem.
+``info``
+    Show the package's system inventory and reproduction targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro import __version__
+
+
+def _experiment_registry() -> Dict[str, Callable]:
+    from repro.experiments.coherence_thresholds import run_coherence_thresholds
+    from repro.experiments.jo_depths import run_figure13_qaoa, run_figure13_vqe
+    from repro.experiments.jo_embedding import run_figure14_left, run_figure14_right
+    from repro.experiments.jo_direct import run_direct_vs_two_step
+    from repro.experiments.jo_qubits import run_figure11, run_figure12
+    from repro.experiments.jo_table4 import run_table4
+    from repro.experiments.mqo_annealer import run_mqo_annealer_capacity
+    from repro.experiments.mqo_depths import run_figure8, run_figure9
+    from repro.experiments.noise_study import run_noise_study
+    from repro.experiments.penalty_gap import run_penalty_gap_study
+    from repro.experiments.quality import run_join_order_quality, run_mqo_quality
+    from repro.experiments.tables import run_table_3, run_tables_1_2
+
+    return {
+        "tables12": run_tables_1_2,
+        "table3": run_table_3,
+        "table4": run_table4,
+        "fig8": run_figure8,
+        "fig9": run_figure9,
+        "fig11": run_figure11,
+        "fig12": run_figure12,
+        "fig13-qaoa": run_figure13_qaoa,
+        "fig13-vqe": run_figure13_vqe,
+        "fig14-left": run_figure14_left,
+        "fig14-right": run_figure14_right,
+        "coherence": run_coherence_thresholds,
+        "quality-mqo": run_mqo_quality,
+        "quality-join": run_join_order_quality,
+        "mqo-annealer": run_mqo_annealer_capacity,
+        "noise": run_noise_study,
+        "jo-direct": run_direct_vs_two_step,
+        "penalty-gap": run_penalty_gap_study,
+    }
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.name == "list":
+        for name in registry:
+            print(name)
+        return 0
+    names = list(registry) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(registry)}", file=sys.stderr)
+        return 2
+    for name in names:
+        table = registry[name]()
+        print(table.format())
+        print()
+    return 0
+
+
+def _cmd_solve_mqo(args: argparse.Namespace) -> int:
+    from repro.mqo import (
+        random_mqo_problem,
+        solve_exhaustive,
+        solve_genetic,
+        solve_greedy_local,
+        solve_with_annealer,
+        solve_with_minimum_eigen,
+    )
+    from repro.variational import QAOA, Cobyla
+
+    problem = random_mqo_problem(args.queries, args.ppq, seed=args.seed)
+    print(
+        f"instance: {problem.num_queries} queries x {args.ppq} plans "
+        f"({problem.num_plans} total, {len(problem.savings)} savings)"
+    )
+    if args.solver == "greedy":
+        solution = solve_greedy_local(problem)
+    elif args.solver == "exhaustive":
+        solution = solve_exhaustive(problem)
+    elif args.solver == "genetic":
+        solution = solve_genetic(problem, seed=args.seed)
+    elif args.solver == "annealing":
+        solution = solve_with_annealer(problem, seed=args.seed)
+    else:  # qaoa
+        solution = solve_with_minimum_eigen(
+            problem, QAOA(optimizer=Cobyla(maxiter=150), seed=args.seed)
+        )
+    print(f"{args.solver}: plans {solution.selected_plans} cost {solution.cost:g}")
+    return 0
+
+
+def _cmd_solve_join(args: argparse.Namespace) -> int:
+    from repro.joinorder import (
+        JoinOrderQuantumPipeline,
+        chain_query,
+        clique_query,
+        cycle_query,
+        solve_dp_left_deep,
+        solve_genetic,
+        solve_greedy,
+        star_query,
+    )
+    from repro.joinorder.direct_qubo import (
+        DirectJoinOrderQubo,
+        solve_direct_with_annealer,
+    )
+    from repro.joinorder.ikkbz import solve_ikkbz
+
+    makers = {
+        "chain": chain_query,
+        "star": star_query,
+        "cycle": cycle_query,
+        "clique": clique_query,
+    }
+    graph = makers[args.shape](args.relations, seed=args.seed)
+    print(
+        f"query: {args.shape} over {graph.num_relations} relations "
+        f"({graph.num_predicates} predicates)"
+    )
+    if args.solver == "dp":
+        result = solve_dp_left_deep(graph)
+    elif args.solver == "ikkbz":
+        result = solve_ikkbz(graph)
+    elif args.solver == "greedy":
+        result = solve_greedy(graph)
+    elif args.solver == "genetic":
+        result = solve_genetic(graph, seed=args.seed)
+    elif args.solver == "qubo-annealing":
+        pipeline = JoinOrderQuantumPipeline(graph, precision_exponent=0)
+        report = pipeline.report()
+        print(
+            f"two-step encoding: {report.num_qubits} qubits, "
+            f"{report.num_quadratic_terms} quadratic terms"
+        )
+        result = pipeline.solve_with_annealer(num_reads=args.reads, seed=args.seed)
+    else:  # direct-qubo
+        builder = DirectJoinOrderQubo(graph)
+        print(f"direct encoding: {builder.num_qubits} qubits")
+        result = solve_direct_with_annealer(
+            builder, num_reads=args.reads, seed=args.seed
+        )
+    print(f"{args.solver}: {' >> '.join(result.order)}  C_out = {result.cost:,.0f}")
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    import repro
+
+    print(repro.__doc__)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantum computing for database query optimization "
+        "(SIGMOD 2022 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = sub.add_parser(
+        "experiments", help="run paper-reproduction experiments"
+    )
+    experiments.add_argument(
+        "name",
+        help="experiment name, 'all', or 'list'",
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
+    mqo = sub.add_parser("solve-mqo", help="solve a random MQO instance")
+    mqo.add_argument("--queries", type=int, default=3)
+    mqo.add_argument("--ppq", type=int, default=3)
+    mqo.add_argument("--seed", type=int, default=0)
+    mqo.add_argument(
+        "--solver",
+        choices=("greedy", "exhaustive", "genetic", "annealing", "qaoa"),
+        default="annealing",
+    )
+    mqo.set_defaults(func=_cmd_solve_mqo)
+
+    join = sub.add_parser("solve-join", help="solve a join ordering problem")
+    join.add_argument("--shape", choices=("chain", "star", "cycle", "clique"), default="chain")
+    join.add_argument("--relations", type=int, default=6)
+    join.add_argument("--seed", type=int, default=0)
+    join.add_argument("--reads", type=int, default=100)
+    join.add_argument(
+        "--solver",
+        choices=("dp", "ikkbz", "greedy", "genetic", "qubo-annealing", "direct-qubo"),
+        default="dp",
+    )
+    join.set_defaults(func=_cmd_solve_join)
+
+    info = sub.add_parser("info", help="package overview")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the package raises with a single ``except`` clause while
+still being able to discriminate on the specific failure mode.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ModelError(ReproError):
+    """An optimization model (QUBO, BQM, MILP, ...) was built or used
+    inconsistently — e.g. referencing an unknown variable or adding a
+    constraint with a malformed sense."""
+
+
+class VariableError(ModelError):
+    """A variable name is unknown, duplicated, or of the wrong type."""
+
+
+class SolverError(ReproError):
+    """A solver failed to produce a solution (infeasible model, iteration
+    limit, numerical failure in the LP relaxation, ...)."""
+
+
+class InfeasibleError(SolverError):
+    """The model was proven infeasible."""
+
+
+class CircuitError(ReproError):
+    """A quantum circuit was constructed or manipulated inconsistently —
+    e.g. a gate applied to an out-of-range qubit or duplicate qubits."""
+
+
+class TranspilerError(ReproError):
+    """Transpilation failed — e.g. the circuit needs more qubits than the
+    target coupling map provides."""
+
+
+class BackendError(ReproError):
+    """A backend cannot run the requested job (too many qubits, unknown
+    basis gate, ...)."""
+
+
+class EmbeddingError(ReproError):
+    """No minor embedding could be found for a source graph onto the
+    target hardware topology."""
+
+
+class ProblemError(ReproError):
+    """A query-optimization problem instance is malformed — e.g. an MQO
+    plan referencing an unknown query, or a join predicate referencing an
+    unknown relation."""

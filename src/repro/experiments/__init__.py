@@ -1,0 +1,30 @@
+"""Experiment drivers reproducing the paper's tables and figures.
+
+One module per artifact; each exposes a ``run(...)`` function returning
+an :class:`~repro.experiments.common.ExperimentTable` whose rows mirror
+the series plotted/tabulated in the paper:
+
+====================  ==================================================
+Module                 Artifact
+====================  ==================================================
+tables                 Tables 1–3 (worked MQO and join-ordering examples)
+mqo_depths             Figures 8 and 9 (MQO circuit depths, QAOA vs VQE)
+jo_qubits              Figures 11 and 12 (join-ordering qubit scaling)
+jo_table4              Table 4 (three 30-qubit join-ordering instances)
+jo_depths              Figure 13 (join-ordering circuit depths)
+jo_embedding           Figure 14 (physical qubits on the Pegasus P16)
+coherence_thresholds   Eqs. 37/55 (maximum reliable depths)
+quality                solution-quality sanity checks (beyond paper scope)
+jo_direct              extension: direct vs two-step QUBO (Sec. 7)
+noise_study            extension: the coherence cliff observed (Eq. 36)
+mqo_annealer           extension: MQO capacity on the D-Wave 2X (Sec. 5.3.1)
+====================  ==================================================
+
+Sample counts default to laptop-friendly values and scale up through
+the ``REPRO_BENCH_SAMPLES`` environment variable (the paper uses 20
+samples per point).
+"""
+
+from repro.experiments.common import ExperimentTable, bench_samples
+
+__all__ = ["ExperimentTable", "bench_samples"]

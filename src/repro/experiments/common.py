@@ -1,0 +1,76 @@
+"""Shared infrastructure for the experiment drivers."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def bench_samples(default: int = 5) -> int:
+    """Per-point sample count for stochastic experiments.
+
+    The paper averages 20 samples per data point; the benchmarks
+    default lower so the suite runs in minutes.  Override with
+    ``REPRO_BENCH_SAMPLES=20`` for paper-fidelity smoothing.
+    """
+    value = os.environ.get("REPRO_BENCH_SAMPLES")
+    if value is None:
+        return default
+    return max(1, int(value))
+
+
+def bench_scale() -> str:
+    """Experiment-grid scale: ``small`` (default) or ``full``.
+
+    ``REPRO_BENCH_SCALE=full`` runs the paper's complete grids (the
+    Figure 14 embedding sweep in particular takes tens of minutes).
+    """
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@dataclass
+class ExperimentTable:
+    """A printable experiment result: named columns, row dicts."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (rows missing the key excluded)."""
+        return [row[name] for row in self.rows if name in row]
+
+    def format(self) -> str:
+        """Render as an aligned text table."""
+        headers = list(self.columns)
+        body = [
+            [self._fmt(row.get(col, "")) for col in headers] for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        for r in body:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value: Any) -> str:
+        if isinstance(value, float):
+            if value == int(value) and abs(value) < 1e15:
+                return str(int(value))
+            return f"{value:.2f}"
+        return str(value)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.format())

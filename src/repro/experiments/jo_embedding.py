@@ -1,0 +1,195 @@
+"""Figure 14: physical-qubit requirements on the D-Wave Advantage
+(Pegasus P16) for the join-ordering QUBO (paper Sec. 6.3.5).
+
+For each problem configuration the QUBO's interaction graph is
+heuristically minor-embedded onto the P16 several times; the mean
+*physical* qubit count (sum of chain lengths) is reported, and a point
+is marked unreliable when fewer than half the attempts succeed — the
+paper's criterion for "an embedding can no longer reliably be found".
+
+* left chart — relations 6..14, predicates P ∈ {J, 2J, 3J}
+  (R = 1, ω = 1, no pruning);
+* right chart — T = 8, P = J, growing threshold counts for
+  ω ∈ {1, 0.01, 0.0001}.
+
+The default grids are trimmed (the full sweep embeds thousand-node
+graphs and takes tens of minutes); set ``REPRO_BENCH_SCALE=full`` for
+the paper's ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.annealing.embedding import find_embedding
+from repro.annealing.pegasus import pegasus_graph, pegasus_node_count
+from repro.experiments.common import ExperimentTable, bench_samples, bench_scale
+from repro.joinorder.generators import uniform_query
+from repro.joinorder.pipeline import JoinOrderQuantumPipeline
+
+_PEGASUS_CACHE: dict = {}
+
+
+def _pegasus_window(num_logical: int) -> Tuple[int, object]:
+    """A Pegasus sub-window large enough for the instance.
+
+    Any embedding into ``P(m')`` is a valid embedding into the full
+    ``P16`` (the crossing rule defining internal couplers is local, so
+    ``P(m')`` is a subgraph of ``P16``); restricting the Dijkstra
+    searches to a window sized ~12x the logical count keeps the pure-
+    Python heuristic tractable without changing what is reported.
+    """
+    target_m = 16
+    for m in range(4, 17):
+        if pegasus_node_count(m) >= 12 * num_logical + 200:
+            target_m = m
+            break
+    if target_m not in _PEGASUS_CACHE:
+        _PEGASUS_CACHE[target_m] = pegasus_graph(target_m)
+    return target_m, _PEGASUS_CACHE[target_m]
+
+
+def _embedding_stats(
+    pipeline: JoinOrderQuantumPipeline,
+    samples: int,
+    seed: int,
+    tries: int = 2,
+) -> Tuple[Optional[float], float, int]:
+    """(mean physical qubits, success rate, logical qubits)."""
+    source = pipeline.bqm.interaction_graph()
+    _, target = _pegasus_window(source.number_of_nodes())
+    rng = np.random.default_rng(seed)
+    physical = []
+    for _ in range(samples):
+        result = find_embedding(
+            source,
+            target,
+            tries=tries,
+            seed=int(rng.integers(0, 2**31)),
+            stop_at_first=True,
+        )
+        if result is not None:
+            physical.append(result.num_physical_qubits)
+    rate = len(physical) / samples if samples else 0.0
+    mean = float(np.mean(physical)) if physical else None
+    return mean, rate, source.number_of_nodes()
+
+
+def run_figure14_left(
+    relation_counts: Optional[Sequence[int]] = None,
+    predicate_multiples: Optional[Sequence[int]] = None,
+    samples: Optional[int] = None,
+    seed: int = 31,
+) -> ExperimentTable:
+    """Figure 14 (left): physical qubits vs relations and predicates."""
+    samples = samples or bench_samples(2)
+    full = bench_scale() == "full"
+    if relation_counts is None:
+        relation_counts = (6, 8, 10, 12, 14) if full else (5, 6)
+    if predicate_multiples is None:
+        predicate_multiples = (1, 2, 3) if full else (1, 2)
+    table = ExperimentTable(
+        title="Figure 14 (left) - physical qubits on Pegasus P16",
+        columns=[
+            "relations",
+            "P/J",
+            "logical qubits",
+            "mean physical qubits",
+            "success rate",
+        ],
+        notes=(
+            "Paper shape: physical demand grows superlinearly with relations "
+            "and predicates; embeddings stop being reliable around 14 "
+            "relations for P=J (10 for P=3J)."
+        ),
+    )
+    for t in relation_counts:
+        j = t - 1
+        for multiple in predicate_multiples:
+            if multiple * j > t * (t - 1) // 2:
+                continue  # more predicates than relation pairs
+            graph = uniform_query(t, multiple * j, cardinality=10.0, seed=seed)
+            pipeline = JoinOrderQuantumPipeline(
+                graph, thresholds=[10.0], precision_exponent=0, prune_thresholds=False
+            )
+            mean, rate, logical = _embedding_stats(
+                pipeline, samples, seed + 101 * t + multiple
+            )
+            table.add_row(
+                relations=t,
+                **{
+                    "P/J": multiple,
+                    "logical qubits": logical,
+                    "mean physical qubits": (
+                        round(mean, 1) if mean is not None else "unreliable"
+                    ),
+                    "success rate": round(rate, 2),
+                },
+            )
+    return table
+
+
+def run_figure14_right(
+    threshold_counts: Optional[Sequence[int]] = None,
+    omegas: Sequence[float] = (1.0, 0.01, 0.0001),
+    num_relations: Optional[int] = None,
+    samples: Optional[int] = None,
+    seed: int = 37,
+) -> ExperimentTable:
+    """Figure 14 (right): physical qubits vs thresholds and ω.
+
+    The paper uses T = 8; the trimmed default grid drops to T = 6 so
+    the suite stays laptop-sized (``REPRO_BENCH_SCALE=full`` restores
+    the paper's configuration).
+    """
+    samples = samples or bench_samples(2)
+    if threshold_counts is None:
+        threshold_counts = (1, 3, 5, 7) if bench_scale() == "full" else (1, 2)
+    if num_relations is None:
+        num_relations = 8 if bench_scale() == "full" else 5
+    table = ExperimentTable(
+        title=(
+            f"Figure 14 (right) - physical qubits vs thresholds and ω "
+            f"(T={num_relations}, P=J)"
+        ),
+        columns=[
+            "thresholds",
+            "omega",
+            "logical qubits",
+            "mean physical qubits",
+            "success rate",
+        ],
+        notes=(
+            "Paper shape: more thresholds / smaller ω sharply raise physical "
+            "demand (ω=1: 898 → 1845 from 1 to 7 thresholds); ω=0.0001 "
+            "becomes unreliable beyond ~4 thresholds."
+        ),
+    )
+    exponents = {1.0: 0, 0.01: 2, 0.0001: 4}
+    for r in threshold_counts:
+        thresholds = [10.0 * (2.0 ** k) for k in range(r)]
+        for omega in omegas:
+            graph = uniform_query(num_relations, num_relations - 1, seed=seed)
+            pipeline = JoinOrderQuantumPipeline(
+                graph,
+                thresholds=thresholds,
+                precision_exponent=exponents[omega],
+                prune_thresholds=False,
+            )
+            mean, rate, logical = _embedding_stats(
+                pipeline, samples, seed + 13 * r + exponents[omega]
+            )
+            table.add_row(
+                thresholds=r,
+                omega=omega,
+                **{
+                    "logical qubits": logical,
+                    "mean physical qubits": (
+                        round(mean, 1) if mean is not None else "unreliable"
+                    ),
+                    "success rate": round(rate, 2),
+                },
+            )
+    return table

@@ -1,0 +1,73 @@
+"""Figures 11 and 12: logical-qubit scaling of the join-ordering
+encoding.
+
+Pure evaluations of the Sec. 6.3.1 bounds (verified elsewhere to match
+the model builder exactly in no-pruning mode):
+
+* Figure 11 — qubits vs relation count for P ∈ {J, 2J, 3J}
+  (R = 1, ω = 1, all cardinalities 10);
+* Figure 12 — qubits vs threshold count for ω ∈ {1, 0.01, 0.0001}
+  (T = 20, P = J = 19).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.qubit_counts import JoinOrderQubitBounds
+from repro.experiments.common import ExperimentTable
+
+
+def run_figure11(
+    relation_counts: Sequence[int] = tuple(range(6, 43, 4)),
+) -> ExperimentTable:
+    """Figure 11: qubits vs number of relations and predicates."""
+    table = ExperimentTable(
+        title="Figure 11 - join ordering qubit scaling (R=1, ω=1, card 10)",
+        columns=["relations", "qubits P=J", "qubits P=2J", "qubits P=3J"],
+        notes=(
+            "Paper landmarks: T=42/P=J ≈ 10,000 qubits; doubling predicates "
+            "adds ~50% more qubits at T=42."
+        ),
+    )
+    for t in relation_counts:
+        j = t - 1
+        row = {"relations": t}
+        for multiple in (1, 2, 3):
+            bounds = JoinOrderQubitBounds(
+                num_relations=t,
+                num_predicates=multiple * j,
+                num_thresholds=1,
+                omega=1.0,
+            )
+            row[f"qubits P={multiple}J" if multiple > 1 else "qubits P=J"] = bounds.total
+        table.add_row(**row)
+    return table
+
+
+def run_figure12(
+    threshold_counts: Sequence[int] = tuple(range(2, 21, 2)),
+    num_relations: int = 20,
+) -> ExperimentTable:
+    """Figure 12: qubits vs threshold count and precision factor ω."""
+    table = ExperimentTable(
+        title="Figure 12 - qubit scaling vs thresholds and ω (T=20, P=J)",
+        columns=["thresholds", "qubits ω=1", "qubits ω=0.01", "qubits ω=0.0001"],
+        notes=(
+            "Paper landmarks: ω=0.01 grows ~94% from 2 to 14 thresholds; at "
+            "20 thresholds ω=0.0001 needs more than twice the ω=1 qubits."
+        ),
+    )
+    p = num_relations - 1
+    for r in threshold_counts:
+        row = {"thresholds": r}
+        for omega in (1.0, 0.01, 0.0001):
+            bounds = JoinOrderQubitBounds(
+                num_relations=num_relations,
+                num_predicates=p,
+                num_thresholds=r,
+                omega=omega,
+            )
+            row[f"qubits ω={omega:g}"] = bounds.total
+        table.add_row(**row)
+    return table

@@ -1,0 +1,109 @@
+"""Extension experiment: observing the coherence cliff (Eq. 36/37).
+
+The paper argues analytically that circuits deeper than
+``d_max = min(T1,T2)/g_avg`` cannot be executed reliably.  This
+experiment *simulates* that claim: the same small MQO instance is
+solved by QAOA with increasing repetition counts p (deeper and deeper
+circuits); each optimal circuit is then executed under the stochastic
+noise model with Mumbai-style decoherence, and the probability of
+measuring the true optimum is recorded.
+
+Expected shape: noiseless success probability grows (or holds) with p,
+while the noisy success probability decays with the circuit depth —
+the depth-vs-fidelity trade-off that makes the paper fix p = 1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.experiments.common import ExperimentTable
+from repro.gate.backend import fake_mumbai
+from repro.gate.noise import NoiseModel, sample_with_noise
+from repro.mqo.generator import random_mqo_problem
+from repro.mqo.qubo import MqoQuboBuilder
+from repro.qubo import brute_force_minimum
+from repro.variational import QAOA, Cobyla
+from repro.variational.hamiltonian import IsingHamiltonian
+from repro.variational.minimum_eigen import MinimumEigenOptimizer
+
+
+def run_noise_study(
+    reps_values=(1, 2, 3),
+    shots: int = 512,
+    trajectories: int = 6,
+    seed: int = 17,
+) -> ExperimentTable:
+    """Success probability of QAOA under decoherence vs circuit depth."""
+    problem = random_mqo_problem(2, 2, seed=seed)
+    builder = MqoQuboBuilder(problem)
+    bqm = builder.build()
+    hamiltonian = IsingHamiltonian.from_bqm(bqm)
+    ground_index, ground_energy = hamiltonian.ground_state()
+    exact = brute_force_minimum(bqm)
+    width = hamiltonian.num_qubits
+
+    properties = fake_mumbai().properties
+    # amplified decoherence: the demo circuit is far shallower than a
+    # real MQO circuit, so the gate time is scaled to land the deeper
+    # variants beyond the coherence knee while keeping p=1 viable
+    scaled = type(properties)(
+        t1_ns=properties.t1_ns,
+        t2_ns=properties.t2_ns,
+        avg_gate_time_ns=properties.avg_gate_time_ns * 15,
+    )
+    noise = NoiseModel(gate_error=2e-3, readout_error=0.01, properties=scaled)
+
+    table = ExperimentTable(
+        title="Noise study - QAOA success probability vs depth (Eq. 36)",
+        columns=[
+            "p",
+            "depth",
+            "p_decoherence",
+            "success noiseless",
+            "success noisy",
+            "retention",
+        ],
+        notes=(
+            "Shape: deeper circuits accumulate decoherence (Eq. 36), so "
+            "the fraction of the noiseless success probability that "
+            "survives noise (retention) decays with depth — the paper's "
+            "reason to keep p = 1 on NISQ devices."
+        ),
+    )
+    rng = np.random.default_rng(seed)
+    for reps in reps_values:
+        solver = QAOA(optimizer=Cobyla(maxiter=150), reps=reps, seed=seed)
+        result = MinimumEigenOptimizer(solver).solve(bqm)
+        circuit = result.optimal_circuit
+        depth = circuit.depth()
+
+        clean_counts = sample_with_noise(
+            circuit, NoiseModel(), shots=shots, trajectories=1, seed=int(rng.integers(2**31))
+        )
+        noisy_counts = sample_with_noise(
+            circuit, noise, shots=shots, trajectories=trajectories,
+            seed=int(rng.integers(2**31)),
+        )
+
+        def success(counts) -> float:
+            hits = sum(
+                c for b, c in counts.items() if int(b, 2) == ground_index
+            )
+            return hits / max(sum(counts.values()), 1)
+
+        clean = success(clean_counts)
+        noisy = success(noisy_counts)
+        table.add_row(
+            p=reps,
+            depth=depth,
+            p_decoherence=round(noise.decoherence_probability(depth), 3),
+            **{
+                "success noiseless": round(clean, 3),
+                "success noisy": round(noisy, 3),
+                "retention": round(noisy / clean, 3) if clean > 0 else 0.0,
+            },
+        )
+    return table

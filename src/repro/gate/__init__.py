@@ -1,0 +1,52 @@
+"""Gate-model quantum computing substrate.
+
+Implements the pieces of the Qiskit stack the paper relies on
+(Sec. 5.2/6.2): parameterized quantum circuits, a statevector simulator,
+IBM-Q-style coupling maps (heavy-hex Mumbai/Brooklyn), and a transpiler
+that performs qubit layout, swap routing and translation to the IBM-Q
+basis gate set ``{cx, rz, sx, x}``.
+"""
+
+from repro.gate.parameter import Parameter, ParameterExpression
+from repro.gate.gates import Gate, standard_gate_matrix
+from repro.gate.circuit import Instruction, QuantumCircuit
+from repro.gate.statevector import Statevector, sample_counts
+from repro.gate.topologies import (
+    CouplingMap,
+    brooklyn_coupling_map,
+    full_coupling_map,
+    grid_coupling_map,
+    line_coupling_map,
+    mumbai_coupling_map,
+)
+from repro.gate.backend import (
+    Backend,
+    BackendProperties,
+    fake_brooklyn,
+    fake_mumbai,
+    qasm_simulator,
+)
+from repro.gate.transpiler import transpile
+
+__all__ = [
+    "Parameter",
+    "ParameterExpression",
+    "Gate",
+    "standard_gate_matrix",
+    "Instruction",
+    "QuantumCircuit",
+    "Statevector",
+    "sample_counts",
+    "CouplingMap",
+    "brooklyn_coupling_map",
+    "full_coupling_map",
+    "grid_coupling_map",
+    "line_coupling_map",
+    "mumbai_coupling_map",
+    "Backend",
+    "BackendProperties",
+    "fake_brooklyn",
+    "fake_mumbai",
+    "qasm_simulator",
+    "transpile",
+]

@@ -1,0 +1,137 @@
+"""Backends: execution targets with device calibration data.
+
+A :class:`Backend` bundles a coupling map with
+:class:`BackendProperties` — the T1/T2 coherence times and average gate
+time the paper reads off the IBM-Q calibration pages and feeds into its
+reliability thresholds (Eqs. 36–37 and 55).
+
+The fake backends freeze the calibration values quoted in the paper so
+its arithmetic reproduces exactly:
+
+* Mumbai (Sec. 5.3.2): T1 = 117.22 µs, T2 = 118.47 µs,
+  g_avg = 471.111 ns  →  d_max = 248.
+* Brooklyn (Sec. 6.3.4): T1 = 66.02 µs, T2 = 79.44 µs,
+  g_avg = 370.469 ns  →  d_max = 178.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import BackendError
+from repro.gate.circuit import QuantumCircuit
+from repro.gate.statevector import Statevector
+from repro.gate.topologies import (
+    CouplingMap,
+    brooklyn_coupling_map,
+    full_coupling_map,
+    mumbai_coupling_map,
+)
+
+
+@dataclass(frozen=True)
+class BackendProperties:
+    """Calibration summary of a device.
+
+    Times are in nanoseconds to keep the threshold arithmetic integral.
+    """
+
+    t1_ns: float
+    t2_ns: float
+    avg_gate_time_ns: float
+
+    @property
+    def min_coherence_ns(self) -> float:
+        """The binding coherence time, ``min(T1, T2)``."""
+        return min(self.t1_ns, self.t2_ns)
+
+    def max_reliable_depth(self) -> int:
+        """Maximum circuit depth executable within coherence (Eq. 37).
+
+        ``d_max = floor(min(T1, T2) / g_avg)`` — the paper's threshold
+        beyond which decoherence errors dominate.
+        """
+        return int(math.floor(self.min_coherence_ns / self.avg_gate_time_ns))
+
+    def decoherence_error_probability(self, depth: int) -> float:
+        """``p_err = 1 - exp(-t / T)`` for a circuit of given depth (Eq. 36)."""
+        t = depth * self.avg_gate_time_ns
+        return 1.0 - math.exp(-t / self.min_coherence_ns)
+
+
+class Backend:
+    """An execution target: topology + calibration + simulator."""
+
+    def __init__(
+        self,
+        name: str,
+        coupling_map: CouplingMap,
+        properties: Optional[BackendProperties] = None,
+        max_qubits: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.coupling_map = coupling_map
+        self.properties = properties
+        self.max_qubits = max_qubits or coupling_map.num_qubits
+
+    @property
+    def num_qubits(self) -> int:
+        return self.coupling_map.num_qubits
+
+    def run_statevector(self, circuit: QuantumCircuit) -> Statevector:
+        """Exact simulation of a (bound) circuit on this backend."""
+        if circuit.num_qubits > self.max_qubits:
+            raise BackendError(
+                f"{self.name} supports at most {self.max_qubits} qubits, "
+                f"circuit uses {circuit.num_qubits}"
+            )
+        return Statevector.from_circuit(circuit)
+
+    def run_counts(
+        self, circuit: QuantumCircuit, shots: int = 1024, seed: Optional[int] = None
+    ) -> Dict[str, int]:
+        """Simulate and sample measurement counts."""
+        rng = np.random.default_rng(seed)
+        return self.run_statevector(circuit).sample(shots, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Backend({self.name!r}, {self.num_qubits} qubits)"
+
+
+# ----------------------------------------------------------------------
+# Factory functions for the devices the paper evaluates
+# ----------------------------------------------------------------------
+def fake_mumbai() -> Backend:
+    """IBM-Q Mumbai as calibrated in the paper (27 qubits, d_max=248)."""
+    return Backend(
+        "mumbai",
+        mumbai_coupling_map(),
+        BackendProperties(
+            t1_ns=117_220.0, t2_ns=118_470.0, avg_gate_time_ns=471.111
+        ),
+    )
+
+
+def fake_brooklyn() -> Backend:
+    """IBM-Q Brooklyn as calibrated in the paper (65 qubits, d_max=178)."""
+    return Backend(
+        "brooklyn",
+        brooklyn_coupling_map(),
+        BackendProperties(
+            t1_ns=66_020.0, t2_ns=79_440.0, avg_gate_time_ns=370.469
+        ),
+    )
+
+
+def qasm_simulator(num_qubits: int = 32) -> Backend:
+    """The all-to-all 32-qubit simulator backend (paper Sec. 3.6.1)."""
+    return Backend(
+        "qasm_simulator",
+        full_coupling_map(num_qubits),
+        properties=None,
+        max_qubits=32,
+    )

@@ -1,0 +1,303 @@
+"""Quantum circuits: ordered gate lists with DAG-style depth analysis.
+
+The :class:`QuantumCircuit` mirrors the subset of Qiskit's circuit API
+the paper's experiments need — gate-append helpers, ``depth()`` (the
+metric of Figures 8/9/13), ``count_ops()``, composition, copying, and
+parameter binding for the variational algorithms.
+
+Depth is computed as Qiskit computes it: the length of the longest path
+through the circuit DAG where every instruction (regardless of arity)
+contributes one unit on each qubit it touches.  Barriers synchronise
+qubits but add no depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import CircuitError
+from repro.gate.gates import Gate
+from repro.gate.parameter import (
+    Parameter,
+    ParameterValue,
+    parameters_of,
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate application: a gate plus the qubit indices it acts on."""
+
+    gate: Gate
+    qubits: Tuple[int, ...]
+
+    @property
+    def name(self) -> str:
+        return self.gate.name
+
+
+class QuantumCircuit:
+    """A fixed-width quantum circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width.  All qubit arguments must lie in
+        ``range(num_qubits)``.
+    name:
+        Optional display name.
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 0:
+            raise CircuitError("num_qubits must be non-negative")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Generic append + gate helpers
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate, qubits: Sequence[int]) -> None:
+        """Append a gate on the given qubits."""
+        qubits = tuple(int(q) for q in qubits)
+        if gate.name == "barrier":
+            if not qubits:
+                qubits = tuple(range(self.num_qubits))
+        elif len(qubits) != gate.num_qubits:
+            raise CircuitError(
+                f"gate {gate.name!r} expects {gate.num_qubits} qubits, got {len(qubits)}"
+            )
+        if len(set(qubits)) != len(qubits):
+            raise CircuitError(f"duplicate qubits {qubits} for gate {gate.name!r}")
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(
+                    f"qubit {q} out of range for {self.num_qubits}-qubit circuit"
+                )
+        self._instructions.append(Instruction(gate, qubits))
+
+    def id(self, q: int) -> None:
+        self.append(Gate("id"), (q,))
+
+    def x(self, q: int) -> None:
+        self.append(Gate("x"), (q,))
+
+    def y(self, q: int) -> None:
+        self.append(Gate("y"), (q,))
+
+    def z(self, q: int) -> None:
+        self.append(Gate("z"), (q,))
+
+    def h(self, q: int) -> None:
+        self.append(Gate("h"), (q,))
+
+    def s(self, q: int) -> None:
+        self.append(Gate("s"), (q,))
+
+    def sdg(self, q: int) -> None:
+        self.append(Gate("sdg"), (q,))
+
+    def t(self, q: int) -> None:
+        self.append(Gate("t"), (q,))
+
+    def tdg(self, q: int) -> None:
+        self.append(Gate("tdg"), (q,))
+
+    def sx(self, q: int) -> None:
+        self.append(Gate("sx"), (q,))
+
+    def rx(self, theta: ParameterValue, q: int) -> None:
+        self.append(Gate("rx", (theta,)), (q,))
+
+    def ry(self, theta: ParameterValue, q: int) -> None:
+        self.append(Gate("ry", (theta,)), (q,))
+
+    def rz(self, theta: ParameterValue, q: int) -> None:
+        self.append(Gate("rz", (theta,)), (q,))
+
+    def p(self, theta: ParameterValue, q: int) -> None:
+        self.append(Gate("p", (theta,)), (q,))
+
+    def u(self, theta: ParameterValue, phi: ParameterValue, lam: ParameterValue, q: int) -> None:
+        self.append(Gate("u", (theta, phi, lam)), (q,))
+
+    def cx(self, control: int, target: int) -> None:
+        self.append(Gate("cx"), (control, target))
+
+    def cz(self, a: int, b: int) -> None:
+        self.append(Gate("cz"), (a, b))
+
+    def swap(self, a: int, b: int) -> None:
+        self.append(Gate("swap"), (a, b))
+
+    def rzz(self, theta: ParameterValue, a: int, b: int) -> None:
+        self.append(Gate("rzz", (theta,)), (a, b))
+
+    def barrier(self, *qubits: int) -> None:
+        self.append(Gate("barrier"), tuple(qubits))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return tuple(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def size(self) -> int:
+        """Total number of gate instructions (barriers excluded)."""
+        return sum(1 for ins in self._instructions if ins.name != "barrier")
+
+    def count_ops(self) -> Dict[str, int]:
+        """Histogram of gate names."""
+        counts: Dict[str, int] = {}
+        for ins in self._instructions:
+            counts[ins.name] = counts.get(ins.name, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """Circuit depth (longest qubit-wise dependency chain).
+
+        This is the quantity the paper compares against the coherence
+        threshold d_max (Eqs. 37/55): every gate advances the level of
+        all its qubits to ``1 + max(current levels)``.
+        """
+        levels = [0] * self.num_qubits
+        for ins in self._instructions:
+            if ins.name == "barrier":
+                if ins.qubits:
+                    peak = max(levels[q] for q in ins.qubits)
+                    for q in ins.qubits:
+                        levels[q] = peak
+                continue
+            peak = max(levels[q] for q in ins.qubits) + 1
+            for q in ins.qubits:
+                levels[q] = peak
+        return max(levels, default=0)
+
+    def two_qubit_gate_count(self) -> int:
+        """Number of gates touching two qubits (cx, cz, swap, rzz)."""
+        return sum(
+            1
+            for ins in self._instructions
+            if len(ins.qubits) == 2 and ins.name != "barrier"
+        )
+
+    @property
+    def parameters(self) -> frozenset:
+        """All unbound parameters in the circuit."""
+        params = set()
+        for ins in self._instructions:
+            for p in ins.gate.params:
+                params |= parameters_of(p)
+        return frozenset(params)
+
+    def is_parameterized(self) -> bool:
+        return bool(self.parameters)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def copy(self) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, self.name)
+        out._instructions = list(self._instructions)
+        return out
+
+    def bind_parameters(
+        self, values: Mapping[Parameter, float]
+    ) -> "QuantumCircuit":
+        """Return a copy with the given parameters bound to numbers."""
+        out = QuantumCircuit(self.num_qubits, self.name)
+        for ins in self._instructions:
+            gate = ins.gate.bind(values) if ins.gate.params else ins.gate
+            out._instructions.append(Instruction(gate, ins.qubits))
+        return out
+
+    def assign_all(self, values: Sequence[float]) -> "QuantumCircuit":
+        """Bind all parameters positionally (sorted by parameter name)."""
+        params = sorted(self.parameters, key=lambda p: (p.name, p._uid))
+        if len(values) != len(params):
+            raise CircuitError(
+                f"expected {len(params)} parameter values, got {len(values)}"
+            )
+        return self.bind_parameters(dict(zip(params, values)))
+
+    def compose(
+        self, other: "QuantumCircuit", qubits: Optional[Sequence[int]] = None
+    ) -> "QuantumCircuit":
+        """Return a new circuit with ``other`` appended.
+
+        ``qubits`` maps the other circuit's qubit ``i`` to
+        ``qubits[i]`` of this circuit (identity by default).
+        """
+        mapping = list(qubits) if qubits is not None else list(range(other.num_qubits))
+        if len(mapping) != other.num_qubits:
+            raise CircuitError("qubit mapping must cover the composed circuit")
+        out = self.copy()
+        for ins in other._instructions:
+            out.append(ins.gate, tuple(mapping[q] for q in ins.qubits))
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Adjoint circuit (only for self-inverse / rotation gates)."""
+        inverse_of = {
+            "id": ("id", 1),
+            "x": ("x", 1),
+            "y": ("y", 1),
+            "z": ("z", 1),
+            "h": ("h", 1),
+            "s": ("sdg", 1),
+            "sdg": ("s", 1),
+            "t": ("tdg", 1),
+            "tdg": ("t", 1),
+            "cx": ("cx", 1),
+            "cz": ("cz", 1),
+            "swap": ("swap", 1),
+        }
+        out = QuantumCircuit(self.num_qubits, f"{self.name}_dg")
+        for ins in reversed(self._instructions):
+            name = ins.name
+            if name == "barrier":
+                out.append(ins.gate, ins.qubits)
+            elif name in ("rx", "ry", "rz", "p", "rzz"):
+                theta = ins.gate.params[0]
+                out.append(Gate(name, (-theta if not isinstance(theta, (int, float)) else -theta,)), ins.qubits)
+            elif name in inverse_of:
+                out.append(Gate(inverse_of[name][0]), ins.qubits)
+            else:
+                raise CircuitError(f"no inverse rule for gate {name!r}")
+        return out
+
+    def remap_qubits(self, mapping: Mapping[int, int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Relabel qubits through ``mapping`` (must cover all used qubits)."""
+        width = num_qubits if num_qubits is not None else self.num_qubits
+        out = QuantumCircuit(width, self.name)
+        for ins in self._instructions:
+            out.append(ins.gate, tuple(mapping[q] for q in ins.qubits))
+        return out
+
+    def interaction_pairs(self) -> Iterable[Tuple[int, int]]:
+        """Distinct qubit pairs coupled by some two-qubit gate."""
+        seen = set()
+        for ins in self._instructions:
+            if len(ins.qubits) == 2:
+                pair = tuple(sorted(ins.qubits))
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+
+    def draw(self, max_width: int = 120) -> str:
+        """ASCII rendering of the circuit (see :mod:`repro.gate.drawer`)."""
+        from repro.gate.drawer import draw_circuit
+
+        return draw_circuit(self, max_width=max_width)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantumCircuit({self.name!r}, {self.num_qubits} qubits, "
+            f"{len(self._instructions)} instructions, depth={self.depth()})"
+        )

@@ -1,0 +1,166 @@
+"""ASCII rendering of quantum circuits.
+
+A dependency-free text drawer in the spirit of Qiskit's ``draw("text")``
+— enough to eyeball small circuits in examples, doctests and debugging
+sessions::
+
+    q0: ─[H]──■────────
+              │
+    q1: ─────[X]─[RZ]──
+
+Gates are placed into the same greedy layers the depth metric counts,
+so the rendered column count equals ``circuit.depth()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.gate.circuit import Instruction, QuantumCircuit
+from repro.gate.parameter import Parameter, ParameterExpression
+
+_WIRE = "─"
+_GAP = " "
+
+
+def _format_angle(value) -> str:
+    if isinstance(value, (int, float)):
+        return f"{float(value):.2f}".rstrip("0").rstrip(".")
+    if isinstance(value, Parameter):
+        return value.name
+    if isinstance(value, ParameterExpression):
+        return "expr"
+    return str(value)
+
+
+def _gate_label(instruction: Instruction) -> str:
+    name = instruction.name
+    if instruction.gate.params:
+        angles = ",".join(_format_angle(p) for p in instruction.gate.params)
+        return f"{name.upper()}({angles})"
+    return name.upper()
+
+
+def _layers(circuit: QuantumCircuit) -> List[List[Instruction]]:
+    """Greedy layering identical to the depth computation."""
+    levels = [0] * circuit.num_qubits
+    layers: List[List[Instruction]] = []
+    for ins in circuit.instructions:
+        qubits = ins.qubits or tuple(range(circuit.num_qubits))
+        if ins.name == "barrier":
+            peak = max((levels[q] for q in qubits), default=0)
+            for q in qubits:
+                levels[q] = peak
+            continue
+        level = max(levels[q] for q in qubits) + 1
+        for q in qubits:
+            levels[q] = level
+        while len(layers) < level:
+            layers.append([])
+        layers[level - 1].append(ins)
+    return layers
+
+
+def draw_circuit(circuit: QuantumCircuit, max_width: int = 120) -> str:
+    """Render a circuit as ASCII art.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit (parameterized circuits render parameter names).
+    max_width:
+        Wrap into multiple blocks when a row exceeds this width.
+    """
+    n = circuit.num_qubits
+    if n == 0:
+        return "(empty circuit)"
+    layers = _layers(circuit)
+
+    label_width = len(f"q{n - 1}: ")
+    # rows interleave qubit wires with connector rows between them
+    columns: List[Dict[int, str]] = []  # per layer: row index -> cell text
+    widths: List[int] = []
+    for layer in layers:
+        cells: Dict[int, str] = {}
+        width = 1
+        for ins in layer:
+            if len(ins.qubits) == 1:
+                label = f"[{_gate_label(ins)}]"
+                cells[2 * ins.qubits[0]] = label
+                width = max(width, len(label))
+            elif len(ins.qubits) == 2:
+                a, b = ins.qubits
+                lo, hi = sorted((a, b))
+                if ins.name == "cx":
+                    cells[2 * a] = "■"
+                    cells[2 * b] = "[X]"
+                    width = max(width, 3)
+                elif ins.name in ("cz", "rzz", "swap"):
+                    mark = {"cz": "■", "rzz": "Z", "swap": "x"}[ins.name]
+                    label = (
+                        f"[{_gate_label(ins)}]" if ins.name == "rzz" else mark
+                    )
+                    cells[2 * lo] = mark if ins.name != "rzz" else label
+                    cells[2 * hi] = mark if ins.name != "rzz" else "Z"
+                    width = max(width, len(cells[2 * lo]))
+                else:
+                    cells[2 * a] = "■"
+                    cells[2 * b] = f"[{_gate_label(ins)}]"
+                    width = max(width, len(cells[2 * b]))
+                for row in range(2 * lo + 1, 2 * hi):
+                    cells.setdefault(row, "│")
+        columns.append(cells)
+        widths.append(width)
+
+    def cell_text(row: int, col: int) -> str:
+        text = columns[col].get(row, "")
+        pad = widths[col] - len(text)
+        if row % 2 == 0:  # qubit wire
+            if not text:
+                return _WIRE * widths[col]
+            left = pad // 2
+            return _WIRE * left + text + _WIRE * (pad - left)
+        if not text:
+            return _GAP * widths[col]
+        left = pad // 2
+        return _GAP * left + text + _GAP * (pad - left)
+
+    rows: List[str] = []
+    for row in range(2 * n - 1):
+        if row % 2 == 0:
+            prefix = f"q{row // 2}: ".ljust(label_width)
+            joiner = _WIRE
+        else:
+            prefix = " " * label_width
+            joiner = _GAP
+        parts = [cell_text(row, col) for col in range(len(columns))]
+        rows.append(prefix + joiner + joiner.join(parts) + joiner)
+
+    # wrap long circuits into blocks
+    if not columns:
+        return "\n".join(f"q{i}: {_WIRE*3}" for i in range(n))
+    body_width = len(rows[0])
+    if body_width <= max_width:
+        return "\n".join(rows)
+    blocks: List[str] = []
+    start_col = 0
+    while start_col < len(columns):
+        end_col = start_col
+        used = label_width
+        while end_col < len(columns) and used + widths[end_col] + 1 <= max_width:
+            used += widths[end_col] + 1
+            end_col += 1
+        end_col = max(end_col, start_col + 1)
+        block_rows = []
+        for row in range(2 * n - 1):
+            if row % 2 == 0:
+                prefix = f"q{row // 2}: ".ljust(label_width)
+                joiner = _WIRE
+            else:
+                prefix = " " * label_width
+                joiner = _GAP
+            parts = [cell_text(row, col) for col in range(start_col, end_col)]
+            block_rows.append(prefix + joiner + joiner.join(parts) + joiner)
+        blocks.append("\n".join(block_rows))
+        start_col = end_col
+    return ("\n" + "·" * 8 + "\n").join(blocks)

@@ -1,0 +1,183 @@
+"""Standard quantum gate definitions and matrices.
+
+Covers the single- and two-qubit gates the paper's circuits use
+(Sec. 3.2): the Pauli gates, Hadamard, rotations, controlled-NOT,
+controlled-Z, swap, and the two-qubit ZZ-rotation that implements one
+Ising term of the QAOA problem unitary (Eq. 16).
+
+Conventions: qubit 0 is the least-significant bit of a basis-state
+index; for two-qubit matrices the first listed qubit is the *first
+argument* of the gate (e.g. the control of a CX) and corresponds to the
+lower-order tensor factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.gate.parameter import ParameterValue, bind_value, parameters_of
+
+SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+#: Gate name -> number of qubits it acts on.
+GATE_ARITY = {
+    "id": 1,
+    "x": 1,
+    "y": 1,
+    "z": 1,
+    "h": 1,
+    "s": 1,
+    "sdg": 1,
+    "t": 1,
+    "tdg": 1,
+    "sx": 1,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u": 1,
+    "cx": 2,
+    "cz": 2,
+    "swap": 2,
+    "rzz": 2,
+    "barrier": 0,  # variadic; handled specially
+    "measure": 1,
+}
+
+#: Gate name -> number of angle parameters.
+GATE_NUM_PARAMS = {
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "rzz": 1,
+    "u": 3,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An abstract gate: a name plus (possibly symbolic) parameters."""
+
+    name: str
+    params: Tuple[ParameterValue, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.name not in GATE_ARITY:
+            raise CircuitError(f"unknown gate {self.name!r}")
+        expected = GATE_NUM_PARAMS.get(self.name, 0)
+        if len(self.params) != expected:
+            raise CircuitError(
+                f"gate {self.name!r} takes {expected} parameter(s), "
+                f"got {len(self.params)}"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        return GATE_ARITY[self.name]
+
+    def is_parameterized(self) -> bool:
+        """True when any angle is still symbolic."""
+        return any(parameters_of(p) for p in self.params)
+
+    def bind(self, values) -> "Gate":
+        """Substitute numeric parameter values."""
+        return Gate(self.name, tuple(bind_value(p, values) for p in self.params))
+
+    def matrix(self) -> np.ndarray:
+        """Unitary matrix of the gate (requires bound parameters)."""
+        if self.is_parameterized():
+            raise CircuitError(f"gate {self.name!r} has unbound parameters")
+        return standard_gate_matrix(self.name, tuple(float(p) for p in self.params))
+
+
+def standard_gate_matrix(name: str, params: Tuple[float, ...] = ()) -> np.ndarray:
+    """The unitary matrix of a named standard gate."""
+    if name == "id":
+        return np.eye(2, dtype=complex)
+    if name == "x":
+        return np.array([[0, 1], [1, 0]], dtype=complex)
+    if name == "y":
+        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+    if name == "z":
+        return np.array([[1, 0], [0, -1]], dtype=complex)
+    if name == "h":
+        return SQRT2_INV * np.array([[1, 1], [1, -1]], dtype=complex)
+    if name == "s":
+        return np.array([[1, 0], [0, 1j]], dtype=complex)
+    if name == "sdg":
+        return np.array([[1, 0], [0, -1j]], dtype=complex)
+    if name == "t":
+        return np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+    if name == "tdg":
+        return np.array([[1, 0], [0, np.exp(-1j * math.pi / 4)]], dtype=complex)
+    if name == "sx":
+        return 0.5 * np.array(
+            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+        )
+    if name == "rx":
+        (theta,) = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+    if name == "ry":
+        (theta,) = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array([[c, -s], [s, c]], dtype=complex)
+    if name == "rz":
+        (theta,) = params
+        return np.array(
+            [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+        )
+    if name == "p":
+        (theta,) = params
+        return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+    if name == "u":
+        theta, phi, lam = params
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        return np.array(
+            [
+                [c, -np.exp(1j * lam) * s],
+                [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+            ],
+            dtype=complex,
+        )
+    if name == "cx":
+        # control = qubit argument 0 (low-order tensor factor)
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0], [0, 1, 0, 0]], dtype=complex
+        )
+    if name == "cz":
+        return np.diag([1, 1, 1, -1]).astype(complex)
+    if name == "swap":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+        )
+    if name == "rzz":
+        (theta,) = params
+        phase = np.exp(-1j * theta / 2)
+        anti = np.exp(1j * theta / 2)
+        return np.diag([phase, anti, anti, phase]).astype(complex)
+    raise CircuitError(f"gate {name!r} has no matrix definition")
+
+
+def matrices_equal_up_to_phase(a: np.ndarray, b: np.ndarray, atol: float = 1e-9) -> bool:
+    """Whether two unitaries are equal up to a global phase.
+
+    Used to verify transpiler decompositions, which preserve physics but
+    not global phase (paper Sec. 3.1 notes global phase is unobservable).
+    """
+    if a.shape != b.shape:
+        return False
+    # pick the largest-magnitude entry of a as the phase reference
+    idx = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    if abs(b[idx]) < atol:
+        return False
+    phase = a[idx] / b[idx]
+    if not math.isclose(abs(phase), 1.0, abs_tol=1e-7):
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))

@@ -1,0 +1,160 @@
+"""NISQ noise modelling (paper Sec. 3.6.1).
+
+The paper's reliability analysis is analytic — circuits deeper than
+``d_max = min(T1,T2)/g_avg`` are declared decoherence-limited — but
+the error mechanisms it describes (gate errors, readout errors,
+decoherence over the execution time, Eq. 36) can be simulated directly
+to *observe* the cliff the threshold predicts.  This module provides a
+light-weight stochastic noise channel suitable for the small circuits
+the statevector simulator handles:
+
+* **depolarizing gate noise** — after each gate, with probability
+  ``p_gate`` per touched qubit, a uniformly random Pauli error is
+  applied (Monte-Carlo unravelling of the depolarizing channel);
+* **decoherence** — each qubit suffers a phase/amplitude error with
+  the Eq. 36 probability ``1 − exp(−t/T)`` accumulated over the
+  circuit's scheduled duration;
+* **readout error** — each measured bit flips with ``p_readout``.
+
+The model is intentionally simple (stochastic Pauli insertion rather
+than density matrices) — enough to reproduce the qualitative collapse
+of solution quality past the coherence threshold, which the
+``noise_study`` experiment demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import BackendError
+from repro.gate.backend import BackendProperties
+from repro.gate.circuit import QuantumCircuit
+from repro.gate.gates import Gate
+from repro.gate.statevector import Statevector
+
+_PAULIS = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Stochastic Pauli noise parameters."""
+
+    #: per-qubit Pauli error probability after each gate
+    gate_error: float = 0.0
+    #: per-bit flip probability at measurement
+    readout_error: float = 0.0
+    #: calibration for decoherence over circuit duration (optional)
+    properties: Optional[BackendProperties] = None
+
+    def __post_init__(self) -> None:
+        for value in (self.gate_error, self.readout_error):
+            if not 0.0 <= value <= 1.0:
+                raise BackendError("error probabilities must be in [0, 1]")
+
+    @classmethod
+    def from_backend_properties(
+        cls,
+        properties: BackendProperties,
+        gate_error: float = 1e-3,
+        readout_error: float = 2e-2,
+    ) -> "NoiseModel":
+        """Typical NISQ magnitudes with the device's coherence data."""
+        return cls(
+            gate_error=gate_error,
+            readout_error=readout_error,
+            properties=properties,
+        )
+
+    def decoherence_probability(self, depth: int) -> float:
+        """Eq. 36 over the scheduled circuit duration (0 if uncalibrated)."""
+        if self.properties is None or depth <= 0:
+            return 0.0
+        return self.properties.decoherence_error_probability(depth)
+
+
+def _inject(circuit: QuantumCircuit, qubit: int, rng: np.random.Generator) -> None:
+    circuit.append(Gate(_PAULIS[int(rng.integers(3))]), (qubit,))
+
+
+def noisy_circuit_instance(
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    rng: np.random.Generator,
+) -> QuantumCircuit:
+    """One Monte-Carlo noise realisation of a circuit.
+
+    Pauli errors are inserted after gates (per touched qubit with
+    probability ``gate_error``) and once at the end per qubit with the
+    accumulated decoherence probability of the circuit's depth.
+    """
+    noisy = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}+noise")
+    for ins in circuit.instructions:
+        noisy.append(ins.gate, ins.qubits)
+        if noise.gate_error > 0 and ins.name != "barrier":
+            for q in ins.qubits:
+                if rng.random() < noise.gate_error:
+                    _inject(noisy, q, rng)
+    p_decay = noise.decoherence_probability(circuit.depth())
+    if p_decay > 0:
+        for q in range(circuit.num_qubits):
+            if rng.random() < p_decay:
+                _inject(noisy, q, rng)
+    return noisy
+
+
+def sample_with_noise(
+    circuit: QuantumCircuit,
+    noise: NoiseModel,
+    shots: int = 1024,
+    trajectories: int = 8,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Measurement histogram under the noise model.
+
+    ``trajectories`` independent noisy circuit realisations are
+    simulated; shots are split across them, and readout errors are
+    applied per sampled bit.
+    """
+    rng = np.random.default_rng(seed)
+    counts: Dict[str, int] = {}
+    per_trajectory = [shots // trajectories] * trajectories
+    for i in range(shots % trajectories):
+        per_trajectory[i] += 1
+    for allocation in per_trajectory:
+        if allocation == 0:
+            continue
+        instance = noisy_circuit_instance(circuit, noise, rng)
+        state = Statevector.from_circuit(instance)
+        for bitstring, count in state.sample(allocation, rng).items():
+            if noise.readout_error > 0:
+                for _ in range(count):
+                    bits = list(bitstring)
+                    for pos in range(len(bits)):
+                        if rng.random() < noise.readout_error:
+                            bits[pos] = "1" if bits[pos] == "0" else "0"
+                    key = "".join(bits)
+                    counts[key] = counts.get(key, 0) + 1
+            else:
+                counts[bitstring] = counts.get(bitstring, 0) + count
+    return counts
+
+
+def expected_energy_under_noise(
+    circuit: QuantumCircuit,
+    diagonal: np.ndarray,
+    noise: NoiseModel,
+    shots: int = 1024,
+    trajectories: int = 8,
+    seed: Optional[int] = None,
+) -> float:
+    """Mean Ising energy of noisy measurement outcomes."""
+    counts = sample_with_noise(circuit, noise, shots, trajectories, seed)
+    total = 0.0
+    n = 0
+    for bitstring, count in counts.items():
+        total += float(diagonal[int(bitstring, 2)]) * count
+        n += count
+    return total / max(n, 1)

@@ -1,0 +1,158 @@
+"""Symbolic circuit parameters for variational algorithms.
+
+VQE and QAOA (paper Sec. 3.4) build one parameterized circuit and rebind
+its angles every optimizer iteration.  A :class:`Parameter` is a named
+placeholder; a :class:`ParameterExpression` is the affine combination
+``sum(coeff_i * param_i) + constant`` — sufficient for both ansätze used
+here (QAOA multiplies the Ising coefficients into its γ/β parameters).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Mapping, Union
+
+from repro.exceptions import CircuitError
+
+Number = Union[int, float]
+ParameterValue = Union["Parameter", "ParameterExpression", float, int]
+
+_ids = itertools.count()
+
+
+class Parameter:
+    """A named symbolic parameter.
+
+    Identity-based: two parameters with the same name are distinct
+    objects and bind independently.
+    """
+
+    __slots__ = ("name", "_uid")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._uid = next(_ids)
+
+    def __hash__(self) -> int:
+        return hash(self._uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name})"
+
+    # arithmetic promotes to ParameterExpression
+    def __mul__(self, other: Number) -> "ParameterExpression":
+        return ParameterExpression({self: 1.0}) * other
+
+    def __rmul__(self, other: Number) -> "ParameterExpression":
+        return self.__mul__(other)
+
+    def __add__(self, other) -> "ParameterExpression":
+        return ParameterExpression({self: 1.0}) + other
+
+    def __radd__(self, other) -> "ParameterExpression":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "ParameterExpression":
+        return ParameterExpression({self: 1.0}) - other
+
+    def __rsub__(self, other) -> "ParameterExpression":
+        return (ParameterExpression({self: 1.0}) * -1.0) + other
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression({self: -1.0})
+
+
+class ParameterExpression:
+    """Affine expression over parameters: ``sum(c_i * p_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Mapping[Parameter, float], constant: float = 0.0) -> None:
+        self.coeffs: Dict[Parameter, float] = {
+            p: float(c) for p, c in coeffs.items() if c != 0.0
+        }
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value: ParameterValue) -> "ParameterExpression":
+        if isinstance(value, ParameterExpression):
+            return value
+        if isinstance(value, Parameter):
+            return ParameterExpression({value: 1.0})
+        if isinstance(value, (int, float)):
+            return ParameterExpression({}, float(value))
+        raise CircuitError(f"cannot use {value!r} as a circuit parameter")
+
+    def __add__(self, other: ParameterValue) -> "ParameterExpression":
+        other = self._coerce(other)
+        coeffs = dict(self.coeffs)
+        for p, c in other.coeffs.items():
+            coeffs[p] = coeffs.get(p, 0.0) + c
+        return ParameterExpression(coeffs, self.constant + other.constant)
+
+    def __radd__(self, other: ParameterValue) -> "ParameterExpression":
+        return self.__add__(other)
+
+    def __sub__(self, other: ParameterValue) -> "ParameterExpression":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: ParameterValue) -> "ParameterExpression":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, factor: Number) -> "ParameterExpression":
+        if not isinstance(factor, (int, float)):
+            raise CircuitError("parameter expressions scale by numbers only")
+        return ParameterExpression(
+            {p: c * factor for p, c in self.coeffs.items()}, self.constant * factor
+        )
+
+    def __rmul__(self, factor: Number) -> "ParameterExpression":
+        return self.__mul__(factor)
+
+    def __neg__(self) -> "ParameterExpression":
+        return self * -1.0
+
+    @property
+    def parameters(self) -> frozenset:
+        """Unbound parameters appearing in the expression."""
+        return frozenset(self.coeffs)
+
+    def bind(self, values: Mapping[Parameter, float]) -> Union["ParameterExpression", float]:
+        """Substitute numeric values; returns a float if fully bound."""
+        coeffs: Dict[Parameter, float] = {}
+        constant = self.constant
+        for p, c in self.coeffs.items():
+            if p in values:
+                constant += c * values[p]
+            else:
+                coeffs[p] = c
+        if coeffs:
+            return ParameterExpression(coeffs, constant)
+        return constant
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c:+g}*{p.name}" for p, c in self.coeffs.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return f"ParameterExpression({' '.join(parts)})"
+
+
+def parameters_of(value: ParameterValue) -> frozenset:
+    """The set of unbound parameters in a gate-angle value."""
+    if isinstance(value, Parameter):
+        return frozenset((value,))
+    if isinstance(value, ParameterExpression):
+        return value.parameters
+    return frozenset()
+
+
+def bind_value(value: ParameterValue, values: Mapping[Parameter, float]):
+    """Bind a gate-angle value; floats pass through unchanged."""
+    if isinstance(value, Parameter):
+        return values.get(value, value)
+    if isinstance(value, ParameterExpression):
+        return value.bind(values)
+    return value

@@ -1,0 +1,168 @@
+"""Statevector simulation of quantum circuits.
+
+This is the local stand-in for the IBM-Q qasm simulator the paper uses
+(Sec. 5.2.2): exact state evolution with measurement sampling.  Memory
+is the binding constraint — an ``n``-qubit state holds ``2**n`` complex
+amplitudes — so like the real qasm simulator the backend refuses
+circuits beyond 32 qubits (and in practice the variational algorithms
+here are run well below that).
+
+Convention: qubit 0 is the least-significant bit of a basis index, so
+the amplitude of bitstring ``b_{n-1} ... b_1 b_0`` lives at index
+``sum(b_k << k)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import BackendError, CircuitError
+from repro.gate.circuit import QuantumCircuit
+
+_MAX_SIM_QUBITS = 32
+
+
+class Statevector:
+    """The state of an ``n``-qubit register."""
+
+    def __init__(self, data: np.ndarray, num_qubits: int) -> None:
+        expected = 1 << num_qubits
+        if data.shape != (expected,):
+            raise CircuitError(
+                f"statevector for {num_qubits} qubits must have length {expected}"
+            )
+        self.data = data.astype(complex)
+        self.num_qubits = num_qubits
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """The all-zeros computational basis state."""
+        data = np.zeros(1 << num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data, num_qubits)
+
+    @classmethod
+    def from_circuit(cls, circuit: QuantumCircuit) -> "Statevector":
+        """Evolve |0...0> through the circuit."""
+        if circuit.num_qubits > _MAX_SIM_QUBITS:
+            raise BackendError(
+                f"cannot simulate {circuit.num_qubits} qubits "
+                f"(limit {_MAX_SIM_QUBITS})"
+            )
+        if circuit.is_parameterized():
+            raise CircuitError("bind all parameters before simulating")
+        state = cls.zero_state(circuit.num_qubits)
+        for ins in circuit.instructions:
+            if ins.name in ("barrier", "measure", "id"):
+                continue
+            matrix = ins.gate.matrix()
+            if len(ins.qubits) == 1:
+                state._apply_1q(matrix, ins.qubits[0])
+            elif len(ins.qubits) == 2:
+                state._apply_2q(matrix, ins.qubits[0], ins.qubits[1])
+            else:  # pragma: no cover - no >2q gates defined
+                raise CircuitError(f"cannot simulate {len(ins.qubits)}-qubit gate")
+        return state
+
+    # ------------------------------------------------------------------
+    # Gate application
+    # ------------------------------------------------------------------
+    def _apply_1q(self, matrix: np.ndarray, qubit: int) -> None:
+        n = self.num_qubits
+        psi = self.data.reshape([2] * n)
+        # numpy axis for qubit q: reshape puts qubit n-1 at axis 0
+        axis = n - 1 - qubit
+        psi = np.moveaxis(psi, axis, 0)
+        shaped = psi.reshape(2, -1)
+        psi = (matrix @ shaped).reshape([2] + [2] * (n - 1))
+        self.data = np.moveaxis(psi, 0, axis).reshape(-1)
+
+    def _apply_2q(self, matrix: np.ndarray, q0: int, q1: int) -> None:
+        # Matrix basis: index = bit(q1)*2 + bit(q0)  (q0 least significant)
+        n = self.num_qubits
+        psi = self.data.reshape([2] * n)
+        a0, a1 = n - 1 - q0, n - 1 - q1
+        psi = np.moveaxis(psi, (a1, a0), (0, 1))
+        shaped = psi.reshape(4, -1)
+        psi = (matrix @ shaped).reshape([2, 2] + [2] * (n - 2))
+        self.data = np.moveaxis(psi, (0, 1), (a1, a0)).reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Measurement & expectations
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational basis state."""
+        return np.abs(self.data) ** 2
+
+    def sample(
+        self, shots: int, rng: Optional[np.random.Generator] = None
+    ) -> Dict[str, int]:
+        """Sample measurement outcomes.
+
+        Returns a histogram keyed by bitstrings in the usual text order
+        (qubit ``n-1`` leftmost, qubit 0 rightmost).
+        """
+        rng = rng or np.random.default_rng()
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        outcomes = rng.choice(len(probs), size=shots, p=probs)
+        counts: Dict[str, int] = {}
+        width = self.num_qubits
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{width}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation value of a diagonal observable.
+
+        The Ising Hamiltonians of both query-optimization problems are
+        diagonal in the computational basis, so ``<psi|H|psi>`` reduces
+        to a probability-weighted average of the diagonal — the quantity
+        VQE/QAOA minimize (Eqs. 15/21).
+        """
+        if diagonal.shape != self.data.shape:
+            raise CircuitError("diagonal length must be 2**num_qubits")
+        return float(np.real(np.sum(self.probabilities() * diagonal)))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """``|<self|other>|^2``."""
+        return float(np.abs(np.vdot(self.data, other.data)) ** 2)
+
+
+def sample_counts(
+    circuit: QuantumCircuit,
+    shots: int = 1024,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Simulate a circuit and sample measurement outcomes."""
+    rng = np.random.default_rng(seed)
+    return Statevector.from_circuit(circuit).sample(shots, rng)
+
+
+def ising_diagonal(
+    num_qubits: int,
+    linear: Dict[int, float],
+    quadratic: Dict[tuple, float],
+    offset: float = 0.0,
+) -> np.ndarray:
+    """Diagonal of an Ising Hamiltonian over qubit indices.
+
+    ``linear[i]`` multiplies :math:`Z_i`, ``quadratic[(i, j)]``
+    multiplies :math:`Z_i Z_j`.  Bit ``0`` maps to spin ``+1``
+    (:math:`Z|0\\rangle = +|0\\rangle`), bit ``1`` to spin ``-1``.
+    """
+    size = 1 << num_qubits
+    indices = np.arange(size, dtype=np.uint64)
+    # spins[k] = +1 if bit k is 0 else -1
+    diag = np.full(size, float(offset))
+    spins = {}
+    for k in range(num_qubits):
+        spins[k] = 1.0 - 2.0 * ((indices >> np.uint64(k)) & np.uint64(1)).astype(float)
+    for i, h in linear.items():
+        diag += h * spins[i]
+    for (i, j), coupling in quadratic.items():
+        diag += coupling * spins[i] * spins[j]
+    return diag

@@ -1,0 +1,183 @@
+"""Qubit coupling maps of gate-based quantum devices.
+
+The paper's central gate-model observation (Secs. 3.6.1, 5.3.2, 6.3.4)
+is that real IBM-Q devices have *sparse* qubit connectivity — heavy-hex
+lattices of degree ≤ 3 — so two-qubit gates between non-adjacent qubits
+must be routed through swap chains, inflating circuit depth.
+
+This module provides:
+
+* :class:`CouplingMap` — an undirected connectivity graph with the
+  distance/path queries the router needs;
+* the 27-qubit Falcon lattice of IBM-Q **Mumbai** (used for the MQO
+  experiments, Fig. 4 / Sec. 5.3.2);
+* a 65-qubit Hummingbird-class heavy-hex lattice for IBM-Q **Brooklyn**
+  (used for the join-ordering experiments, Sec. 6.3.4);
+* line / grid / fully-connected maps for ablations, the last standing in
+  for the qasm simulator's "optimal topology" where every qubit couples
+  to every other.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import TranspilerError
+
+
+class CouplingMap:
+    """Undirected qubit-connectivity graph.
+
+    Qubits are integers ``0..n-1``; an edge means a native two-qubit
+    gate exists between the pair.
+    """
+
+    def __init__(self, edges: Iterable[Tuple[int, int]], num_qubits: Optional[int] = None, name: str = "") -> None:
+        self.graph = nx.Graph()
+        edges = [tuple(sorted((int(a), int(b)))) for a, b in edges]
+        if num_qubits is None:
+            num_qubits = 1 + max((max(e) for e in edges), default=-1)
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self.graph.add_nodes_from(range(self.num_qubits))
+        self.graph.add_edges_from(edges)
+        for a, b in edges:
+            if b >= self.num_qubits:
+                raise TranspilerError(f"edge {(a, b)} exceeds num_qubits={num_qubits}")
+        self._dist: Optional[Dict[int, Dict[int, int]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> List[Tuple[int, int]]:
+        return [tuple(sorted(e)) for e in self.graph.edges]
+
+    def degree(self, qubit: int) -> int:
+        return self.graph.degree[qubit]
+
+    def max_degree(self) -> int:
+        return max(dict(self.graph.degree).values(), default=0)
+
+    def is_connected(self) -> bool:
+        return self.num_qubits <= 1 or nx.is_connected(self.graph)
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> List[int]:
+        return list(self.graph.neighbors(qubit))
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path distance (precomputed lazily, cached)."""
+        if self._dist is None:
+            self._dist = {
+                src: lengths
+                for src, lengths in nx.all_pairs_shortest_path_length(self.graph)
+            }
+        try:
+            return self._dist[a][b]
+        except KeyError:
+            raise TranspilerError(f"qubits {a} and {b} are not connected") from None
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        return nx.shortest_path(self.graph, a, b)
+
+    def is_fully_connected(self) -> bool:
+        n = self.num_qubits
+        return self.graph.number_of_edges() == n * (n - 1) // 2
+
+    def subgraph_distance_sum(self, nodes: Sequence[int]) -> int:
+        """Sum of pairwise distances over a node set (layout quality)."""
+        return sum(self.distance(a, b) for a, b in itertools.combinations(nodes, 2))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"CouplingMap({self.num_qubits} qubits,"
+            f" {self.graph.number_of_edges()} edges{label})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Synthetic maps
+# ----------------------------------------------------------------------
+def full_coupling_map(num_qubits: int) -> CouplingMap:
+    """All-to-all connectivity — the qasm simulator's "optimal topology"
+    (paper Sec. 5.3.2): no swap routing is ever needed."""
+    return CouplingMap(
+        itertools.combinations(range(num_qubits), 2),
+        num_qubits=num_qubits,
+        name="full",
+    )
+
+
+def line_coupling_map(num_qubits: int) -> CouplingMap:
+    """A 1-D chain of qubits."""
+    return CouplingMap(
+        ((i, i + 1) for i in range(num_qubits - 1)),
+        num_qubits=num_qubits,
+        name="line",
+    )
+
+
+def grid_coupling_map(rows: int, cols: int) -> CouplingMap:
+    """A rows x cols square lattice."""
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(edges, num_qubits=rows * cols, name=f"grid{rows}x{cols}")
+
+
+# ----------------------------------------------------------------------
+# IBM-Q device maps
+# ----------------------------------------------------------------------
+#: 27-qubit Falcon heavy-hex lattice (IBM-Q Mumbai, paper Fig. 4).
+_MUMBAI_EDGES: Tuple[Tuple[int, int], ...] = (
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21),
+    (19, 20), (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+)
+
+#: 65-qubit Hummingbird-class heavy-hex lattice (IBM-Q Brooklyn).
+#: Built as five qubit rows joined by three-qubit connector columns, the
+#: published layout pattern of the Hummingbird r2 family.
+_BROOKLYN_EDGES: Tuple[Tuple[int, int], ...] = tuple(
+    [(i, i + 1) for i in range(0, 9)]                     # row 0: 0..9
+    + [(0, 10), (4, 11), (8, 12)]                         # connectors
+    + [(10, 13), (11, 17), (12, 21)]
+    + [(i, i + 1) for i in range(13, 23)]                 # row 1: 13..23
+    + [(15, 24), (19, 25), (23, 26)]
+    + [(24, 29), (25, 33), (26, 37)]
+    + [(i, i + 1) for i in range(27, 38)]                 # row 2: 27..38
+    + [(27, 39), (31, 40), (35, 41)]
+    + [(39, 42), (40, 46), (41, 50)]
+    + [(i, i + 1) for i in range(42, 52)]                 # row 3: 42..52
+    + [(44, 53), (48, 54), (52, 55)]
+    + [(53, 58), (54, 62), (55, 64)]
+    + [(i, i + 1) for i in range(56, 64)]                 # row 4: 56..64
+)
+
+
+def mumbai_coupling_map() -> CouplingMap:
+    """The IBM-Q Mumbai (27-qubit Falcon) coupling map."""
+    return CouplingMap(_MUMBAI_EDGES, num_qubits=27, name="mumbai")
+
+
+def brooklyn_coupling_map() -> CouplingMap:
+    """The IBM-Q Brooklyn (65-qubit Hummingbird) coupling map."""
+    return CouplingMap(_BROOKLYN_EDGES, num_qubits=65, name="brooklyn")
+
+
+def heavy_hex_row_lengths(coupling: CouplingMap) -> List[int]:
+    """Diagnostic: the sizes of degree-≤2 chains (used by tests)."""
+    low_degree = [q for q in range(coupling.num_qubits) if coupling.degree(q) <= 2]
+    sub = coupling.graph.subgraph(low_degree)
+    return sorted(len(c) for c in nx.connected_components(sub))

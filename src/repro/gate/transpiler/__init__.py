@@ -1,0 +1,26 @@
+"""Circuit transpilation for sparse qubit topologies.
+
+Reproduces the Qiskit compilation flow the paper relies on
+(Sec. 3.6.1): choose an initial qubit layout, route two-qubit gates
+through swap insertions so every interaction happens between physically
+adjacent qubits, translate to the IBM-Q basis gate set
+``{cx, rz, sx, x}``, and lightly optimize (the paper uses Qiskit
+optimization level 1).
+"""
+
+from repro.gate.transpiler.layout import Layout, dense_layout, trivial_layout
+from repro.gate.transpiler.routing import route_circuit
+from repro.gate.transpiler.basis import decompose_to_basis, zsx_decompose_matrix
+from repro.gate.transpiler.optimize import optimize_circuit
+from repro.gate.transpiler.transpile import transpile
+
+__all__ = [
+    "Layout",
+    "dense_layout",
+    "trivial_layout",
+    "route_circuit",
+    "decompose_to_basis",
+    "zsx_decompose_matrix",
+    "optimize_circuit",
+    "transpile",
+]

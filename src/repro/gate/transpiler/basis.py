@@ -1,0 +1,164 @@
+"""Translation to the IBM-Q basis gate set ``{cx, rz, sx, x}``.
+
+Current IBM devices execute a small universal basis (paper Sec. 3.6.1);
+every other gate must be rewritten.  Single-qubit unitaries use the
+hardware-standard *ZSX* decomposition
+
+.. math:: U(\\theta, \\phi, \\lambda) \\simeq
+          RZ(\\phi+\\pi)\\cdot\\sqrt{X}\\cdot RZ(\\theta+\\pi)\\cdot
+          \\sqrt{X}\\cdot RZ(\\lambda)
+
+(with one-pulse and zero-pulse special cases when θ is π/2 or 0), and
+two-qubit gates use the textbook CNOT constructions — notably
+``swap → 3 cx`` (paper Fig. 2) and ``rzz(θ) → cx · rz(θ) · cx``, the
+building block of the QAOA problem unitary.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import TranspilerError
+from repro.gate.circuit import QuantumCircuit
+from repro.gate.gates import Gate, standard_gate_matrix
+
+BASIS_GATES = ("cx", "rz", "sx", "x")
+
+_ATOL = 1e-10
+
+
+def zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """ZYZ Euler angles ``(theta, phi, lam)`` of a 2x2 unitary.
+
+    ``U ≃ RZ(phi) · RY(theta) · RZ(lam)`` up to global phase.
+    """
+    det = np.linalg.det(matrix)
+    su = matrix / cmath.sqrt(det)
+    theta = 2.0 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
+    if abs(su[1, 0]) < _ATOL:  # diagonal: pure Z rotation
+        phi_plus_lam = 2.0 * cmath.phase(su[1, 1])
+        phi_minus_lam = 0.0
+    elif abs(su[0, 0]) < _ATOL:  # anti-diagonal
+        phi_minus_lam = 2.0 * cmath.phase(su[1, 0])
+        phi_plus_lam = 0.0
+    else:
+        phi_plus_lam = 2.0 * cmath.phase(su[1, 1])
+        phi_minus_lam = 2.0 * cmath.phase(su[1, 0])
+    phi = (phi_plus_lam + phi_minus_lam) / 2.0
+    lam = (phi_plus_lam - phi_minus_lam) / 2.0
+    return theta, phi, lam
+
+
+def _norm_angle(angle: float) -> float:
+    """Normalize to (-pi, pi]."""
+    angle = math.fmod(angle, 2.0 * math.pi)
+    if angle <= -math.pi:
+        angle += 2.0 * math.pi
+    elif angle > math.pi:
+        angle -= 2.0 * math.pi
+    return angle
+
+
+def zsx_decompose_matrix(matrix: np.ndarray) -> List[Gate]:
+    """ZSX gate sequence (in applied order) realizing a 1q unitary.
+
+    Emits at most ``rz, sx, rz, sx, rz``; a θ≈π/2 unitary needs a single
+    sx pulse; a diagonal unitary a single rz; identity nothing.
+    """
+    # native-gate fast paths (up to global phase)
+    from repro.gate.gates import matrices_equal_up_to_phase
+
+    if matrices_equal_up_to_phase(matrix, standard_gate_matrix("x")):
+        return [Gate("x")]
+    if matrices_equal_up_to_phase(matrix, standard_gate_matrix("sx")):
+        return [Gate("sx")]
+
+    theta, phi, lam = zyz_angles(matrix)
+
+    def rz_if(angle: float) -> List[Gate]:
+        angle = _norm_angle(angle)
+        return [] if abs(angle) < _ATOL else [Gate("rz", (angle,))]
+
+    if abs(_norm_angle(theta)) < 1e-9:
+        return rz_if(phi + lam)
+    if abs(theta - math.pi / 2.0) < 1e-9:
+        # U3(pi/2, phi, lam) = RZ(phi+pi/2) . SX . RZ(lam-pi/2)
+        return rz_if(lam - math.pi / 2) + [Gate("sx")] + rz_if(phi + math.pi / 2)
+    # general: U3 = RZ(phi+pi) . SX . RZ(theta+pi) . SX . RZ(lam)
+    return (
+        rz_if(lam)
+        + [Gate("sx")]
+        + rz_if(theta + math.pi)
+        + [Gate("sx")]
+        + rz_if(phi + math.pi)
+    )
+
+
+def _decompose_1q(gate: Gate) -> List[Gate]:
+    """1q gate → basis gates; symbolic rotations use algebraic rules."""
+    if gate.name in ("rz", "sx", "x"):
+        return [gate]
+    if gate.name == "id":
+        return []
+    if gate.is_parameterized():
+        theta = gate.params[0]
+        if gate.name == "rx":
+            # rx(t) = h . rz(t) . h  (applied order)
+            h_seq = zsx_decompose_matrix(standard_gate_matrix("h"))
+            return h_seq + [Gate("rz", (theta,))] + h_seq
+        if gate.name == "ry":
+            # ry(t): rz(-pi/2), rx(t), rz(pi/2) in applied order
+            return (
+                [Gate("rz", (-math.pi / 2,))]
+                + _decompose_1q(Gate("rx", (theta,)))
+                + [Gate("rz", (math.pi / 2,))]
+            )
+        if gate.name == "p":
+            # p differs from rz only by a global phase
+            return [Gate("rz", (theta,))]
+        raise TranspilerError(
+            f"cannot decompose parameterized gate {gate.name!r} symbolically"
+        )
+    return zsx_decompose_matrix(gate.matrix())
+
+
+def decompose_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Rewrite every gate into the ``{cx, rz, sx, x}`` basis."""
+    out = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for ins in circuit.instructions:
+        gate, qubits = ins.gate, ins.qubits
+        if gate.name == "barrier":
+            out.append(gate, qubits)
+        elif gate.name == "measure":
+            out.append(gate, qubits)
+        elif len(qubits) == 1:
+            for g in _decompose_1q(gate):
+                out.append(g, qubits)
+        elif gate.name == "cx":
+            out.append(gate, qubits)
+        elif gate.name == "swap":
+            a, b = qubits
+            out.cx(a, b)
+            out.cx(b, a)
+            out.cx(a, b)
+        elif gate.name == "cz":
+            a, b = qubits
+            h_seq = zsx_decompose_matrix(standard_gate_matrix("h"))
+            for g in h_seq:
+                out.append(g, (b,))
+            out.cx(a, b)
+            for g in h_seq:
+                out.append(g, (b,))
+        elif gate.name == "rzz":
+            a, b = qubits
+            theta = gate.params[0]
+            out.cx(a, b)
+            out.rz(theta, b)
+            out.cx(a, b)
+        else:
+            raise TranspilerError(f"no basis decomposition for {gate.name!r}")
+    return out

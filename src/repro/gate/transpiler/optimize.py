@@ -1,0 +1,159 @@
+"""Light circuit optimization (Qiskit optimization level 1 analogue).
+
+The paper transpiles with the default optimization level, which applies
+*light* peephole optimizations.  The passes here:
+
+* merge adjacent ``rz`` rotations on the same qubit (works symbolically,
+  so parameterized ansätze benefit too);
+* drop rotations whose angle is an integer multiple of 2π;
+* cancel adjacent identical CNOT pairs;
+* resynthesize maximal runs of bound single-qubit gates into a minimal
+  ZSX sequence.
+
+Passes iterate to a fixed point (bounded to avoid pathological loops).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import reduce
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gate.circuit import Instruction, QuantumCircuit
+from repro.gate.gates import Gate
+from repro.gate.transpiler.basis import zsx_decompose_matrix
+
+_TWO_PI = 2.0 * math.pi
+
+
+def _is_zero_rotation(gate: Gate) -> bool:
+    if gate.name not in ("rz", "rx", "ry", "rzz", "p") or gate.is_parameterized():
+        return False
+    angle = float(gate.params[0])
+    return abs(math.remainder(angle, _TWO_PI)) < 1e-12
+
+
+def merge_adjacent_rz(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Fuse consecutive rz gates per qubit; drop zero rotations."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    pending = {}  # qubit -> accumulated rz angle (number or expression)
+
+    def flush(qubit: int) -> None:
+        angle = pending.pop(qubit, None)
+        if angle is None:
+            return
+        gate = Gate("rz", (angle,))
+        if not _is_zero_rotation(gate):
+            out.append(gate, (qubit,))
+
+    for ins in circuit.instructions:
+        if ins.name == "rz":
+            q = ins.qubits[0]
+            angle = ins.gate.params[0]
+            pending[q] = angle if q not in pending else pending[q] + angle
+            continue
+        for q in ins.qubits:
+            flush(q)
+        if ins.name == "barrier" and not ins.qubits:
+            for q in list(pending):
+                flush(q)
+        out.append(ins.gate, ins.qubits)
+    for q in list(pending):
+        flush(q)
+    return out
+
+
+def cancel_adjacent_cx(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove back-to-back identical CNOTs (CX·CX = I).
+
+    Two CX gates cancel when nothing touches either qubit in between.
+    """
+    instructions = list(circuit.instructions)
+    last_on_qubit: dict = {}
+    cancelled = set()
+    for i, ins in enumerate(instructions):
+        if ins.name == "cx":
+            prev = last_on_qubit.get(ins.qubits[0])
+            prev_other = last_on_qubit.get(ins.qubits[1])
+            if (
+                prev is not None
+                and prev == prev_other
+                and prev not in cancelled
+                and instructions[prev].name == "cx"
+                and instructions[prev].qubits == ins.qubits
+            ):
+                cancelled.add(prev)
+                cancelled.add(i)
+                # restore the dependency frontier to before the pair
+                for q in ins.qubits:
+                    last_on_qubit.pop(q, None)
+                continue
+        if ins.name == "barrier" and not ins.qubits:
+            last_on_qubit.clear()
+            continue
+        for q in ins.qubits:
+            last_on_qubit[q] = i
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    for i, ins in enumerate(instructions):
+        if i not in cancelled:
+            out.append(ins.gate, ins.qubits)
+    return out
+
+
+def fuse_single_qubit_runs(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Collapse maximal runs of bound 1q gates into one ZSX sequence.
+
+    Runs containing symbolic parameters are left untouched.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.name)
+    runs: dict = {}  # qubit -> list of bound 1q gates
+
+    def flush(qubit: int) -> None:
+        gates: Optional[List[Gate]] = runs.pop(qubit, None)
+        if not gates:
+            return
+        if len(gates) == 1:
+            out.append(gates[0], (qubit,))
+            return
+        matrix = reduce(lambda acc, g: g.matrix() @ acc, gates, np.eye(2, dtype=complex))
+        for g in zsx_decompose_matrix(matrix):
+            out.append(g, (qubit,))
+
+    for ins in circuit.instructions:
+        is_1q = len(ins.qubits) == 1 and ins.name not in ("barrier", "measure")
+        if is_1q and not ins.gate.is_parameterized() and ins.name != "id":
+            runs.setdefault(ins.qubits[0], []).append(ins.gate)
+            continue
+        for q in ins.qubits or range(circuit.num_qubits):
+            flush(q)
+        if ins.name == "id":
+            continue
+        out.append(ins.gate, ins.qubits)
+    for q in list(runs):
+        flush(q)
+    return out
+
+
+def optimize_circuit(circuit: QuantumCircuit, level: int = 1) -> QuantumCircuit:
+    """Apply peephole passes at the given optimization level.
+
+    Level 0 returns the circuit unchanged; level 1 applies rz merging
+    and CX cancellation (the paper's setting); level 2 additionally
+    resynthesizes single-qubit runs.
+    """
+    if level <= 0:
+        return circuit
+    previous_size = None
+    for _ in range(8):  # fixed-point iteration, bounded
+        circuit = merge_adjacent_rz(circuit)
+        circuit = cancel_adjacent_cx(circuit)
+        if level >= 2:
+            circuit = fuse_single_qubit_runs(circuit)
+            circuit = merge_adjacent_rz(circuit)
+        size = circuit.size()
+        if size == previous_size:
+            break
+        previous_size = size
+    return circuit

@@ -1,0 +1,119 @@
+"""BILP form of the join-ordering MILP (paper Sec. 6.1.3).
+
+All variables of the MILP are already binary, so the only work is the
+elimination of inequality constraints:
+
+* types 3, 5, 6 have a slack range of exactly 1 → one binary slack;
+* type 7's continuous slack (Eq. 39) is discretized per Eq. 40 into
+  ``⌊log2(C/ω)⌋ + 1`` binaries with ``C = mlc_j`` (Eq. 48) and
+  precision factor ``ω = 0.1^p``.
+
+Coefficients are rounded to multiples of ω so the smallest possible
+constraint violation is exactly ω (Sec. 6.1.4), which the QUBO penalty
+weight relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.linprog.model import LinearModel
+from repro.linprog.standard_form import StandardFormResult, to_equality_form
+from repro.joinorder.milp import JoinOrderMilp, MilpStatistics
+
+
+@dataclass
+class JoinOrderBilp:
+    """The all-equality BILP of a join-ordering instance.
+
+    Attributes
+    ----------
+    model:
+        Equality-only binary program.
+    omega:
+        The precision factor ``ω = 0.1^p``.
+    milp:
+        The originating builder (for decoding).
+    milp_stats:
+        Variable statistics of the pre-slack model.
+    standard_form:
+        Slack bookkeeping from the conversion.
+    """
+
+    model: LinearModel
+    omega: float
+    milp: JoinOrderMilp
+    milp_stats: MilpStatistics
+    standard_form: StandardFormResult
+
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Total binaries = required logical qubits (Sec. 6.3.1)."""
+        return self.model.num_variables
+
+    @property
+    def num_logical_variables(self) -> int:
+        """``n_log``: the original MILP variables."""
+        return self.milp_stats.num_logical
+
+    @property
+    def num_slack_variables(self) -> int:
+        """``n_bsl + n_csl``: all added slack binaries."""
+        return self.standard_form.num_slack_variables
+
+    def variable_counts(self) -> Dict[str, int]:
+        """Breakdown matching Eq. 45: ``n = n_log + n_bsl + n_csl``."""
+        n_csl = sum(
+            len(slacks)
+            for name, slacks in self.standard_form.slack_of_constraint.items()
+            if name.startswith("t7")
+        )
+        n_bsl = self.num_slack_variables - n_csl
+        return {
+            "n_log": self.num_logical_variables,
+            "n_bsl": n_bsl,
+            "n_csl": n_csl,
+            "n": self.num_variables,
+        }
+
+    def to_matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[str, ...]]:
+        """``(S, b, c, order)`` for the Ising transformation (Sec. 6.1.4)."""
+        return self.model.to_matrices()
+
+    def decode_order(self, assignment: Dict[str, float]) -> Tuple[str, ...]:
+        """Join order from a BILP assignment (slacks ignored)."""
+        return self.milp.decode_order(assignment)
+
+
+def build_join_order_bilp(
+    milp_builder: JoinOrderMilp,
+    precision_exponent: int = 0,
+) -> JoinOrderBilp:
+    """MILP → BILP with discretized slacks.
+
+    Parameters
+    ----------
+    milp_builder:
+        A configured :class:`JoinOrderMilp`.
+    precision_exponent:
+        ``p`` in ``ω = 0.1^p`` (paper Sec. 6.1.3); 0 gives ω = 1.
+    """
+    if precision_exponent < 0:
+        raise ProblemError("precision exponent must be non-negative")
+    omega = 0.1 ** precision_exponent
+    model, stats = milp_builder.build()
+    standard = to_equality_form(
+        model, omega=omega, slack_bounds=stats.type7_slack_bounds
+    )
+    return JoinOrderBilp(
+        model=standard.model,
+        omega=omega,
+        milp=milp_builder,
+        milp_stats=stats,
+        standard_form=standard,
+    )

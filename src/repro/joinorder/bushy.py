@@ -1,0 +1,133 @@
+"""Bushy join trees: the beyond-left-deep baseline.
+
+The paper (and the MILP model it builds on) restricts the search to
+left-deep trees (Sec. 4.2).  The classic argument for that restriction
+is search-space size — but it costs plan quality: bushy trees can join
+two *intermediate* results and sometimes beat every left-deep order.
+
+This module provides the exact bushy baseline via dynamic programming
+over relation subsets (DPsub): for every subset the best tree is the
+cheapest combination of two disjoint sub-trees, with C_out charging
+each join's result cardinality once.  It quantifies what the paper's
+left-deep restriction gives away (usually little on chains/stars,
+more on cycles/cliques) — context for interpreting the reproduction's
+quality numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import SolverError
+from repro.joinorder.cost import join_result_cardinality
+from repro.joinorder.query_graph import QueryGraph
+
+#: A join tree: either a relation name (leaf) or a pair of subtrees.
+JoinTree = Union[str, Tuple["JoinTree", "JoinTree"]]
+
+
+@dataclass(frozen=True)
+class BushyResult:
+    """An optimal bushy plan."""
+
+    tree: JoinTree
+    cost: float
+
+    def leaves(self) -> List[str]:
+        """Relations in left-to-right leaf order."""
+        out: List[str] = []
+
+        def walk(node: JoinTree) -> None:
+            if isinstance(node, str):
+                out.append(node)
+            else:
+                walk(node[0])
+                walk(node[1])
+
+        walk(self.tree)
+        return out
+
+    def render(self) -> str:
+        """Parenthesised tree, e.g. ``((A ⋈ B) ⋈ (C ⋈ D))``."""
+
+        def walk(node: JoinTree) -> str:
+            if isinstance(node, str):
+                return node
+            return f"({walk(node[0])} ⋈ {walk(node[1])})"
+
+        return walk(self.tree)
+
+
+def solve_dp_bushy(graph: QueryGraph, max_relations: int = 16) -> BushyResult:
+    """Optimal bushy tree under C_out by subset dynamic programming.
+
+    ``O(3^n)`` subset-split enumeration; refuse beyond ``max_relations``.
+    """
+    n = graph.num_relations
+    if n > max_relations:
+        raise SolverError(f"bushy DP over 3^{n} splits refused")
+    names = graph.relation_names
+    full = (1 << n) - 1
+
+    def members(mask: int) -> List[str]:
+        return [names[i] for i in range(n) if mask & (1 << i)]
+
+    card_cache: Dict[int, float] = {}
+
+    def card(mask: int) -> float:
+        if mask not in card_cache:
+            card_cache[mask] = join_result_cardinality(graph, members(mask))
+        return card_cache[mask]
+
+    best_cost: Dict[int, float] = {}
+    best_split: Dict[int, Tuple[int, int]] = {}
+    for i in range(n):
+        best_cost[1 << i] = 0.0
+
+    # enumerate subsets in increasing popcount so sub-results exist
+    masks = sorted(range(1, full + 1), key=lambda m: bin(m).count("1"))
+    for mask in masks:
+        if bin(mask).count("1") < 2:
+            continue
+        result_card = card(mask)
+        best = math.inf
+        split = None
+        # iterate proper sub-masks; fix the lowest bit on the left
+        # side to halve the symmetric enumeration
+        low = mask & (-mask)
+        sub = (mask - 1) & mask
+        while sub:
+            if sub & low:
+                other = mask ^ sub
+                cost = best_cost[sub] + best_cost[other] + result_card
+                if cost < best:
+                    best = cost
+                    split = (sub, other)
+            sub = (sub - 1) & mask
+        best_cost[mask] = best
+        best_split[mask] = split
+
+    def build(mask: int) -> JoinTree:
+        if bin(mask).count("1") == 1:
+            return names[mask.bit_length() - 1]
+        left, right = best_split[mask]
+        return (build(left), build(right))
+
+    return BushyResult(tree=build(full), cost=best_cost[full])
+
+
+def left_deep_penalty(graph: QueryGraph) -> float:
+    """How much the left-deep restriction costs on this query.
+
+    ``optimal left-deep C_out / optimal bushy C_out`` (≥ 1; equal to 1
+    when a left-deep tree is globally optimal).
+    """
+    from repro.joinorder.classical import solve_dp_left_deep
+
+    left_deep = solve_dp_left_deep(graph)
+    bushy = solve_dp_bushy(graph)
+    if bushy.cost <= 0:
+        return 1.0
+    return left_deep.cost / bushy.cost

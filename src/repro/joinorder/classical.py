@@ -1,0 +1,235 @@
+"""Classical join-ordering algorithms (baselines).
+
+The comparison points the literature (and paper Sec. 2) establishes:
+
+* :func:`solve_exhaustive` — all ``n!`` left-deep orders (ground truth
+  on tiny instances, e.g. paper Table 3);
+* :func:`solve_dp_left_deep` — Selinger-style dynamic programming over
+  relation subsets, optimal for C_out in ``O(2^n · n)``;
+* :func:`solve_greedy` — minimum-intermediate-result greedy (GOO-style);
+* :func:`solve_genetic` — permutation GA ([Steinbrunn et al. 1997]'s
+  genetic family);
+* :func:`solve_simulated_annealing` — swap-neighbourhood annealing
+  (the randomized family of the same survey).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.joinorder.cost import cout_cost, join_result_cardinality
+from repro.joinorder.query_graph import QueryGraph
+
+
+@dataclass(frozen=True)
+class JoinOrderResult:
+    """A solved join-ordering instance."""
+
+    order: Tuple[str, ...]
+    cost: float
+    method: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.order:
+            raise SolverError("empty join order")
+
+
+def solve_exhaustive(graph: QueryGraph, max_relations: int = 9) -> JoinOrderResult:
+    """Try every permutation (``n!`` — tiny instances only)."""
+    if graph.num_relations > max_relations:
+        raise SolverError(
+            f"exhaustive search over {graph.num_relations}! permutations refused"
+        )
+    best_order: Optional[Tuple[str, ...]] = None
+    best_cost = math.inf
+    for perm in itertools.permutations(graph.relation_names):
+        # orders that only differ in the first two relations tie under
+        # C_out; canonicalise to skip half the work
+        if perm[0] > perm[1]:
+            continue
+        cost = cout_cost(graph, perm)
+        if cost < best_cost:
+            best_cost, best_order = cost, perm
+    assert best_order is not None
+    return JoinOrderResult(order=best_order, cost=best_cost, method="exhaustive")
+
+
+def solve_dp_left_deep(graph: QueryGraph, max_relations: int = 22) -> JoinOrderResult:
+    """Optimal left-deep order by dynamic programming over subsets.
+
+    State: the set of already-joined relations; since C_out depends on
+    the sequence of intermediate *sets* only, the optimal extension of
+    a set is independent of its internal order (principle of
+    optimality for left-deep trees).
+    """
+    n = graph.num_relations
+    if n > max_relations:
+        raise SolverError(f"DP over 2^{n} subsets refused (limit {max_relations})")
+    names = graph.relation_names
+
+    # best[mask] = (cost of joining the mask's relations, predecessor mask)
+    best_cost = {0: 0.0}
+    parent: dict = {}
+    full = (1 << n) - 1
+
+    # seed with singletons (no cost: scanning the first relation is free
+    # under C_out, which counts join results only)
+    for i in range(n):
+        best_cost[1 << i] = 0.0
+        parent[1 << i] = (0, i)
+
+    card_cache = {}
+
+    def result_card(mask: int) -> float:
+        if mask not in card_cache:
+            members = [names[i] for i in range(n) if mask & (1 << i)]
+            card_cache[mask] = join_result_cardinality(graph, members)
+        return card_cache[mask]
+
+    for mask in range(1, full + 1):
+        if mask not in best_cost or bin(mask).count("1") < 1:
+            continue
+        base = best_cost[mask]
+        for i in range(n):
+            bit = 1 << i
+            if mask & bit:
+                continue
+            new_mask = mask | bit
+            cost = base + result_card(new_mask)
+            if cost < best_cost.get(new_mask, math.inf):
+                best_cost[new_mask] = cost
+                parent[new_mask] = (mask, i)
+
+    order: List[str] = []
+    mask = full
+    while mask:
+        prev, i = parent[mask]
+        order.append(names[i])
+        mask = prev
+    order.reverse()
+    return JoinOrderResult(
+        order=tuple(order), cost=best_cost[full], method="dp-left-deep"
+    )
+
+
+def solve_greedy(graph: QueryGraph) -> JoinOrderResult:
+    """Greedily extend with the relation minimising the next result."""
+    names = list(graph.relation_names)
+    # try every starting relation (cheap) and keep the best
+    best: Optional[JoinOrderResult] = None
+    for start in names:
+        order = [start]
+        remaining = [n for n in names if n != start]
+        while remaining:
+            next_rel = min(
+                remaining,
+                key=lambda r: join_result_cardinality(graph, order + [r]),
+            )
+            order.append(next_rel)
+            remaining.remove(next_rel)
+        cost = cout_cost(graph, order)
+        if best is None or cost < best.cost:
+            best = JoinOrderResult(order=tuple(order), cost=cost, method="greedy")
+    assert best is not None
+    return best
+
+
+def solve_genetic(
+    graph: QueryGraph,
+    population_size: int = 80,
+    generations: int = 150,
+    mutation_rate: float = 0.25,
+    tournament: int = 3,
+    seed: Optional[int] = None,
+) -> JoinOrderResult:
+    """Permutation genetic algorithm with order crossover (OX1)."""
+    rng = np.random.default_rng(seed)
+    names = list(graph.relation_names)
+    n = len(names)
+
+    def cost_of(perm: Sequence[int]) -> float:
+        return cout_cost(graph, [names[i] for i in perm])
+
+    population = [list(rng.permutation(n)) for _ in range(population_size)]
+    costs = [cost_of(p) for p in population]
+
+    def order_crossover(a: List[int], b: List[int]) -> List[int]:
+        lo, hi = sorted(rng.integers(0, n, size=2))
+        child = [-1] * n
+        child[lo:hi + 1] = a[lo:hi + 1]
+        fill = [g for g in b if g not in set(child[lo:hi + 1])]
+        it = iter(fill)
+        for i in range(n):
+            if child[i] < 0:
+                child[i] = next(it)
+        return child
+
+    for _ in range(generations):
+        children = []
+        for _ in range(population_size):
+            picks = rng.integers(0, population_size, size=(2, tournament))
+            parents = []
+            for row in picks:
+                best_idx = min(row, key=lambda i: costs[i])
+                parents.append(population[best_idx])
+            child = order_crossover(parents[0], parents[1])
+            if rng.random() < mutation_rate:
+                i, j = rng.integers(0, n, size=2)
+                child[i], child[j] = child[j], child[i]
+            children.append(child)
+        child_costs = [cost_of(c) for c in children]
+        merged = population + children
+        merged_costs = costs + child_costs
+        ranked = sorted(range(len(merged)), key=lambda i: merged_costs[i])
+        population = [merged[i] for i in ranked[:population_size]]
+        costs = [merged_costs[i] for i in ranked[:population_size]]
+
+    best = population[int(np.argmin(costs))]
+    return JoinOrderResult(
+        order=tuple(names[i] for i in best), cost=min(costs), method="genetic"
+    )
+
+
+def solve_simulated_annealing(
+    graph: QueryGraph,
+    num_steps: int = 4000,
+    initial_temperature: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> JoinOrderResult:
+    """Swap-neighbourhood simulated annealing over permutations."""
+    rng = np.random.default_rng(seed)
+    names = list(graph.relation_names)
+    n = len(names)
+
+    current = list(rng.permutation(n))
+    current_cost = cout_cost(graph, [names[i] for i in current])
+    best, best_cost = list(current), current_cost
+
+    temperature = initial_temperature or max(current_cost, 1.0)
+    cooling = (1e-6) ** (1.0 / max(num_steps, 1))
+
+    for _ in range(num_steps):
+        i, j = rng.integers(0, n, size=2)
+        if i == j:
+            continue
+        candidate = list(current)
+        candidate[i], candidate[j] = candidate[j], candidate[i]
+        cost = cout_cost(graph, [names[k] for k in candidate])
+        delta = cost - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-12)):
+            current, current_cost = candidate, cost
+            if cost < best_cost:
+                best, best_cost = list(candidate), cost
+        temperature *= cooling
+
+    return JoinOrderResult(
+        order=tuple(names[i] for i in best),
+        cost=best_cost,
+        method="simulated-annealing",
+    )

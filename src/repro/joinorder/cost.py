@@ -1,0 +1,64 @@
+"""The C_out cost model for left-deep join trees (paper Sec. 4.2).
+
+For a permutation ``s`` of the relations the cost is Eq. 28:
+
+.. math:: C(s) = \\sum_{i=2}^{n} C_{out}(|s_1...s_{i-1}|, |s_i|)
+               = \\sum_{i=2}^{n} |s_1 ... s_{i-1}| \\cdot |s_i|
+                 \\cdot \\prod f
+
+i.e. the sum of the cardinalities of every intermediate (and final)
+join result, where a predicate's selectivity applies to the first join
+that brings both of its relations together.  Minimising C(s) minimises
+intermediate result sizes, which is what the MILP objective encodes
+through its threshold variables (Sec. 6.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.joinorder.query_graph import QueryGraph
+
+
+def join_result_cardinality(graph: QueryGraph, names: Sequence[str]) -> float:
+    """Cardinality of the join of a relation set.
+
+    ``∏ |R_i| · ∏ f_p`` over all predicates entirely inside the set —
+    the standard independence assumption behind Eq. 26.
+    """
+    card = 1.0
+    for name in names:
+        card *= graph.cardinality(name)
+    for p in graph.predicates_within(names):
+        card *= p.selectivity
+    return card
+
+
+def intermediate_cardinalities(graph: QueryGraph, order: Sequence[str]) -> List[float]:
+    """Cardinalities of the outer operand after each join.
+
+    Entry ``i`` is ``|s_1 ... s_{i+1}|`` — the result of join ``i``
+    (0-based), which is the outer operand of join ``i+1``.
+    """
+    graph.validate_permutation(order)
+    return [
+        join_result_cardinality(graph, order[: i + 1])
+        for i in range(1, len(order))
+    ]
+
+
+def cout_cost(
+    graph: QueryGraph,
+    order: Sequence[str],
+    include_final_join: bool = True,
+) -> float:
+    """The C_out cost of a left-deep join order (Eq. 28).
+
+    ``include_final_join=False`` reproduces the observation under paper
+    Table 3: the last join's cost is identical for every order and can
+    be dropped when comparing orders.
+    """
+    cards = intermediate_cardinalities(graph, order)
+    if not include_final_join and len(cards) > 1:
+        cards = cards[:-1]
+    return float(sum(cards))

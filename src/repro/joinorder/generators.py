@@ -1,0 +1,221 @@
+"""Query-graph generators for tests, examples and benchmarks.
+
+Covers the classic query-graph shapes of the join-ordering literature
+(chain, star, cycle, clique), a randomized generator with configurable
+predicate counts (the ``P = J / 2J / 3J`` classes of paper Figs. 11
+and 14), and the worked examples from the paper:
+
+* :func:`paper_example_graph` — Fig. 6 / Table 3 (R, S, T);
+* :func:`uniform_query` — the all-cardinality-10 instances used for
+  the scaling studies (Secs. 6.3.2–6.3.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.joinorder.query_graph import Predicate, QueryGraph, Relation
+
+
+def _relation_names(count: int) -> Tuple[str, ...]:
+    return tuple(f"R{i}" for i in range(count))
+
+
+def paper_example_graph() -> QueryGraph:
+    """The 3-relation example of paper Fig. 6 / Table 3.
+
+    ``|R| = 10``, ``|S| = |T| = 1000``, ``f_RS = 0.1``, ``f_ST = 0.05``;
+    the optimal left-deep order is ``(R ⋈ S) ⋈ T`` with cost 51,000.
+    """
+    return QueryGraph(
+        relations=(
+            Relation("R", 10),
+            Relation("S", 1000),
+            Relation("T", 1000),
+        ),
+        predicates=(
+            Predicate("R", "S", 0.1),
+            Predicate("S", "T", 0.05),
+        ),
+    )
+
+
+def milp_example_graph() -> QueryGraph:
+    """The 3-relation example of paper Sec. 6.1.2 (A, B, C).
+
+    All cardinalities 10, one predicate A—B with selectivity 0.1;
+    used with a single threshold value of 10.
+    """
+    return QueryGraph(
+        relations=(Relation("A", 10), Relation("B", 10), Relation("C", 10)),
+        predicates=(Predicate("A", "B", 0.1),),
+    )
+
+
+def uniform_query(
+    num_relations: int,
+    num_predicates: int,
+    cardinality: float = 10.0,
+    selectivity: float = 0.5,
+    seed: Optional[int] = None,
+) -> QueryGraph:
+    """Uniform-cardinality instances of the paper's scaling studies.
+
+    All relations share one cardinality; ``num_predicates`` edges are
+    chosen as a spanning chain first (keeping the graph connected while
+    ``P >= J``) and then random extra edges, all with one selectivity.
+    """
+    names = _relation_names(num_relations)
+    joins = num_relations - 1
+    max_predicates = num_relations * (num_relations - 1) // 2
+    if num_predicates > max_predicates:
+        raise ProblemError(
+            f"{num_predicates} predicates exceed the {max_predicates} "
+            f"possible pairs of {num_relations} relations"
+        )
+    rng = np.random.default_rng(seed)
+    edges = []
+    if num_predicates >= joins:
+        edges.extend((names[i], names[i + 1]) for i in range(joins))
+        extra = [
+            (a, b)
+            for a, b in itertools.combinations(names, 2)
+            if (a, b) not in set(edges)
+        ]
+        picks = rng.choice(len(extra), size=num_predicates - joins, replace=False)
+        edges.extend(extra[int(i)] for i in picks)
+    else:
+        pairs = list(itertools.combinations(names, 2))
+        picks = rng.choice(len(pairs), size=num_predicates, replace=False)
+        edges.extend(pairs[int(i)] for i in picks)
+    return QueryGraph(
+        relations=tuple(Relation(n, cardinality) for n in names),
+        predicates=tuple(Predicate(a, b, selectivity) for a, b in edges),
+    )
+
+
+def chain_query(
+    num_relations: int,
+    cardinality_range: Tuple[float, float] = (10.0, 1000.0),
+    selectivity_range: Tuple[float, float] = (0.01, 0.5),
+    seed: Optional[int] = None,
+) -> QueryGraph:
+    """A chain query: R0 — R1 — ... — Rn-1."""
+    rng = np.random.default_rng(seed)
+    names = _relation_names(num_relations)
+    relations = tuple(
+        Relation(n, float(np.round(rng.uniform(*cardinality_range)))) for n in names
+    )
+    predicates = tuple(
+        Predicate(names[i], names[i + 1], float(rng.uniform(*selectivity_range)))
+        for i in range(num_relations - 1)
+    )
+    return QueryGraph(relations, predicates)
+
+
+def star_query(
+    num_relations: int,
+    fact_cardinality: float = 100_000.0,
+    dimension_range: Tuple[float, float] = (10.0, 1000.0),
+    selectivity_range: Tuple[float, float] = (0.001, 0.1),
+    seed: Optional[int] = None,
+) -> QueryGraph:
+    """A star query: a fact table joined with n-1 dimensions."""
+    rng = np.random.default_rng(seed)
+    names = _relation_names(num_relations)
+    relations = [Relation(names[0], fact_cardinality)]
+    relations += [
+        Relation(n, float(np.round(rng.uniform(*dimension_range))))
+        for n in names[1:]
+    ]
+    predicates = tuple(
+        Predicate(names[0], n, float(rng.uniform(*selectivity_range)))
+        for n in names[1:]
+    )
+    return QueryGraph(tuple(relations), predicates)
+
+
+def cycle_query(
+    num_relations: int,
+    cardinality_range: Tuple[float, float] = (10.0, 1000.0),
+    selectivity_range: Tuple[float, float] = (0.01, 0.5),
+    seed: Optional[int] = None,
+) -> QueryGraph:
+    """A cycle query: a chain closed back to the first relation."""
+    rng = np.random.default_rng(seed)
+    base = chain_query(num_relations, cardinality_range, selectivity_range, seed)
+    closing = Predicate(
+        base.relation_names[-1],
+        base.relation_names[0],
+        float(rng.uniform(*selectivity_range)),
+    )
+    return QueryGraph(base.relations, base.predicates + (closing,))
+
+
+def clique_query(
+    num_relations: int,
+    cardinality_range: Tuple[float, float] = (10.0, 1000.0),
+    selectivity_range: Tuple[float, float] = (0.01, 0.5),
+    seed: Optional[int] = None,
+) -> QueryGraph:
+    """A clique query: predicates between every relation pair."""
+    rng = np.random.default_rng(seed)
+    names = _relation_names(num_relations)
+    relations = tuple(
+        Relation(n, float(np.round(rng.uniform(*cardinality_range)))) for n in names
+    )
+    predicates = tuple(
+        Predicate(a, b, float(rng.uniform(*selectivity_range)))
+        for a, b in itertools.combinations(names, 2)
+    )
+    return QueryGraph(relations, predicates)
+
+
+def random_query(
+    num_relations: int,
+    num_predicates: Optional[int] = None,
+    cardinality_range: Tuple[float, float] = (10.0, 10_000.0),
+    selectivity_range: Tuple[float, float] = (0.001, 0.5),
+    seed: Optional[int] = None,
+) -> QueryGraph:
+    """A connected random query graph.
+
+    ``num_predicates`` defaults to the number of joins (the paper's
+    practical lower bound ``P = J``); a random spanning tree keeps the
+    predicate graph connected, extra predicates land on random pairs.
+    """
+    rng = np.random.default_rng(seed)
+    names = _relation_names(num_relations)
+    joins = num_relations - 1
+    num_predicates = joins if num_predicates is None else num_predicates
+    if num_predicates < joins:
+        raise ProblemError("random_query keeps graphs connected: need P >= J")
+    relations = tuple(
+        Relation(n, float(np.round(rng.uniform(*cardinality_range)))) for n in names
+    )
+    # random spanning tree (random attachment order)
+    order = list(rng.permutation(num_relations))
+    edges = set()
+    for i in range(1, num_relations):
+        j = int(rng.integers(0, i))
+        a, b = sorted((names[order[i]], names[order[j]]))
+        edges.add((a, b))
+    remaining = [
+        pair
+        for pair in itertools.combinations(names, 2)
+        if pair not in edges
+    ]
+    extra = num_predicates - len(edges)
+    if extra > len(remaining):
+        raise ProblemError("too many predicates for the relation count")
+    for i in rng.choice(len(remaining), size=extra, replace=False):
+        edges.add(remaining[int(i)])
+    predicates = tuple(
+        Predicate(a, b, float(rng.uniform(*selectivity_range)))
+        for a, b in sorted(edges)
+    )
+    return QueryGraph(relations, predicates)

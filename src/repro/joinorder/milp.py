@@ -1,0 +1,262 @@
+"""MILP formulation of the join ordering problem (paper Sec. 6.1.2,
+after [Trummer & Koch 2017]).
+
+Variables (all binary; ``j`` indexes joins ``0..J-1``):
+
+* ``tio[t,j]`` — relation ``t`` is in the *outer* operand of join ``j``;
+* ``tii[t,j]`` — relation ``t`` is the *inner* operand of join ``j``;
+* ``pao[p,j]`` — predicate ``p`` is applicable on the outer operand of
+  join ``j`` (only for ``j >= 1``; for the first join the outer operand
+  is a single relation, Sec. 6.2.2);
+* ``cto[r,j]`` — the log-cardinality of join ``j``'s outer operand has
+  reached threshold ``θ_r`` (only for ``j >= 1``, same reason).
+
+Constraint types 1–7 follow the paper verbatim; products of
+cardinalities/selectivities become sums of logarithms, and the
+objective (Eq. 38) charges ``δθ_r`` whenever a threshold is crossed so
+that minimising it minimises the accumulated intermediate
+cardinalities.
+
+``prune_thresholds=True`` additionally drops ``cto[r,j]`` variables
+(and their type-7 constraints) when the threshold is unreachable at
+join ``j`` (``mlc_j <= log θ_r``), the optimisation described in
+Sec. 6.2.2 — the paper's scaling *figures* are produced with pruning
+off to represent a general problem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ProblemError
+from repro.linprog.model import LinearModel, quicksum
+from repro.joinorder.query_graph import QueryGraph
+
+
+@dataclass
+class MilpStatistics:
+    """Variable bookkeeping of a built model (Sec. 6.3.1 quantities)."""
+
+    num_tio: int = 0
+    num_tii: int = 0
+    num_pao: int = 0
+    num_cto: int = 0
+    #: constraints needing a single binary slack (types 3, 5, 6)
+    num_single_slack_constraints: int = 0
+    #: type-7 constraints with their continuous-slack upper bound
+    type7_slack_bounds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_logical(self) -> int:
+        """``n_log`` of Eq. 46."""
+        return self.num_tio + self.num_tii + self.num_pao + self.num_cto
+
+
+@dataclass
+class JoinOrderMilp:
+    """Builder for the join-ordering MILP.
+
+    Parameters
+    ----------
+    graph:
+        The query graph.
+    thresholds:
+        Ascending threshold values ``θ_0 < θ_1 < ...`` approximating
+        intermediate cardinalities (more thresholds = finer objective,
+        more qubits — the trade-off of Fig. 12).
+    prune_thresholds:
+        Drop unreachable ``cto`` variables (Sec. 6.2.2).
+    log_base:
+        Base of the logarithmic encoding (10 keeps the paper's
+        examples readable; any base works).
+    """
+
+    graph: QueryGraph
+    thresholds: Sequence[float]
+    prune_thresholds: bool = True
+    log_base: float = 10.0
+    #: when set (the QUBO path), logarithmic coefficients and the
+    #: type-7 right-hand sides are rounded to multiples of this
+    #: precision factor ω (Sec. 6.1.4), and the big-M constant ∞ is
+    #: kept at ≥ ω so activating ``cto`` always relieves its
+    #: constraint.  ``None`` keeps exact coefficients (classical MILP).
+    precision_omega: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        thresholds = list(self.thresholds)
+        if not thresholds:
+            raise ProblemError("at least one threshold value is required")
+        if sorted(thresholds) != thresholds or len(set(thresholds)) != len(thresholds):
+            raise ProblemError("thresholds must be strictly ascending")
+        if thresholds[0] <= 0:
+            raise ProblemError("thresholds must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def _log(self, value: float) -> float:
+        return math.log(value, self.log_base)
+
+    def _rounded_log(self, value: float) -> float:
+        """Log coefficient, snapped to the ω grid when ω is set."""
+        raw = self._log(value)
+        if self.precision_omega is None:
+            return raw
+        return round(raw / self.precision_omega) * self.precision_omega
+
+    def delta_thetas(self) -> List[float]:
+        """``δθ_r``: θ_0, θ_1-θ_0, ... (objective weights, Sec. 6.1.2)."""
+        thresholds = list(self.thresholds)
+        return [thresholds[0]] + [
+            thresholds[r] - thresholds[r - 1] for r in range(1, len(thresholds))
+        ]
+
+    def max_log_cardinality(self, join: int) -> float:
+        """``mlc_j`` (Eq. 50): the worst-case log-cardinality of the
+        outer operand of (0-based) join ``j``, which holds ``j + 1``
+        relations — the sum of the ``j + 1`` largest log-cardinalities."""
+        logs = sorted(
+            (self._log(r.cardinality) for r in self.graph.relations), reverse=True
+        )
+        return sum(logs[: join + 1])
+
+    def threshold_reachable(self, r: int, join: int) -> bool:
+        """Whether θ_r can be exceeded at join ``j`` (prunable if not)."""
+        return self.max_log_cardinality(join) > self._log(self.thresholds[r])
+
+    # ------------------------------------------------------------------
+    # Model construction
+    # ------------------------------------------------------------------
+    def build(self) -> Tuple[LinearModel, MilpStatistics]:
+        """Construct the MILP and report its variable statistics."""
+        graph = self.graph
+        names = graph.relation_names
+        joins = graph.num_joins
+        predicates = graph.predicates
+        thresholds = list(self.thresholds)
+        stats = MilpStatistics()
+        model = LinearModel(name="join_order")
+
+        tio = {}
+        tii = {}
+        for j in range(joins):
+            for t in names:
+                tio[(t, j)] = model.add_binary(f"tio[{t},{j}]")
+                tii[(t, j)] = model.add_binary(f"tii[{t},{j}]")
+                stats.num_tio += 1
+                stats.num_tii += 1
+
+        pao = {}
+        for j in range(1, joins):
+            for p_idx, _ in enumerate(predicates):
+                pao[(p_idx, j)] = model.add_binary(f"pao[{p_idx},{j}]")
+                stats.num_pao += 1
+
+        cto = {}
+        for j in range(1, joins):
+            for r in range(len(thresholds)):
+                if self.prune_thresholds and not self.threshold_reachable(r, j):
+                    continue
+                cto[(r, j)] = model.add_binary(f"cto[{r},{j}]")
+                stats.num_cto += 1
+
+        # objective (Eq. 38): min Σ_r Σ_j cto[r,j] * δθ_r
+        deltas = self.delta_thetas()
+        model.set_objective(
+            quicksum(
+                deltas[r] * cto[(r, j)] for (r, j) in cto
+            )
+        )
+
+        # type 1: exactly one relation in the first join's outer operand
+        model.add_constraint(
+            quicksum(tio[(t, 0)] for t in names).eq(1), name="t1"
+        )
+        # type 2: exactly one inner relation per join
+        for j in range(joins):
+            model.add_constraint(
+                quicksum(tii[(t, j)] for t in names).eq(1), name=f"t2[{j}]"
+            )
+        # type 3: a relation is not both operands of the same join
+        for j in range(joins):
+            for t in names:
+                model.add_constraint(
+                    tio[(t, j)] + tii[(t, j)] <= 1, name=f"t3[{t},{j}]"
+                )
+                stats.num_single_slack_constraints += 1
+        # type 4: relations accumulate into subsequent outer operands
+        for j in range(1, joins):
+            for t in names:
+                model.add_constraint(
+                    (tio[(t, j)] - tii[(t, j - 1)] - tio[(t, j - 1)]).eq(0),
+                    name=f"t4[{t},{j}]",
+                )
+        # types 5 and 6: a predicate applies only when both its
+        # relations are in the outer operand
+        for (p_idx, j), var in pao.items():
+            predicate = predicates[p_idx]
+            model.add_constraint(
+                var - tio[(predicate.first, j)] <= 0, name=f"t5[{p_idx},{j}]"
+            )
+            model.add_constraint(
+                var - tio[(predicate.second, j)] <= 0, name=f"t6[{p_idx},{j}]"
+            )
+            stats.num_single_slack_constraints += 2
+        # type 7: threshold indicators track the outer log-cardinality
+        for (r, j), var in cto.items():
+            log_theta = self._rounded_log(thresholds[r])
+            infinity = max(self.max_log_cardinality(j) - log_theta, 0.0)
+            if self.precision_omega is not None:
+                # snap ∞ *up* to the ω grid with a floor of ω, so the
+                # coefficient stays on-grid and activating cto always
+                # relieves the constraint (a zero ∞ would strand valid
+                # solutions in infeasibility)
+                omega = self.precision_omega
+                infinity = max(math.ceil(infinity / omega) * omega, omega)
+            lco = quicksum(
+                self._rounded_log(graph.cardinality(t)) * tio[(t, j)] for t in names
+            ) + quicksum(
+                self._rounded_log(predicates[p_idx].selectivity) * pao[(p_idx, j)]
+                for (p_idx, jj) in pao
+                if jj == j
+            )
+            name = f"t7[{r},{j}]"
+            model.add_constraint(
+                (lco - infinity * var) <= log_theta, name=name
+            )
+            # slack upper bound C_rj = log θ_r + ∞_rj (Eq. 48); with the
+            # minimal ∞ this is exactly mlc_j.  Assumes lco ≥ 0, i.e.
+            # intermediate cardinalities of at least one tuple — the
+            # same assumption the paper's bound makes.
+            stats.type7_slack_bounds[name] = log_theta + infinity
+        return model, stats
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode_order(self, assignment: Dict[str, float]) -> Tuple[str, ...]:
+        """Recover the join order from a variable assignment.
+
+        The permutation is the outer relation of join 0 followed by the
+        inner relation of each join (Sec. 6.1.2, "Example").
+        """
+        names = self.graph.relation_names
+        joins = self.graph.num_joins
+
+        def chosen(prefix: str, j: int) -> str:
+            picks = [
+                t for t in names if round(assignment.get(f"{prefix}[{t},{j}]", 0)) == 1
+            ]
+            if len(picks) != 1:
+                raise ProblemError(
+                    f"assignment selects {len(picks)} relations for {prefix} of join {j}"
+                )
+            return picks[0]
+
+        order = [chosen("tio", 0)]
+        for j in range(joins):
+            order.append(chosen("tii", j))
+        self.graph.validate_permutation(order)
+        return tuple(order)

@@ -1,0 +1,138 @@
+"""Query graphs for the join ordering problem (paper Sec. 4.2).
+
+A query graph ``G = (V, E)`` has one node per relation (with its
+cardinality) and one edge per join predicate, labelled with the
+predicate's selectivity (Eq. 26).  Relation pairs without a predicate
+join as cross products (selectivity 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.exceptions import ProblemError
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A base relation with its cardinality."""
+
+    name: str
+    cardinality: float
+
+    def __post_init__(self) -> None:
+        if self.cardinality < 1:
+            raise ProblemError(
+                f"relation {self.name!r} must have cardinality >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A binary join predicate with its selectivity (Eq. 26)."""
+
+    first: str
+    second: str
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if self.first == self.second:
+            raise ProblemError("a join predicate relates two distinct relations")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ProblemError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+    @property
+    def relations(self) -> FrozenSet[str]:
+        return frozenset((self.first, self.second))
+
+
+@dataclass(frozen=True)
+class QueryGraph:
+    """A join-ordering problem instance."""
+
+    relations: Tuple[Relation, ...]
+    predicates: Tuple[Predicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.relations]
+        if len(set(names)) != len(names):
+            raise ProblemError("duplicate relation names")
+        if len(names) < 2:
+            raise ProblemError("a join ordering problem needs >= 2 relations")
+        known = set(names)
+        seen_pairs = set()
+        for p in self.predicates:
+            if p.first not in known or p.second not in known:
+                raise ProblemError(f"predicate references unknown relation: {p}")
+            if p.relations in seen_pairs:
+                raise ProblemError(
+                    f"duplicate predicate between {sorted(p.relations)}"
+                )
+            seen_pairs.add(p.relations)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_relations(self) -> int:
+        return len(self.relations)
+
+    @property
+    def num_joins(self) -> int:
+        """``J = T - 1`` (paper Sec. 6.3.1)."""
+        return self.num_relations - 1
+
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    @property
+    def relation_names(self) -> Tuple[str, ...]:
+        return tuple(r.name for r in self.relations)
+
+    def relation(self, name: str) -> Relation:
+        for r in self.relations:
+            if r.name == name:
+                return r
+        raise ProblemError(f"unknown relation {name!r}")
+
+    def cardinality(self, name: str) -> float:
+        return self.relation(name).cardinality
+
+    def cardinalities(self) -> Dict[str, float]:
+        return {r.name: r.cardinality for r in self.relations}
+
+    def selectivity(self, a: str, b: str) -> float:
+        """Selectivity between two relations (1.0 for a cross product)."""
+        key = frozenset((a, b))
+        for p in self.predicates:
+            if p.relations == key:
+                return p.selectivity
+        return 1.0
+
+    def predicates_within(self, names: Iterable[str]) -> Tuple[Predicate, ...]:
+        """Predicates whose both relations lie inside ``names``."""
+        inside = set(names)
+        return tuple(p for p in self.predicates if p.relations <= inside)
+
+    def is_connected(self) -> bool:
+        """Whether the predicate graph spans all relations.
+
+        Disconnected graphs force cross products, which the paper notes
+        some optimizers exclude (Sec. 6.3.2: ``P = J`` is the practical
+        lower bound on predicate counts).
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.relation_names)
+        g.add_edges_from((p.first, p.second) for p in self.predicates)
+        return nx.is_connected(g)
+
+    def validate_permutation(self, order: Sequence[str]) -> None:
+        """Check that ``order`` is a permutation of the relations."""
+        if sorted(order) != sorted(self.relation_names):
+            raise ProblemError(
+                f"{list(order)} is not a permutation of {list(self.relation_names)}"
+            )

@@ -1,0 +1,39 @@
+"""Mixed/binary integer linear programming substrate.
+
+This package stands in for the Gurobi modelling layer the paper uses
+(Sec. 6.2.1): a :class:`LinearModel` collects variables, an objective and
+constraints; the coefficient matrix / vectors can be extracted for the
+BILP → QUBO transformation; a branch-and-bound solver over scipy's LP
+relaxation provides the classical MILP baseline.
+"""
+
+from repro.linprog.model import (
+    Constraint,
+    LinearExpr,
+    LinearModel,
+    Sense,
+    VarType,
+    Variable,
+)
+from repro.linprog.standard_form import (
+    StandardFormResult,
+    binary_slack_count,
+    discretize_slack,
+    to_equality_form,
+)
+from repro.linprog.branch_and_bound import BranchAndBoundSolver, MilpSolution
+
+__all__ = [
+    "Constraint",
+    "LinearExpr",
+    "LinearModel",
+    "Sense",
+    "VarType",
+    "Variable",
+    "StandardFormResult",
+    "binary_slack_count",
+    "discretize_slack",
+    "to_equality_form",
+    "BranchAndBoundSolver",
+    "MilpSolution",
+]

@@ -1,0 +1,188 @@
+"""Branch-and-bound MILP solver over scipy's LP relaxation.
+
+Stands in for the Gurobi solver as the classical baseline the paper
+compares against (the MILP approach of Trummer & Koch, SIGMOD 2017).
+The implementation is a textbook best-first branch-and-bound:
+
+1. solve the LP relaxation with ``scipy.optimize.linprog`` (HiGHS);
+2. if the relaxation is integral, the node is a candidate incumbent;
+3. otherwise branch on the most fractional integer variable;
+4. prune nodes whose LP bound cannot beat the incumbent.
+
+The solver handles binary, integer and continuous variables, so it can
+solve both the BILP produced for the quantum pipeline and the original
+MILP formulation directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleError, SolverError
+from repro.linprog.model import LinearModel, Sense, VarType
+
+
+@dataclass
+class MilpSolution:
+    """Result of a branch-and-bound solve."""
+
+    assignment: Dict[str, float]
+    objective: float
+    #: number of branch-and-bound nodes explored
+    nodes_explored: int = 0
+    #: True when the search completed (solution proven optimal)
+    optimal: bool = True
+
+    def int_assignment(self) -> Dict[str, int]:
+        """Assignment with integer variables rounded to exact integers."""
+        return {n: int(round(v)) for n, v in self.assignment.items()}
+
+
+@dataclass(order=True)
+class _Node:
+    bound: float
+    counter: int
+    lower: np.ndarray = field(compare=False)
+    upper: np.ndarray = field(compare=False)
+
+
+class BranchAndBoundSolver:
+    """Best-first branch-and-bound for mixed-integer linear programs."""
+
+    def __init__(
+        self,
+        max_nodes: int = 200_000,
+        tol: float = 1e-6,
+        time_limit: Optional[float] = None,
+    ) -> None:
+        self.max_nodes = max_nodes
+        self.tol = tol
+        self.time_limit = time_limit
+
+    def solve(self, model: LinearModel) -> MilpSolution:
+        """Minimize the model's objective subject to its constraints.
+
+        Raises
+        ------
+        InfeasibleError
+            If the model has no feasible assignment.
+        SolverError
+            If the node limit is exhausted before optimality is proven
+            and no incumbent was found.
+        """
+        import time
+
+        start = time.monotonic()
+        names = list(model.variable_names)
+        index = {n: i for i, n in enumerate(names)}
+        n = len(names)
+
+        c = np.zeros(n)
+        for name, coeff in model.objective.coeffs.items():
+            c[index[name]] = coeff
+        obj_const = model.objective.constant
+
+        a_ub_rows: List[np.ndarray] = []
+        b_ub: List[float] = []
+        a_eq_rows: List[np.ndarray] = []
+        b_eq: List[float] = []
+        for con in model.constraints:
+            row = np.zeros(n)
+            for name, coeff in con.coeffs.items():
+                row[index[name]] = coeff
+            if con.sense is Sense.LE:
+                a_ub_rows.append(row)
+                b_ub.append(con.rhs)
+            elif con.sense is Sense.GE:
+                a_ub_rows.append(-row)
+                b_ub.append(-con.rhs)
+            else:
+                a_eq_rows.append(row)
+                b_eq.append(con.rhs)
+        a_ub = np.array(a_ub_rows) if a_ub_rows else None
+        a_eq = np.array(a_eq_rows) if a_eq_rows else None
+
+        base_lower = np.array([v.lower for v in model.variables], dtype=float)
+        base_upper = np.array([v.upper for v in model.variables], dtype=float)
+        integral = np.array(
+            [v.vartype is not VarType.CONTINUOUS for v in model.variables]
+        )
+
+        def relax(lower: np.ndarray, upper: np.ndarray):
+            bounds = list(zip(lower, upper))
+            res = linprog(
+                c,
+                A_ub=a_ub,
+                b_ub=np.array(b_ub) if b_ub else None,
+                A_eq=a_eq,
+                b_eq=np.array(b_eq) if b_eq else None,
+                bounds=bounds,
+                method="highs",
+            )
+            return res
+
+        counter = itertools.count()
+        root = relax(base_lower, base_upper)
+        if root.status == 2:
+            raise InfeasibleError("LP relaxation of the root node is infeasible")
+        if root.status != 0:
+            raise SolverError(f"root LP failed with status {root.status}")
+
+        heap: List[Tuple[float, int, np.ndarray, np.ndarray]] = [
+            (root.fun, next(counter), base_lower, base_upper)
+        ]
+        incumbent: Optional[np.ndarray] = None
+        incumbent_obj = math.inf
+        explored = 0
+
+        while heap:
+            bound, _, lower, upper = heapq.heappop(heap)
+            if bound >= incumbent_obj - self.tol:
+                continue
+            if explored >= self.max_nodes:
+                break
+            if self.time_limit is not None and time.monotonic() - start > self.time_limit:
+                break
+            res = relax(lower, upper)
+            explored += 1
+            if res.status != 0:
+                continue  # infeasible or failed subproblem: prune
+            if res.fun >= incumbent_obj - self.tol:
+                continue
+            x = res.x
+            frac = np.where(
+                integral, np.abs(x - np.round(x)), 0.0
+            )
+            most_fractional = int(np.argmax(frac))
+            if frac[most_fractional] <= self.tol:
+                # integral solution: new incumbent
+                candidate = np.where(integral, np.round(x), x)
+                incumbent = candidate
+                incumbent_obj = float(c @ candidate)
+                continue
+            value = x[most_fractional]
+            lo_branch_upper = upper.copy()
+            lo_branch_upper[most_fractional] = math.floor(value)
+            hi_branch_lower = lower.copy()
+            hi_branch_lower[most_fractional] = math.ceil(value)
+            heapq.heappush(heap, (res.fun, next(counter), lower, lo_branch_upper))
+            heapq.heappush(heap, (res.fun, next(counter), hi_branch_lower, upper))
+
+        if incumbent is None:
+            if explored >= self.max_nodes:
+                raise SolverError("node limit reached without finding a solution")
+            raise InfeasibleError("no integer-feasible assignment exists")
+        assignment = {name: float(incumbent[index[name]]) for name in names}
+        return MilpSolution(
+            assignment=assignment,
+            objective=incumbent_obj + obj_const,
+            nodes_explored=explored,
+            optimal=not heap and explored < self.max_nodes,
+        )

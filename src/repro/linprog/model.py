@@ -1,0 +1,351 @@
+"""Linear-programming model objects.
+
+A :class:`LinearModel` plays the role of a ``gurobipy.Model`` in the
+paper's pipeline (Sec. 6.2.2, steps 3–6): variables are declared, linear
+constraints and a linear objective added, and finally the coefficient
+matrix :math:`S`, right-hand-side vector :math:`b` and cost vector
+:math:`c` are extracted for the Ising transformation of [Lucas 2014].
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ModelError, VariableError
+
+Number = Union[int, float]
+
+
+class VarType(enum.Enum):
+    """Domain of a model variable."""
+
+    BINARY = "B"
+    INTEGER = "I"
+    CONTINUOUS = "C"
+
+
+class Sense(enum.Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named decision variable.
+
+    Supports arithmetic with numbers and other variables, producing
+    :class:`LinearExpr` objects, so constraints read naturally::
+
+        model.add_constraint(x + 2 * y <= 3, name="cap")
+    """
+
+    name: str
+    vartype: VarType = VarType.BINARY
+    lower: float = 0.0
+    upper: float = 1.0
+
+    def _expr(self) -> "LinearExpr":
+        return LinearExpr({self.name: 1.0}, 0.0)
+
+    def __add__(self, other) -> "LinearExpr":
+        return self._expr() + other
+
+    def __radd__(self, other) -> "LinearExpr":
+        return self._expr() + other
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return (-1.0 * self._expr()) + other
+
+    def __mul__(self, other: Number) -> "LinearExpr":
+        return self._expr() * other
+
+    def __rmul__(self, other: Number) -> "LinearExpr":
+        return self._expr() * other
+
+    def __neg__(self) -> "LinearExpr":
+        return self._expr() * -1.0
+
+    def __le__(self, other) -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other) -> "Constraint":
+        return self._expr() >= other
+
+    # dataclass(frozen=True) provides __eq__/__hash__ on fields; equations
+    # are expressed with LinearExpr.eq() to avoid clobbering equality.
+    def eq(self, other) -> "Constraint":
+        """Equality constraint ``self == other``."""
+        return self._expr().eq(other)
+
+
+class LinearExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: Optional[Mapping[str, float]] = None, constant: float = 0.0):
+        self.coeffs: Dict[str, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value) -> "LinearExpr":
+        if isinstance(value, LinearExpr):
+            return value
+        if isinstance(value, Variable):
+            return value._expr()
+        if isinstance(value, (int, float)):
+            return LinearExpr({}, float(value))
+        raise ModelError(f"cannot use {value!r} in a linear expression")
+
+    def __add__(self, other) -> "LinearExpr":
+        other = self._coerce(other)
+        coeffs = dict(self.coeffs)
+        for name, c in other.coeffs.items():
+            coeffs[name] = coeffs.get(name, 0.0) + c
+        return LinearExpr(coeffs, self.constant + other.constant)
+
+    def __radd__(self, other) -> "LinearExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "LinearExpr":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpr":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, factor: Number) -> "LinearExpr":
+        if not isinstance(factor, (int, float)):
+            raise ModelError("linear expressions can only be scaled by numbers")
+        return LinearExpr(
+            {name: c * factor for name, c in self.coeffs.items()},
+            self.constant * factor,
+        )
+
+    def __rmul__(self, factor: Number) -> "LinearExpr":
+        return self.__mul__(factor)
+
+    def __neg__(self) -> "LinearExpr":
+        return self * -1.0
+
+    def __le__(self, other) -> "Constraint":
+        return Constraint.build(self, Sense.LE, self._coerce(other))
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint.build(self, Sense.GE, self._coerce(other))
+
+    def eq(self, other) -> "Constraint":
+        """Equality constraint ``self == other``."""
+        return Constraint.build(self, Sense.EQ, self._coerce(other))
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Value of the expression at an assignment."""
+        return self.constant + sum(
+            c * assignment[name] for name, c in self.coeffs.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{c:+g}*{n}" for n, c in sorted(self.coeffs.items())]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return f"LinearExpr({' '.join(parts)})"
+
+
+def quicksum(terms: Iterable) -> LinearExpr:
+    """Sum variables/expressions/numbers into one :class:`LinearExpr`.
+
+    Mirrors ``gurobipy.quicksum`` so model-building code reads like the
+    paper's implementation.
+    """
+    total = LinearExpr()
+    for term in terms:
+        total = total + term
+    return total
+
+
+@dataclass
+class Constraint:
+    """A normalized linear constraint ``expr (<=|>=|==) rhs``.
+
+    Stored with all variables on the left and a numeric right-hand side.
+    """
+
+    name: str
+    coeffs: Dict[str, float]
+    sense: Sense
+    rhs: float
+
+    @classmethod
+    def build(cls, lhs: LinearExpr, sense: Sense, rhs: LinearExpr) -> "Constraint":
+        coeffs = dict(lhs.coeffs)
+        for name, c in rhs.coeffs.items():
+            coeffs[name] = coeffs.get(name, 0.0) - c
+        return cls(
+            name="",
+            coeffs={n: c for n, c in coeffs.items() if c != 0.0},
+            sense=sense,
+            rhs=rhs.constant - lhs.constant,
+        )
+
+    def violated_by(self, assignment: Mapping[str, float], tol: float = 1e-7) -> bool:
+        """Whether the assignment violates this constraint."""
+        lhs = sum(c * assignment[n] for n, c in self.coeffs.items())
+        if self.sense is Sense.LE:
+            return lhs > self.rhs + tol
+        if self.sense is Sense.GE:
+            return lhs < self.rhs - tol
+        return abs(lhs - self.rhs) > tol
+
+
+class LinearModel:
+    """A mixed-integer linear program.
+
+    Variables are registered by name; the objective is always a
+    *minimization* (the join-ordering objective, Eq. 38, is a
+    minimization; callers wanting maximization negate their costs).
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: Dict[str, Variable] = {}
+        self._constraints: List[Constraint] = []
+        self._objective = LinearExpr()
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_variable(
+        self,
+        name: str,
+        vartype: VarType = VarType.BINARY,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+    ) -> Variable:
+        """Register a variable.
+
+        ``upper`` defaults to 1 for binaries and +inf otherwise.
+        """
+        if name in self._variables:
+            raise VariableError(f"variable {name!r} already exists")
+        if upper is None:
+            upper = 1.0 if vartype is VarType.BINARY else float("inf")
+        var = Variable(name=name, vartype=vartype, lower=lower, upper=upper)
+        self._variables[name] = var
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        """Shorthand for a 0/1 variable."""
+        return self.add_variable(name, VarType.BINARY)
+
+    def get_variable(self, name: str) -> Variable:
+        """Look up a variable by name."""
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise VariableError(f"unknown variable {name!r}") from None
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """All variables in insertion order."""
+        return tuple(self._variables.values())
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """Variable names in insertion order."""
+        return tuple(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    def is_binary_program(self) -> bool:
+        """True when every variable is binary (a BILP, paper Sec. 6.1.3)."""
+        return all(v.vartype is VarType.BINARY for v in self._variables.values())
+
+    # ------------------------------------------------------------------
+    # Constraints and objective
+    # ------------------------------------------------------------------
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Add a constraint built with ``<=``, ``>=`` or ``.eq()``."""
+        if not isinstance(constraint, Constraint):
+            raise ModelError(
+                "add_constraint expects a Constraint (use <=, >= or .eq())"
+            )
+        unknown = set(constraint.coeffs) - set(self._variables)
+        if unknown:
+            raise VariableError(f"constraint references unknown variables {sorted(unknown)}")
+        constraint.name = name or f"c{len(self._constraints)}"
+        self._constraints.append(constraint)
+        return constraint
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    def set_objective(self, expr: Union[LinearExpr, Variable, Number]) -> None:
+        """Set the minimization objective."""
+        self._objective = LinearExpr._coerce(expr)
+
+    @property
+    def objective(self) -> LinearExpr:
+        return self._objective
+
+    def objective_value(self, assignment: Mapping[str, float]) -> float:
+        """Objective at an assignment."""
+        return self._objective.evaluate(assignment)
+
+    def is_feasible(self, assignment: Mapping[str, float], tol: float = 1e-7) -> bool:
+        """Whether an assignment satisfies every constraint and bound."""
+        for var in self._variables.values():
+            value = assignment[var.name]
+            if value < var.lower - tol or value > var.upper + tol:
+                return False
+            if var.vartype is not VarType.CONTINUOUS and abs(value - round(value)) > tol:
+                return False
+        return not any(c.violated_by(assignment, tol) for c in self._constraints)
+
+    # ------------------------------------------------------------------
+    # Matrix extraction (paper Sec. 6.2.2, step 6)
+    # ------------------------------------------------------------------
+    def to_matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Tuple[str, ...]]:
+        """Extract ``(S, b, c, order)``.
+
+        ``S`` is the ``m x n`` constraint-coefficient matrix, ``b`` the
+        right-hand sides and ``c`` the objective cost vector, ordered by
+        ``order`` (insertion order of variables).  Senses are *not*
+        encoded in the matrix — use :func:`to_equality_form` first when a
+        pure equality system is required (as the Ising transformation of
+        Sec. 6.1.4 does).
+        """
+        order = self.variable_names
+        index = {n: i for i, n in enumerate(order)}
+        m, n = len(self._constraints), len(order)
+        s = np.zeros((m, n), dtype=float)
+        b = np.zeros(m, dtype=float)
+        for row, con in enumerate(self._constraints):
+            for name, coeff in con.coeffs.items():
+                s[row, index[name]] = coeff
+            b[row] = con.rhs
+        c = np.zeros(n, dtype=float)
+        for name, coeff in self._objective.coeffs.items():
+            c[index[name]] = coeff
+        return s, b, c, order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinearModel({self.name!r}: {self.num_variables} vars, "
+            f"{self.num_constraints} constraints)"
+        )

@@ -1,0 +1,174 @@
+"""Conversion of inequality constraints to equalities with slack variables.
+
+Implements Sec. 6.1.3 of the paper:
+
+* a ``<=`` constraint over integers whose slack can be at most 1 gains a
+  single *binary* slack variable;
+* a ``<=`` constraint with a larger (possibly fractional) slack range is
+  given a *discretized continuous* slack: per Eq. 40, a continuous slack
+  ``csl`` with upper bound ``C`` is approximated by
+
+  .. math:: csl = \\omega \\sum_{i=1}^{n} 2^{i-1}\\,bsl_i,
+            \\qquad n = \\lfloor \\log_2(C/\\omega) \\rfloor + 1
+
+  with precision factor :math:`\\omega = 0.1^p`.
+
+Coefficients and right-hand sides are rounded to the precision
+:math:`\\omega` (Sec. 6.1.4, "Penalty Weights"), which keeps the smallest
+possible constraint violation at exactly :math:`\\omega` and makes the
+penalty-weight bound :math:`A > C/\\omega^2` valid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ModelError
+from repro.linprog.model import Constraint, LinearModel, Sense, VarType
+
+
+def binary_slack_count(upper_bound: float, omega: float) -> int:
+    """Number of binary variables to discretize a slack (Eq. 40/52).
+
+    ``n = floor(log2(C / omega)) + 1`` — enough binaries for the weighted
+    sum to cover the range ``[0, C]`` in steps of ``omega``.
+    """
+    if upper_bound <= 0:
+        return 0
+    if omega <= 0:
+        raise ModelError("precision factor omega must be positive")
+    ratio = upper_bound / omega
+    if ratio < 1.0:
+        return 1
+    return int(math.floor(math.log2(ratio))) + 1
+
+
+def discretize_slack(upper_bound: float, omega: float, prefix: str) -> Tuple[List[str], List[float]]:
+    """Names and coefficients of the binary slacks approximating one
+    continuous slack variable (Eq. 40).
+
+    Returns ``(names, coefficients)`` where the approximated slack equals
+    ``sum(coeff_i * bsl_i)`` with ``coeff_i = omega * 2^(i-1)``.
+    """
+    count = binary_slack_count(upper_bound, omega)
+    names = [f"{prefix}[{i}]" for i in range(count)]
+    coefficients = [omega * (2.0 ** i) for i in range(count)]
+    return names, coefficients
+
+
+@dataclass
+class StandardFormResult:
+    """Outcome of :func:`to_equality_form`.
+
+    Attributes
+    ----------
+    model:
+        A new :class:`LinearModel` whose constraints are all equalities.
+    slack_variables:
+        Names of every added slack variable (binary, in order).
+    slack_of_constraint:
+        Maps original constraint name → list of slack names added for it.
+    """
+
+    model: LinearModel
+    slack_variables: List[str] = field(default_factory=list)
+    slack_of_constraint: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def num_slack_variables(self) -> int:
+        return len(self.slack_variables)
+
+
+def to_equality_form(
+    model: LinearModel,
+    omega: float = 1.0,
+    slack_bounds: Dict[str, float] | None = None,
+) -> StandardFormResult:
+    """Convert a BILP with inequalities into an all-equality BILP.
+
+    Parameters
+    ----------
+    model:
+        Source model; every variable must be binary.
+    omega:
+        Precision factor :math:`\\omega = 0.1^p`.  Slack upper bounds
+        and constraint coefficients are rounded to multiples of it.
+    slack_bounds:
+        Optional per-constraint upper bound for the slack range.  When
+        absent, the bound is derived from the constraint's coefficients:
+        the gap between the right-hand side and the smallest achievable
+        left-hand side value.
+
+    Notes
+    -----
+    A ``>=`` constraint is first negated into ``<=`` form.  A ``<=``
+    constraint then receives slacks so that ``lhs + slack == rhs``.
+    When the maximum possible slack is at most 1 and all coefficients
+    are integral, a single binary slack suffices (Sec. 6.1.3); otherwise
+    the slack is discretized per Eq. 40.
+    """
+    if not model.is_binary_program():
+        raise ModelError("to_equality_form requires a pure binary program")
+    if omega <= 0:
+        raise ModelError("omega must be positive")
+
+    out = LinearModel(name=f"{model.name}_eq")
+    for var in model.variables:
+        out.add_variable(var.name, var.vartype, var.lower, var.upper)
+    out.set_objective(model.objective)
+
+    result = StandardFormResult(model=out)
+    slack_bounds = slack_bounds or {}
+
+    for con in model.constraints:
+        coeffs = {n: _round_to(c, omega) for n, c in con.coeffs.items()}
+        rhs = _round_to(con.rhs, omega)
+        sense = con.sense
+        if sense is Sense.GE:
+            coeffs = {n: -c for n, c in coeffs.items()}
+            rhs = -rhs
+            sense = Sense.LE
+
+        if sense is Sense.EQ:
+            _append_equality(out, con.name, coeffs, rhs)
+            result.slack_of_constraint[con.name] = []
+            continue
+
+        # sense is now LE: lhs + slack == rhs with slack in [0, gap]
+        gap = slack_bounds.get(con.name)
+        if gap is None:
+            min_lhs = sum(c for c in coeffs.values() if c < 0)
+            gap = rhs - min_lhs
+        gap = max(0.0, gap)
+
+        integral = all(abs(c - round(c)) < 1e-12 for c in coeffs.values()) and (
+            abs(rhs - round(rhs)) < 1e-12
+        )
+        slacks: List[str] = []
+        if gap <= 1.0 + 1e-12 and integral:
+            name = f"sl_{con.name}"
+            out.add_binary(name)
+            coeffs[name] = 1.0
+            slacks.append(name)
+        elif gap > 0:
+            names, weights = discretize_slack(gap, omega, prefix=f"sl_{con.name}")
+            for slack_name, weight in zip(names, weights):
+                out.add_binary(slack_name)
+                coeffs[slack_name] = weight
+                slacks.append(slack_name)
+        _append_equality(out, con.name, coeffs, rhs)
+        result.slack_variables.extend(slacks)
+        result.slack_of_constraint[con.name] = slacks
+    return result
+
+
+def _append_equality(model: LinearModel, name: str, coeffs: Dict[str, float], rhs: float) -> None:
+    constraint = Constraint(name="", coeffs=dict(coeffs), sense=Sense.EQ, rhs=rhs)
+    model.add_constraint(constraint, name=name)
+
+
+def _round_to(value: float, omega: float) -> float:
+    """Round ``value`` to the nearest multiple of ``omega``."""
+    return round(value / omega) * omega

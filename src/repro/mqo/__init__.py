@@ -1,0 +1,37 @@
+"""Multi query optimization (paper Secs. 4.1 and 5).
+
+The MQO problem: given a batch of queries, each with several
+alternative execution plans and pairwise cost savings from shared
+subexpressions, pick exactly one plan per query minimising total cost
+(Eq. 25).  This package provides the problem model, the QUBO
+formulation of [Trummer & Koch 2016] used by the paper (Eqs. 29–35),
+random instance generators matching the paper's experimental classes,
+and classical + quantum solvers.
+"""
+
+from repro.mqo.problem import MqoProblem, MqoSolution, Plan, Saving
+from repro.mqo.generator import random_mqo_problem, paper_example_problem
+from repro.mqo.qubo import MqoQuboBuilder, mqo_to_bqm
+from repro.mqo.solvers import (
+    solve_exhaustive,
+    solve_greedy_local,
+    solve_genetic,
+    solve_with_annealer,
+    solve_with_minimum_eigen,
+)
+
+__all__ = [
+    "MqoProblem",
+    "MqoSolution",
+    "Plan",
+    "Saving",
+    "random_mqo_problem",
+    "paper_example_problem",
+    "MqoQuboBuilder",
+    "mqo_to_bqm",
+    "solve_exhaustive",
+    "solve_greedy_local",
+    "solve_genetic",
+    "solve_with_annealer",
+    "solve_with_minimum_eigen",
+]

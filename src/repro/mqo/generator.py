@@ -1,0 +1,97 @@
+"""MQO instance generators.
+
+Two sources of instances:
+
+* :func:`paper_example_problem` — the worked example of paper
+  Tables 1 and 2 (3 queries, 8 plans, 5 savings; locally-optimal cost
+  26 vs. global optimum 21);
+* :func:`random_mqo_problem` — randomized instances of the classes the
+  paper simulates (Sec. 5.3.2): a fixed number of plans per query
+  (PPQ), uniform plan costs, and savings drawn between plans of
+  *different* queries with a configurable density.  The PPQ parameter
+  controls the quadratic-term count through the E_M constraint clique
+  per query, exactly the effect Figure 8 varies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ProblemError
+from repro.mqo.problem import MqoProblem, Plan, Saving
+
+
+def paper_example_problem() -> MqoProblem:
+    """The example MQO instance of paper Tables 1 and 2."""
+    plans = (
+        Plan(1, 1, 10.0),
+        Plan(2, 1, 12.0),
+        Plan(3, 1, 15.0),
+        Plan(4, 2, 9.0),
+        Plan(5, 2, 16.0),
+        Plan(6, 3, 7.0),
+        Plan(7, 3, 12.0),
+        Plan(8, 3, 9.0),
+    )
+    savings = (
+        Saving(2, 4, 4.0),
+        Saving(2, 8, 5.0),
+        Saving(3, 4, 6.0),
+        Saving(5, 7, 7.0),
+        Saving(5, 8, 3.0),
+    )
+    return MqoProblem(plans=plans, savings=savings)
+
+
+def random_mqo_problem(
+    num_queries: int,
+    plans_per_query: int,
+    cost_range: tuple = (5.0, 25.0),
+    savings_density: float = 0.25,
+    savings_fraction: tuple = (0.1, 0.5),
+    seed: Optional[int] = None,
+) -> MqoProblem:
+    """Generate a random MQO instance.
+
+    Parameters
+    ----------
+    num_queries, plans_per_query:
+        Problem shape; total plans = ``num_queries * plans_per_query``.
+    cost_range:
+        Uniform range for plan execution costs.
+    savings_density:
+        Probability that a pair of plans *from different queries*
+        shares a subexpression.
+    savings_fraction:
+        A realised saving is uniform in this fraction of the cheaper
+        plan's cost (savings never exceed the cost they offset).
+    seed:
+        Reproducibility.
+    """
+    if num_queries < 1 or plans_per_query < 1:
+        raise ProblemError("need at least one query and one plan per query")
+    if not 0.0 <= savings_density <= 1.0:
+        raise ProblemError("savings_density must be a probability")
+    rng = np.random.default_rng(seed)
+
+    plans = []
+    plan_id = 1
+    for q in range(1, num_queries + 1):
+        for _ in range(plans_per_query):
+            cost = float(rng.uniform(*cost_range))
+            plans.append(Plan(plan_id, q, cost))
+            plan_id += 1
+
+    savings = []
+    for i, a in enumerate(plans):
+        for b in plans[i + 1:]:
+            if a.query_id == b.query_id:
+                continue
+            if rng.random() < savings_density:
+                fraction = float(rng.uniform(*savings_fraction))
+                amount = fraction * min(a.cost, b.cost)
+                if amount > 0:
+                    savings.append(Saving(a.plan_id, b.plan_id, amount))
+    return MqoProblem(plans=tuple(plans), savings=tuple(savings))

@@ -1,0 +1,178 @@
+"""The multi query optimization problem model (paper Sec. 4.1).
+
+An MQO instance consists of queries ``Q``, alternative plans ``P`` with
+``P = ∪_q P_q``, per-plan execution costs ``c_p`` and pairwise savings
+``s_{p1,p2} > 0`` realised when both plans execute and share a
+subexpression.  A valid solution selects *exactly one* plan per query;
+its cost is Eq. 25:
+
+.. math:: c_e = \\sum_{p \\in P_e} c_p
+          - \\sum_{\\{p1,p2\\} \\subseteq P_e} s_{p1,p2}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ProblemError
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One alternative execution plan for a query."""
+
+    plan_id: int
+    query_id: int
+    cost: float
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ProblemError(f"plan {self.plan_id} has negative cost")
+
+
+@dataclass(frozen=True)
+class Saving:
+    """Cost saving realised when both plans are executed together."""
+
+    plan_a: int
+    plan_b: int
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.plan_a == self.plan_b:
+            raise ProblemError("a saving needs two distinct plans")
+        if self.amount <= 0:
+            raise ProblemError("savings must be strictly positive")
+
+    @property
+    def key(self) -> FrozenSet[int]:
+        return frozenset((self.plan_a, self.plan_b))
+
+
+@dataclass(frozen=True)
+class MqoProblem:
+    """An MQO instance."""
+
+    plans: Tuple[Plan, ...]
+    savings: Tuple[Saving, ...] = ()
+
+    def __post_init__(self) -> None:
+        ids = [p.plan_id for p in self.plans]
+        if len(set(ids)) != len(ids):
+            raise ProblemError("duplicate plan ids")
+        known = set(ids)
+        seen_pairs = set()
+        for s in self.savings:
+            if s.plan_a not in known or s.plan_b not in known:
+                raise ProblemError(f"saving references unknown plan: {s}")
+            if s.key in seen_pairs:
+                raise ProblemError(f"duplicate saving for plans {sorted(s.key)}")
+            seen_pairs.add(s.key)
+        for q, plans in self.plans_by_query().items():
+            if not plans:
+                raise ProblemError(f"query {q} has no plans")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_plans(self) -> int:
+        """Total plans — the qubit count of the QUBO encoding (Sec. 5.3.1)."""
+        return len(self.plans)
+
+    @property
+    def num_queries(self) -> int:
+        return len({p.query_id for p in self.plans})
+
+    @property
+    def query_ids(self) -> Tuple[int, ...]:
+        seen: List[int] = []
+        for p in self.plans:
+            if p.query_id not in seen:
+                seen.append(p.query_id)
+        return tuple(seen)
+
+    def plans_by_query(self) -> Dict[int, Tuple[Plan, ...]]:
+        """The sets ``P_q`` keyed by query id."""
+        grouped: Dict[int, List[Plan]] = {}
+        for p in self.plans:
+            grouped.setdefault(p.query_id, []).append(p)
+        return {q: tuple(ps) for q, ps in grouped.items()}
+
+    def plan(self, plan_id: int) -> Plan:
+        for p in self.plans:
+            if p.plan_id == plan_id:
+                return p
+        raise ProblemError(f"unknown plan id {plan_id}")
+
+    def max_plan_cost(self) -> float:
+        """``max_p c_p`` — used for the penalty weight ω_L (Eq. 34)."""
+        return max(p.cost for p in self.plans)
+
+    def max_savings_of_any_plan(self) -> float:
+        """``max_p1 Σ_p2 s_{p1,p2}`` — used for ω_M (Eq. 35)."""
+        totals: Dict[int, float] = {}
+        for s in self.savings:
+            totals[s.plan_a] = totals.get(s.plan_a, 0.0) + s.amount
+            totals[s.plan_b] = totals.get(s.plan_b, 0.0) + s.amount
+        return max(totals.values(), default=0.0)
+
+    def saving_between(self, plan_a: int, plan_b: int) -> float:
+        key = frozenset((plan_a, plan_b))
+        for s in self.savings:
+            if s.key == key:
+                return s.amount
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def is_valid_selection(self, selected: Iterable[int]) -> bool:
+        """Exactly one plan per query?"""
+        selected = set(selected)
+        by_query = self.plans_by_query()
+        for q, plans in by_query.items():
+            if sum(1 for p in plans if p.plan_id in selected) != 1:
+                return False
+        # no stray ids
+        known = {p.plan_id for p in self.plans}
+        return selected <= known
+
+    def execution_cost(self, selected: Iterable[int]) -> float:
+        """Accumulated cost of a selection (Eq. 25).
+
+        Raises on invalid selections — use :meth:`is_valid_selection`
+        to pre-check solver output.
+        """
+        selected = set(selected)
+        if not self.is_valid_selection(selected):
+            raise ProblemError(f"invalid plan selection {sorted(selected)}")
+        cost = sum(p.cost for p in self.plans if p.plan_id in selected)
+        for s in self.savings:
+            if s.plan_a in selected and s.plan_b in selected:
+                cost -= s.amount
+        return cost
+
+
+@dataclass(frozen=True)
+class MqoSolution:
+    """A solved MQO instance."""
+
+    problem: MqoProblem
+    selected_plans: Tuple[int, ...]
+    cost: float
+    method: str = ""
+    #: True when the selection satisfies one-plan-per-query
+    valid: bool = True
+
+    @classmethod
+    def from_selection(
+        cls, problem: MqoProblem, selected: Iterable[int], method: str = ""
+    ) -> "MqoSolution":
+        selected = tuple(sorted(selected))
+        valid = problem.is_valid_selection(selected)
+        cost = problem.execution_cost(selected) if valid else float("inf")
+        return cls(
+            problem=problem,
+            selected_plans=selected,
+            cost=cost,
+            method=method,
+            valid=valid,
+        )

@@ -1,0 +1,25 @@
+"""Quadratic unconstrained binary optimization (QUBO) substrate.
+
+This package provides the problem representation shared by every solver in
+the repository — the gate-model variational algorithms, the annealing
+samplers and the classical baselines all consume a
+:class:`BinaryQuadraticModel`.
+
+The paper (Sec. 3.3) treats the QUBO and Ising formulations as
+interchangeable; :meth:`BinaryQuadraticModel.to_ising` and
+:meth:`BinaryQuadraticModel.from_ising` implement that duality exactly.
+"""
+
+from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+from repro.qubo.expression import BinaryExpression, BinaryVariable, Constant
+from repro.qubo.exact import ExactQuboSolver, brute_force_minimum
+
+__all__ = [
+    "BinaryQuadraticModel",
+    "Vartype",
+    "BinaryExpression",
+    "BinaryVariable",
+    "Constant",
+    "ExactQuboSolver",
+    "brute_force_minimum",
+]

@@ -1,0 +1,195 @@
+"""Symbolic polynomial expressions over binary variables.
+
+This module plays the role pyqubo plays in the paper's implementation
+(Sec. 6.2.1): QUBO formulations are written as readable mathematical
+expressions — sums, differences, products, squares of binary variables —
+and compiled into a :class:`~repro.qubo.bqm.BinaryQuadraticModel`.
+
+Because binary variables are idempotent (``x*x == x``), any product of
+binary expressions reduces to a multilinear polynomial.  Compilation
+raises if a term of degree three or higher survives, matching the
+restriction of current quantum hardware to two-qubit interactions
+(paper Sec. 3.3).
+
+Example
+-------
+>>> x, y = BinaryVariable("x"), BinaryVariable("y")
+>>> expr = (1 - x - y + 2 * x * y) ** 1
+>>> bqm = expr.compile()
+>>> bqm.energy({"x": 1, "y": 1})
+1.0
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Mapping, Union
+
+from repro.exceptions import ModelError
+from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+
+Number = Union[int, float]
+Monomial = FrozenSet[Hashable]
+
+_EMPTY: Monomial = frozenset()
+
+
+class BinaryExpression:
+    """A multilinear polynomial over named binary variables.
+
+    Internally a mapping from monomials (frozensets of variable names,
+    reduced by idempotence) to real coefficients.  Instances are
+    immutable; all operators return new expressions.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, float]) -> None:
+        self._terms: Dict[Monomial, float] = {
+            m: float(c) for m, c in terms.items() if c != 0.0
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def terms(self) -> Dict[Monomial, float]:
+        """Copy of the monomial → coefficient mapping."""
+        return dict(self._terms)
+
+    @property
+    def degree(self) -> int:
+        """Largest monomial size (0 for a constant expression)."""
+        return max((len(m) for m in self._terms), default=0)
+
+    def variables(self) -> FrozenSet[Hashable]:
+        """All variable names appearing in the expression."""
+        names = set()
+        for m in self._terms:
+            names |= m
+        return frozenset(names)
+
+    def constant(self) -> float:
+        """The coefficient of the empty monomial."""
+        return self._terms.get(_EMPTY, 0.0)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["BinaryExpression", Number]) -> "BinaryExpression":
+        other = _coerce(other)
+        terms = dict(self._terms)
+        for m, c in other._terms.items():
+            terms[m] = terms.get(m, 0.0) + c
+        return BinaryExpression(terms)
+
+    def __radd__(self, other: Number) -> "BinaryExpression":
+        return self.__add__(other)
+
+    def __sub__(self, other: Union["BinaryExpression", Number]) -> "BinaryExpression":
+        return self.__add__(_coerce(other).__neg__())
+
+    def __rsub__(self, other: Number) -> "BinaryExpression":
+        return _coerce(other).__sub__(self)
+
+    def __neg__(self) -> "BinaryExpression":
+        return BinaryExpression({m: -c for m, c in self._terms.items()})
+
+    def __mul__(self, other: Union["BinaryExpression", Number]) -> "BinaryExpression":
+        other = _coerce(other)
+        terms: Dict[Monomial, float] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                m = m1 | m2  # idempotence: x*x == x
+                terms[m] = terms.get(m, 0.0) + c1 * c2
+        return BinaryExpression(terms)
+
+    def __rmul__(self, other: Number) -> "BinaryExpression":
+        return self.__mul__(other)
+
+    def __pow__(self, exponent: int) -> "BinaryExpression":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ModelError("exponent must be a non-negative integer")
+        result = _coerce(1)
+        for _ in range(exponent):
+            result = result * self
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryExpression):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self._terms:
+            return "BinaryExpression(0)"
+        parts = []
+        for m, c in sorted(self._terms.items(), key=lambda kv: (len(kv[0]), str(sorted(map(str, kv[0]))))):
+            names = "*".join(sorted(map(str, m))) or "1"
+            parts.append(f"{c:+g}*{names}")
+        return f"BinaryExpression({' '.join(parts)})"
+
+    # ------------------------------------------------------------------
+    # Evaluation and compilation
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Mapping[Hashable, int]) -> float:
+        """Evaluate the polynomial at a 0/1 assignment."""
+        total = 0.0
+        for m, c in self._terms.items():
+            value = c
+            for name in m:
+                value *= assignment[name]
+                if value == 0.0:
+                    break
+            total += value
+        return total
+
+    def compile(self) -> BinaryQuadraticModel:
+        """Lower the expression into a binary quadratic model.
+
+        Raises
+        ------
+        ModelError
+            If any monomial has degree three or more.  Degree reduction
+            via auxiliary variables is out of the paper's scope (all its
+            formulations are natively quadratic).
+        """
+        bqm = BinaryQuadraticModel(vartype=Vartype.BINARY)
+        for m, c in self._terms.items():
+            if len(m) == 0:
+                bqm.offset += c
+            elif len(m) == 1:
+                (v,) = m
+                bqm.add_linear(v, c)
+            elif len(m) == 2:
+                u, v = sorted(m, key=str)
+                bqm.add_quadratic(u, v, c)
+            else:
+                names = sorted(map(str, m))
+                raise ModelError(
+                    f"monomial {'*'.join(names)} has degree {len(m)} > 2; "
+                    "the expression is not a QUBO"
+                )
+        # keep variables that appear only in cancelled terms out; but make
+        # sure every variable referenced by a surviving monomial exists
+        return bqm
+
+
+def BinaryVariable(name: Hashable) -> BinaryExpression:
+    """A single binary variable as an expression."""
+    return BinaryExpression({frozenset((name,)): 1.0})
+
+
+def Constant(value: Number) -> BinaryExpression:
+    """A constant as an expression."""
+    return BinaryExpression({_EMPTY: float(value)})
+
+
+def _coerce(value: Union[BinaryExpression, Number]) -> BinaryExpression:
+    if isinstance(value, BinaryExpression):
+        return value
+    if isinstance(value, (int, float)):
+        return Constant(value)
+    raise ModelError(f"cannot use {value!r} in a binary expression")

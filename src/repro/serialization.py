@@ -1,0 +1,175 @@
+"""JSON (de)serialization of problem instances and models.
+
+Lets users persist generated workloads, ship instances between
+machines, and archive the exact inputs behind experiment results:
+
+* MQO problems (queries, plans, savings),
+* join-ordering query graphs (relations, predicates),
+* binary quadratic models (linear/quadratic/offset/vartype).
+
+Formats are versioned dictionaries; unknown versions are rejected so
+future format changes fail loudly instead of misparsing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.exceptions import ProblemError
+from repro.joinorder.query_graph import Predicate, QueryGraph, Relation
+from repro.mqo.problem import MqoProblem, Plan, Saving
+from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+
+_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# MQO problems
+# ----------------------------------------------------------------------
+def mqo_to_dict(problem: MqoProblem) -> Dict[str, Any]:
+    """MQO instance → plain dictionary."""
+    return {
+        "format": _FORMAT,
+        "kind": "mqo_problem",
+        "plans": [
+            {"plan_id": p.plan_id, "query_id": p.query_id, "cost": p.cost}
+            for p in problem.plans
+        ],
+        "savings": [
+            {"plan_a": s.plan_a, "plan_b": s.plan_b, "amount": s.amount}
+            for s in problem.savings
+        ],
+    }
+
+
+def mqo_from_dict(data: Dict[str, Any]) -> MqoProblem:
+    """Dictionary → MQO instance (validates on construction)."""
+    _check(data, "mqo_problem")
+    return MqoProblem(
+        plans=tuple(
+            Plan(int(p["plan_id"]), int(p["query_id"]), float(p["cost"]))
+            for p in data["plans"]
+        ),
+        savings=tuple(
+            Saving(int(s["plan_a"]), int(s["plan_b"]), float(s["amount"]))
+            for s in data["savings"]
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Query graphs
+# ----------------------------------------------------------------------
+def query_graph_to_dict(graph: QueryGraph) -> Dict[str, Any]:
+    """Query graph → plain dictionary."""
+    return {
+        "format": _FORMAT,
+        "kind": "query_graph",
+        "relations": [
+            {"name": r.name, "cardinality": r.cardinality} for r in graph.relations
+        ],
+        "predicates": [
+            {"first": p.first, "second": p.second, "selectivity": p.selectivity}
+            for p in graph.predicates
+        ],
+    }
+
+
+def query_graph_from_dict(data: Dict[str, Any]) -> QueryGraph:
+    """Dictionary → query graph (validates on construction)."""
+    _check(data, "query_graph")
+    return QueryGraph(
+        relations=tuple(
+            Relation(str(r["name"]), float(r["cardinality"]))
+            for r in data["relations"]
+        ),
+        predicates=tuple(
+            Predicate(str(p["first"]), str(p["second"]), float(p["selectivity"]))
+            for p in data["predicates"]
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Binary quadratic models
+# ----------------------------------------------------------------------
+def bqm_to_dict(bqm: BinaryQuadraticModel) -> Dict[str, Any]:
+    """BQM → plain dictionary (variable names coerced to strings)."""
+    return {
+        "format": _FORMAT,
+        "kind": "bqm",
+        "vartype": bqm.vartype.name,
+        "offset": bqm.offset,
+        "linear": {str(v): b for v, b in bqm.linear.items()},
+        "quadratic": [
+            {"u": str(u), "v": str(v), "bias": bias}
+            for u, v, bias in bqm.interactions()
+        ],
+    }
+
+
+def bqm_from_dict(data: Dict[str, Any]) -> BinaryQuadraticModel:
+    """Dictionary → BQM."""
+    _check(data, "bqm")
+    bqm = BinaryQuadraticModel(
+        vartype=Vartype[data["vartype"]], offset=float(data["offset"])
+    )
+    for v, bias in data["linear"].items():
+        bqm.add_linear(v, float(bias))
+    for term in data["quadratic"]:
+        bqm.add_quadratic(term["u"], term["v"], float(term["bias"]))
+    return bqm
+
+
+# ----------------------------------------------------------------------
+# JSON front ends
+# ----------------------------------------------------------------------
+_SERIALIZERS = {
+    MqoProblem: mqo_to_dict,
+    QueryGraph: query_graph_to_dict,
+    BinaryQuadraticModel: bqm_to_dict,
+}
+_DESERIALIZERS = {
+    "mqo_problem": mqo_from_dict,
+    "query_graph": query_graph_from_dict,
+    "bqm": bqm_from_dict,
+}
+
+Serializable = Union[MqoProblem, QueryGraph, BinaryQuadraticModel]
+
+
+def dumps(obj: Serializable, indent: int = 2) -> str:
+    """Serialize a supported object to a JSON string."""
+    for cls, serializer in _SERIALIZERS.items():
+        if isinstance(obj, cls):
+            return json.dumps(serializer(obj), indent=indent)
+    raise ProblemError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str) -> Serializable:
+    """Deserialize any supported JSON payload (dispatch on ``kind``)."""
+    data = json.loads(text)
+    kind = data.get("kind")
+    if kind not in _DESERIALIZERS:
+        raise ProblemError(f"unknown payload kind {kind!r}")
+    return _DESERIALIZERS[kind](data)
+
+
+def save(obj: Serializable, path: str) -> None:
+    """Serialize to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(obj))
+
+
+def load(path: str) -> Serializable:
+    """Deserialize from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _check(data: Dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise ProblemError(f"expected kind {kind!r}, got {data.get('kind')!r}")
+    if data.get("format") != _FORMAT:
+        raise ProblemError(f"unsupported format version {data.get('format')!r}")

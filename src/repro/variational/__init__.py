@@ -1,0 +1,41 @@
+"""Variational hybrid quantum-classical algorithms (paper Sec. 3.4).
+
+Provides the two algorithms the paper evaluates — :class:`VQE` and
+:class:`QAOA` — together with their ansatz builders, classical
+optimizers, and the :class:`MinimumEigenOptimizer` front end that turns
+a QUBO into an Ising Hamiltonian, runs an eigensolver and decodes the
+best measured bitstring (the Qiskit-optimization workflow of
+Sec. 5.2.2).
+"""
+
+from repro.variational.hamiltonian import IsingHamiltonian
+from repro.variational.ansatz import qaoa_ansatz, real_amplitudes
+from repro.variational.optimizers import (
+    Cobyla,
+    NelderMead,
+    OptimizerResult,
+    Spsa,
+)
+from repro.variational.vqe import VQE, VariationalResult
+from repro.variational.qaoa import QAOA
+from repro.variational.minimum_eigen import (
+    MinimumEigenOptimizer,
+    NumPyMinimumEigensolver,
+    OptimizationResult,
+)
+
+__all__ = [
+    "IsingHamiltonian",
+    "qaoa_ansatz",
+    "real_amplitudes",
+    "Cobyla",
+    "NelderMead",
+    "OptimizerResult",
+    "Spsa",
+    "VQE",
+    "QAOA",
+    "VariationalResult",
+    "MinimumEigenOptimizer",
+    "NumPyMinimumEigensolver",
+    "OptimizationResult",
+]

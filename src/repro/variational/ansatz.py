@@ -1,0 +1,119 @@
+"""Ansatz circuit builders for the variational algorithms.
+
+Two state-preparation families (paper Sec. 3.4):
+
+* :func:`real_amplitudes` — the hardware-efficient RY + CNOT ansatz the
+  Qiskit VQE uses by default.  Its depth grows linearly with the qubit
+  count and is *independent of the problem Hamiltonian* — the property
+  behind the VQE curves in Figures 9 and 13.  With ``entanglement="full"``
+  every qubit pair is entangled each repetition, which is what makes the
+  transpiled VQE depth explode on sparse topologies (≈900 % overhead in
+  the paper's Mumbai measurements).
+* :func:`qaoa_ansatz` — alternating problem/mixer unitaries (Eq. 20).
+  The problem unitary applies one ZZ rotation per quadratic Ising term,
+  so its depth grows with the QUBO matrix density (Secs. 5.3.2, 6.3.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+from repro.exceptions import CircuitError
+from repro.gate.circuit import QuantumCircuit
+from repro.gate.parameter import Parameter
+from repro.variational.hamiltonian import IsingHamiltonian
+
+
+def real_amplitudes(
+    num_qubits: int,
+    reps: int = 2,
+    entanglement: str = "full",
+) -> Tuple[QuantumCircuit, List[Parameter]]:
+    """The RealAmplitudes hardware-efficient ansatz.
+
+    Structure: ``reps + 1`` layers of per-qubit RY rotations with an
+    entanglement block of CNOTs between consecutive layers.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width.
+    reps:
+        Number of entanglement blocks (default 2, giving 3 RY layers).
+    entanglement:
+        ``"full"`` — CX between every qubit pair per block (Qiskit's
+        default, used by the paper's VQE); ``"linear"`` — CX along a
+        chain (cheaper ablation variant).
+
+    Returns
+    -------
+    (circuit, parameters):
+        The parameterized circuit and its ``(reps+1)*num_qubits`` RY
+        angles in application order.
+    """
+    if num_qubits < 1:
+        raise CircuitError("ansatz needs at least one qubit")
+    if entanglement not in ("full", "linear"):
+        raise CircuitError(f"unknown entanglement {entanglement!r}")
+    circuit = QuantumCircuit(num_qubits, name=f"RealAmplitudes({entanglement})")
+    parameters: List[Parameter] = []
+
+    def rotation_layer(layer: int) -> None:
+        for q in range(num_qubits):
+            theta = Parameter(f"theta[{layer * num_qubits + q:03d}]")
+            parameters.append(theta)
+            circuit.ry(theta, q)
+
+    rotation_layer(0)
+    for rep in range(reps):
+        if entanglement == "full":
+            for a, b in itertools.combinations(range(num_qubits), 2):
+                circuit.cx(a, b)
+        else:
+            for q in range(num_qubits - 1):
+                circuit.cx(q, q + 1)
+        rotation_layer(rep + 1)
+    return circuit, parameters
+
+
+def qaoa_ansatz(
+    hamiltonian: IsingHamiltonian,
+    reps: int = 1,
+) -> Tuple[QuantumCircuit, List[Parameter]]:
+    """The QAOA state-preparation circuit (Eq. 20).
+
+    For each repetition ``p`` the circuit applies the problem unitary
+    :math:`U(C, \\gamma_p) = e^{-i\\gamma_p C}` — one ``rz(2γh_i)`` per
+    linear term and one ``rzz(2γJ_{ij})`` per quadratic term — followed
+    by the mixer :math:`U(B, \\beta_p)` of per-qubit ``rx(2β)`` gates
+    (Eqs. 16–18).  The initial state is the uniform superposition
+    prepared by a Hadamard layer (Eq. 19).
+
+    Returns the circuit and its parameters ordered
+    ``[γ_1, β_1, γ_2, β_2, ...]``.
+    """
+    n = hamiltonian.num_qubits
+    if n < 1:
+        raise CircuitError("Hamiltonian must act on at least one qubit")
+    if reps < 1:
+        raise CircuitError("QAOA needs at least one repetition")
+    circuit = QuantumCircuit(n, name=f"QAOA(p={reps})")
+    parameters: List[Parameter] = []
+
+    for q in range(n):
+        circuit.h(q)
+
+    quadratic = sorted(hamiltonian.quadratic.items())
+    linear = sorted(hamiltonian.linear.items())
+    for p in range(reps):
+        gamma = Parameter(f"gamma[{p}]")
+        beta = Parameter(f"beta[{p}]")
+        parameters.extend((gamma, beta))
+        for (i, j), coupling in quadratic:
+            circuit.rzz(gamma * (2.0 * coupling), i, j)
+        for i, bias in linear:
+            circuit.rz(gamma * (2.0 * bias), i)
+        for q in range(n):
+            circuit.rx(beta * 2.0, q)
+    return circuit, parameters

@@ -1,0 +1,122 @@
+"""Qubit-indexed Ising Hamiltonians.
+
+Bridges the modelling layer (named-variable
+:class:`~repro.qubo.bqm.BinaryQuadraticModel`) and the quantum layer
+(qubit-indexed circuits): variables are assigned qubit indices in
+insertion order, and the Hamiltonian
+
+.. math:: H = \\sum_i h_i Z_i + \\sum_{i<j} J_{ij} Z_i Z_j + c
+
+is kept in coefficient form.  Because :math:`H` is diagonal in the
+computational basis, its full diagonal can be materialised for exact
+expectation values (the quantity VQE/QAOA minimise, Eqs. 15/21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.gate.statevector import ising_diagonal
+from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+
+
+@dataclass(frozen=True)
+class IsingHamiltonian:
+    """An Ising Hamiltonian over qubits ``0..num_qubits-1``.
+
+    Spin convention: qubit bit 0 ↔ spin +1, bit 1 ↔ spin −1 (i.e.
+    :math:`Z|0\\rangle = +|0\\rangle`).
+    """
+
+    num_qubits: int
+    linear: Dict[int, float]
+    quadratic: Dict[Tuple[int, int], float]
+    offset: float = 0.0
+    #: original model variable of each qubit (index-aligned)
+    variable_order: Tuple[Hashable, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        for i in self.linear:
+            if not 0 <= i < self.num_qubits:
+                raise ModelError(f"linear index {i} out of range")
+        for i, j in self.quadratic:
+            if not (0 <= i < self.num_qubits and 0 <= j < self.num_qubits) or i == j:
+                raise ModelError(f"bad quadratic index pair ({i}, {j})")
+
+    @classmethod
+    def from_bqm(cls, bqm: BinaryQuadraticModel) -> "IsingHamiltonian":
+        """Convert a (binary or spin) BQM into a qubit Hamiltonian.
+
+        Binary models are first mapped to their Ising equivalent; the
+        ground state of the Hamiltonian then encodes the QUBO optimum
+        (paper Sec. 3.3).
+        """
+        h, j, offset = bqm.to_ising()
+        order = tuple(bqm.variables)
+        index = {v: i for i, v in enumerate(order)}
+        linear = {index[v]: bias for v, bias in h.items() if bias}
+        quadratic = {}
+        for (u, v), bias in j.items():
+            if bias:
+                a, b = sorted((index[u], index[v]))
+                quadratic[(a, b)] = quadratic.get((a, b), 0.0) + bias
+        return cls(
+            num_qubits=len(order),
+            linear=linear,
+            quadratic=quadratic,
+            offset=offset,
+            variable_order=order,
+        )
+
+    @property
+    def num_terms(self) -> int:
+        """Total Pauli terms (linear + quadratic)."""
+        return len(self.linear) + len(self.quadratic)
+
+    @property
+    def num_quadratic_terms(self) -> int:
+        """ZZ interaction count — the QAOA depth driver (Sec. 6.3.3)."""
+        return len(self.quadratic)
+
+    def diagonal(self) -> np.ndarray:
+        """The :math:`2^n` diagonal of the Hamiltonian."""
+        return ising_diagonal(self.num_qubits, self.linear, self.quadratic, self.offset)
+
+    def energy_of_bits(self, bits: Mapping[int, int]) -> float:
+        """Energy of one computational basis state given bit values."""
+        spins = {q: 1.0 - 2.0 * bits[q] for q in range(self.num_qubits)}
+        total = self.offset
+        for i, h in self.linear.items():
+            total += h * spins[i]
+        for (i, j), coupling in self.quadratic.items():
+            total += coupling * spins[i] * spins[j]
+        return total
+
+    def bits_to_sample(self, bits: Mapping[int, int], vartype: Vartype) -> Dict[Hashable, int]:
+        """Map qubit bit values back to named model variables.
+
+        The spin convention is physical — bit 0 ↔ spin +1 (since
+        :math:`Z|0\\rangle = +|0\\rangle`) — and the binary↔spin duality
+        maps spin +1 ↔ binary 1, so a measured bit ``b`` decodes to the
+        binary value ``1 - b``.
+        """
+        if not self.variable_order:
+            raise ModelError("Hamiltonian has no variable order recorded")
+        sample: Dict[Hashable, int] = {}
+        for q, name in enumerate(self.variable_order):
+            bit = int(bits[q])
+            if vartype is Vartype.BINARY:
+                sample[name] = 1 - bit
+            else:
+                sample[name] = -1 if bit else 1
+        return sample
+
+    def ground_state(self) -> Tuple[int, float]:
+        """Exact ground state ``(basis index, energy)`` by enumeration."""
+        diag = self.diagonal()
+        idx = int(np.argmin(diag))
+        return idx, float(diag[idx])

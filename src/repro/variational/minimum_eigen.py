@@ -1,0 +1,127 @@
+"""QUBO front end for the eigensolvers (Qiskit-optimization analogue).
+
+The paper's workflow (Sec. 5.2.2) wraps VQE/QAOA in a
+``MinimumEigenOptimizer``: the quadratic program is converted to a QUBO
+/ Ising Hamiltonian, the eigensolver is run, and the best measured
+bitstring is decoded back into named model variables.  The
+:class:`NumPyMinimumEigensolver` is the exact classical reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.gate.circuit import QuantumCircuit
+from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+from repro.variational.hamiltonian import IsingHamiltonian
+from repro.variational.vqe import VariationalResult
+
+
+@dataclass
+class OptimizationResult:
+    """Decoded solution of a QUBO optimization."""
+
+    sample: Dict[Hashable, int]
+    fval: float
+    #: the eigensolver's raw result when a variational solver was used
+    variational: Optional[VariationalResult] = None
+    #: the transpile-ready circuit prepared by the solver, if any
+    optimal_circuit: Optional[QuantumCircuit] = None
+    #: additional (sample, energy) candidates, best first
+    candidates: List[Tuple[Dict[Hashable, int], float]] = field(default_factory=list)
+
+
+class NumPyMinimumEigensolver:
+    """Exact diagonal minimization (classical reference solver)."""
+
+    def compute_minimum_eigenvalue(self, hamiltonian: IsingHamiltonian) -> VariationalResult:
+        index, energy = hamiltonian.ground_state()
+        bits = {
+            q: (index >> q) & 1 for q in range(hamiltonian.num_qubits)
+        }
+        return VariationalResult(
+            eigenvalue=energy,
+            optimal_parameters=np.array([]),
+            optimal_circuit=QuantumCircuit(hamiltonian.num_qubits, "exact"),
+            counts={},
+            best_bits=bits,
+            best_energy=energy,
+        )
+
+
+class MinimumEigenOptimizer:
+    """Solve a binary quadratic model with a minimum-eigensolver.
+
+    Parameters
+    ----------
+    solver:
+        Any object with ``compute_minimum_eigenvalue(IsingHamiltonian)``
+        returning a :class:`VariationalResult` — :class:`~repro.variational.vqe.VQE`,
+        :class:`~repro.variational.qaoa.QAOA` or
+        :class:`NumPyMinimumEigensolver`.
+    max_qubits:
+        Refuse models needing more qubits than this (default 32, the
+        qasm-simulator limit the paper runs into in Sec. 6.3.4).
+    """
+
+    def __init__(self, solver, max_qubits: int = 32) -> None:
+        self.solver = solver
+        self.max_qubits = max_qubits
+
+    def solve(self, bqm: BinaryQuadraticModel) -> OptimizationResult:
+        """Minimize the model and decode the best measured sample."""
+        if bqm.num_variables == 0:
+            return OptimizationResult(sample={}, fval=bqm.offset)
+        if bqm.num_variables > self.max_qubits:
+            raise SolverError(
+                f"model needs {bqm.num_variables} qubits, "
+                f"limit is {self.max_qubits}"
+            )
+        hamiltonian = IsingHamiltonian.from_bqm(bqm)
+        result = self.solver.compute_minimum_eigenvalue(hamiltonian)
+        if result.best_bits is None:
+            raise SolverError("eigensolver returned no measured state")
+
+        binary = bqm.change_vartype(Vartype.BINARY)
+        sample = hamiltonian.bits_to_sample(result.best_bits, Vartype.BINARY)
+        fval = binary.energy(sample)
+        if bqm.vartype is Vartype.SPIN:
+            sample = hamiltonian.bits_to_sample(result.best_bits, Vartype.SPIN)
+
+        candidates = _decode_candidates(hamiltonian, bqm, result)
+        return OptimizationResult(
+            sample=sample,
+            fval=fval,
+            variational=result,
+            optimal_circuit=result.optimal_circuit,
+            candidates=candidates,
+        )
+
+
+def _decode_candidates(
+    hamiltonian: IsingHamiltonian,
+    bqm: BinaryQuadraticModel,
+    result: VariationalResult,
+    limit: int = 16,
+) -> List[Tuple[Dict[Hashable, int], float]]:
+    """Decode the sampled bitstrings into (sample, energy) pairs."""
+    binary = bqm.change_vartype(Vartype.BINARY)
+    scored = []
+    for bitstring in result.counts:
+        bits = {
+            q: int(bitstring[len(bitstring) - 1 - q]) for q in range(len(bitstring))
+        }
+        sample = hamiltonian.bits_to_sample(bits, Vartype.BINARY)
+        scored.append((sample, binary.energy(sample)))
+    scored.sort(key=lambda item: item[1])
+    if bqm.vartype is Vartype.SPIN:
+        converted = []
+        for sample, energy in scored[:limit]:
+            spin_sample = {name: 2 * value - 1 for name, value in sample.items()}
+            converted.append((spin_sample, energy))
+        return converted
+    return scored[:limit]

@@ -1,0 +1,141 @@
+"""Classical outer-loop optimizers for the variational algorithms.
+
+The hybrid loop (paper Fig. 3) alternates quantum expectation
+estimation with classical parameter updates.  Three optimizers are
+provided:
+
+* :class:`Cobyla` — the Qiskit default for noiseless simulation, via
+  ``scipy.optimize.minimize``;
+* :class:`Spsa` — simultaneous-perturbation stochastic approximation,
+  the standard choice under shot noise (two evaluations per iteration
+  regardless of dimension);
+* :class:`NelderMead` — a derivative-free simplex baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+from scipy import optimize as scipy_optimize
+
+from repro.exceptions import SolverError
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class OptimizerResult:
+    """Outcome of a classical minimization."""
+
+    x: np.ndarray
+    fun: float
+    nfev: int
+    nit: int = 0
+
+
+class Optimizer:
+    """Interface: minimize a black-box objective from a start point."""
+
+    def minimize(self, objective: Objective, x0: Sequence[float]) -> OptimizerResult:
+        raise NotImplementedError
+
+
+class Cobyla(Optimizer):
+    """Constrained optimization by linear approximation (scipy)."""
+
+    def __init__(self, maxiter: int = 200, rhobeg: float = 1.0, tol: float = 1e-4) -> None:
+        self.maxiter = maxiter
+        self.rhobeg = rhobeg
+        self.tol = tol
+
+    def minimize(self, objective: Objective, x0: Sequence[float]) -> OptimizerResult:
+        res = scipy_optimize.minimize(
+            objective,
+            np.asarray(x0, dtype=float),
+            method="COBYLA",
+            options={"maxiter": self.maxiter, "rhobeg": self.rhobeg, "tol": self.tol},
+        )
+        return OptimizerResult(
+            x=np.asarray(res.x, dtype=float),
+            fun=float(res.fun),
+            nfev=int(res.nfev),
+            nit=int(getattr(res, "nit", 0) or 0),
+        )
+
+
+class NelderMead(Optimizer):
+    """Downhill simplex (scipy)."""
+
+    def __init__(self, maxiter: int = 400, tol: float = 1e-6) -> None:
+        self.maxiter = maxiter
+        self.tol = tol
+
+    def minimize(self, objective: Objective, x0: Sequence[float]) -> OptimizerResult:
+        res = scipy_optimize.minimize(
+            objective,
+            np.asarray(x0, dtype=float),
+            method="Nelder-Mead",
+            options={"maxiter": self.maxiter, "fatol": self.tol},
+        )
+        return OptimizerResult(
+            x=np.asarray(res.x, dtype=float),
+            fun=float(res.fun),
+            nfev=int(res.nfev),
+            nit=int(res.nit),
+        )
+
+
+class Spsa(Optimizer):
+    """Simultaneous perturbation stochastic approximation.
+
+    Standard first-order SPSA with the canonical gain sequences
+    ``a_k = a / (k + 1 + A)^alpha`` and ``c_k = c / (k + 1)^gamma``
+    (Spall 1998).  Robust to the stochastic objectives produced by
+    finite-shot expectation estimation.
+    """
+
+    def __init__(
+        self,
+        maxiter: int = 150,
+        a: float = 0.2,
+        c: float = 0.1,
+        alpha: float = 0.602,
+        gamma: float = 0.101,
+        stability: float = 10.0,
+        seed: Optional[int] = None,
+    ) -> None:
+        if maxiter < 1:
+            raise SolverError("SPSA needs at least one iteration")
+        self.maxiter = maxiter
+        self.a = a
+        self.c = c
+        self.alpha = alpha
+        self.gamma = gamma
+        self.stability = stability
+        self.seed = seed
+
+    def minimize(self, objective: Objective, x0: Sequence[float]) -> OptimizerResult:
+        rng = np.random.default_rng(self.seed)
+        x = np.asarray(x0, dtype=float).copy()
+        best_x, best_f = x.copy(), objective(x)
+        nfev = 1
+        for k in range(self.maxiter):
+            ak = self.a / (k + 1 + self.stability) ** self.alpha
+            ck = self.c / (k + 1) ** self.gamma
+            delta = rng.choice((-1.0, 1.0), size=x.shape)
+            x_plus, x_minus = x + ck * delta, x - ck * delta
+            f_plus, f_minus = objective(x_plus), objective(x_minus)
+            nfev += 2
+            gradient = (f_plus - f_minus) / (2.0 * ck) * delta
+            x = x - ak * gradient
+            if f_plus < best_f:
+                best_f, best_x = f_plus, x_plus.copy()
+            if f_minus < best_f:
+                best_f, best_x = f_minus, x_minus.copy()
+        final = objective(x)
+        nfev += 1
+        if final < best_f:
+            best_f, best_x = final, x
+        return OptimizerResult(x=best_x, fun=float(best_f), nfev=nfev, nit=self.maxiter)

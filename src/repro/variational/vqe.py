@@ -1,0 +1,149 @@
+"""The variational quantum eigensolver (paper Sec. 3.4.1).
+
+VQE minimises the expectation :math:`\\langle\\psi(\\theta)|H|\\psi(\\theta)\\rangle`
+over the parameters of a fixed ansatz; by the variational principle
+(Eq. 15) this upper-bounds the smallest eigenvalue of :math:`H`, which
+encodes the optimization problem's optimum.
+
+Expectation values are computed on the statevector simulator — exactly
+when ``shots is None`` (ideal sampling limit), or from a finite-shot
+measurement histogram otherwise (reproducing the repeated-sampling
+estimation of Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gate.circuit import QuantumCircuit
+from repro.gate.statevector import Statevector
+from repro.variational.ansatz import real_amplitudes
+from repro.variational.hamiltonian import IsingHamiltonian
+from repro.variational.optimizers import Cobyla, Optimizer, OptimizerResult
+
+
+@dataclass
+class VariationalResult:
+    """Outcome of a VQE/QAOA run."""
+
+    eigenvalue: float
+    optimal_parameters: np.ndarray
+    optimal_circuit: QuantumCircuit
+    #: measurement histogram of the optimal state (bitstring -> count)
+    counts: Dict[str, int] = field(default_factory=dict)
+    #: best basis state found: (bits per qubit, its energy)
+    best_bits: Optional[Dict[int, int]] = None
+    best_energy: float = float("nan")
+    optimizer_result: Optional[OptimizerResult] = None
+    #: expectation value per optimizer evaluation (convergence trace)
+    history: List[float] = field(default_factory=list)
+
+
+class VQE:
+    """Variational quantum eigensolver over a RealAmplitudes ansatz."""
+
+    def __init__(
+        self,
+        optimizer: Optional[Optimizer] = None,
+        reps: int = 2,
+        entanglement: str = "full",
+        shots: Optional[int] = None,
+        seed: Optional[int] = None,
+        initial_point: Optional[np.ndarray] = None,
+    ) -> None:
+        self.optimizer = optimizer or Cobyla()
+        self.reps = reps
+        self.entanglement = entanglement
+        self.shots = shots
+        self.seed = seed
+        self.initial_point = initial_point
+
+    # ------------------------------------------------------------------
+    def construct_circuit(self, hamiltonian: IsingHamiltonian) -> Tuple[QuantumCircuit, list]:
+        """The (parameterized) ansatz used for this Hamiltonian."""
+        return real_amplitudes(
+            hamiltonian.num_qubits, reps=self.reps, entanglement=self.entanglement
+        )
+
+    def compute_minimum_eigenvalue(self, hamiltonian: IsingHamiltonian) -> VariationalResult:
+        """Run the hybrid loop and return the best state found."""
+        circuit, parameters = self.construct_circuit(hamiltonian)
+        return _run_variational(
+            circuit,
+            parameters,
+            hamiltonian,
+            optimizer=self.optimizer,
+            shots=self.shots,
+            seed=self.seed,
+            initial_point=self._initial_point(len(parameters)),
+        )
+
+    def _initial_point(self, dim: int) -> np.ndarray:
+        if self.initial_point is not None:
+            return np.asarray(self.initial_point, dtype=float)
+        rng = np.random.default_rng(self.seed)
+        return rng.uniform(-np.pi, np.pi, size=dim)
+
+
+def _run_variational(
+    circuit: QuantumCircuit,
+    parameters: list,
+    hamiltonian: IsingHamiltonian,
+    optimizer: Optimizer,
+    shots: Optional[int],
+    seed: Optional[int],
+    initial_point: np.ndarray,
+) -> VariationalResult:
+    """Shared hybrid loop for VQE and QAOA."""
+    diagonal = hamiltonian.diagonal()
+    rng = np.random.default_rng(seed)
+    history: List[float] = []
+
+    def expectation(values: np.ndarray) -> float:
+        bound = circuit.bind_parameters(dict(zip(parameters, values)))
+        state = Statevector.from_circuit(bound)
+        if shots is None:
+            value = state.expectation_diagonal(diagonal)
+        else:
+            probs = state.probabilities()
+            probs = probs / probs.sum()
+            outcomes = rng.choice(len(probs), size=shots, p=probs)
+            value = float(np.mean(diagonal[outcomes]))
+        history.append(value)
+        return value
+
+    opt_result = optimizer.minimize(expectation, initial_point)
+    optimal = circuit.bind_parameters(dict(zip(parameters, opt_result.x)))
+    state = Statevector.from_circuit(optimal)
+
+    counts = state.sample(shots or 1024, rng)
+    n = circuit.num_qubits
+    if shots is None:
+        # statevector mode: consider every basis state the optimal
+        # state assigns non-negligible probability (the Qiskit
+        # MinimumEigenOptimizer behaviour for exact simulation)
+        probs = state.probabilities()
+        candidates = np.flatnonzero(probs > 1e-6)
+    else:
+        candidates = np.array([int(b, 2) for b in counts], dtype=np.int64)
+    best_bits: Optional[Dict[int, int]] = None
+    best_energy = float("inf")
+    for index in candidates:
+        energy = float(diagonal[index])
+        if energy < best_energy:
+            best_energy = energy
+            best_bits = {q: (int(index) >> q) & 1 for q in range(n)}
+
+    return VariationalResult(
+        eigenvalue=float(opt_result.fun),
+        optimal_parameters=np.asarray(opt_result.x, dtype=float),
+        optimal_circuit=optimal,
+        counts=counts,
+        best_bits=best_bits,
+        best_energy=best_energy,
+        optimizer_result=opt_result,
+        history=history,
+    )

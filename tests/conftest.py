@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.mqo.generator import paper_example_problem
+from repro.joinorder.generators import milp_example_graph, paper_example_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def mqo_example():
+    """The paper's Tables 1/2 MQO instance."""
+    return paper_example_problem()
+
+
+@pytest.fixture
+def rst_graph():
+    """The paper's Fig. 6 / Table 3 query graph."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def abc_graph():
+    """The paper's Sec. 6.1.2 MILP example graph."""
+    return milp_example_graph()

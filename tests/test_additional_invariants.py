@@ -1,0 +1,148 @@
+"""Additional cross-cutting invariants: entanglement, transpiler
+idempotence, topology structure details, and model semantics that the
+per-module suites don't pin down."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.annealing.pegasus import pegasus_graph
+from repro.gate import QuantumCircuit, Statevector, transpile
+from repro.gate.topologies import brooklyn_coupling_map, mumbai_coupling_map
+from repro.joinorder import JoinOrderMilp
+from repro.joinorder.generators import milp_example_graph
+from repro.linprog import BranchAndBoundSolver, LinearModel
+from repro.linprog.model import Constraint, Sense, quicksum
+from repro.mqo import MqoQuboBuilder, paper_example_problem
+from repro.qubo import brute_force_minimum
+
+
+class TestEntanglement:
+    def test_ghz_state(self):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        for q in range(3):
+            qc.cx(q, q + 1)
+        sv = Statevector.from_circuit(qc)
+        probs = sv.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+        assert np.sum(probs[1:-1]) == pytest.approx(0.0, abs=1e-12)
+
+    def test_plus_state_z_expectation_zero(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        sv = Statevector.from_circuit(qc)
+        assert sv.expectation_diagonal(np.array([1.0, -1.0])) == pytest.approx(0.0)
+
+    def test_bell_correlations(self):
+        """ZZ on a Bell pair is +1 although single-qubit Z averages 0."""
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        sv = Statevector.from_circuit(qc)
+        zz = np.array([1.0, -1.0, -1.0, 1.0])
+        z0 = np.array([1.0, -1.0, 1.0, -1.0])
+        assert sv.expectation_diagonal(zz) == pytest.approx(1.0)
+        assert sv.expectation_diagonal(z0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTranspilerStability:
+    def test_transpile_native_circuit_keeps_depth(self):
+        """A circuit already using adjacent qubits and basis gates must
+        not blow up under transpilation."""
+        cmap = mumbai_coupling_map()
+        qc = QuantumCircuit(3)
+        qc.rz(0.3, 0)
+        qc.sx(0)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        out = transpile(qc, cmap, seed=0, initial_layout="trivial")
+        assert out.depth() <= qc.depth() + 2
+
+    def test_seeded_transpilation_deterministic(self):
+        from repro.variational.ansatz import real_amplitudes
+
+        circuit, params = real_amplitudes(8, reps=1)
+        bound = circuit.bind_parameters({p: 0.4 for p in params})
+        d1 = transpile(bound, brooklyn_coupling_map(), seed=11).depth()
+        d2 = transpile(bound, brooklyn_coupling_map(), seed=11).depth()
+        assert d1 == d2
+
+    def test_double_transpilation_stable(self):
+        """Transpiling the transpiled circuit must not add swaps
+        (everything is already adjacent)."""
+        qc = QuantumCircuit(5)
+        for a, b in ((0, 3), (1, 4), (2, 3)):
+            qc.rzz(0.5, a, b)
+        cmap = mumbai_coupling_map()
+        once = transpile(qc, cmap, seed=1)
+        twice = transpile(once, cmap, seed=2, initial_layout="trivial")
+        assert twice.two_qubit_gate_count() <= once.two_qubit_gate_count()
+
+
+class TestPegasusStructure:
+    def test_interior_qubit_has_12_internal_couplers(self):
+        """Each fabric qubit has 12 internal + ≤2 external + 1 odd."""
+        g = pegasus_graph(6, coordinates=True)
+        # pick an interior vertical qubit away from all boundaries
+        node = (0, 3, 5, 2)
+        assert node in g
+        internal = [
+            nbr for nbr in g.neighbors(node) if nbr[0] != node[0]
+        ]
+        assert len(internal) == 12
+
+    def test_odd_coupler_partners(self):
+        g = pegasus_graph(4, coordinates=True)
+        node = (0, 1, 4, 1)
+        assert g.has_edge(node, (0, 1, 5, 1))  # odd coupler (k=4 ~ k=5)
+
+    def test_external_chain_runs_along_z(self):
+        g = pegasus_graph(4, coordinates=True)
+        assert g.has_edge((1, 2, 6, 0), (1, 2, 6, 1))
+
+
+class TestModelSemantics:
+    def test_milp_type4_accumulation(self):
+        """A relation joined once stays in all later outer operands."""
+        milp = JoinOrderMilp(graph=milp_example_graph(), thresholds=[10.0])
+        model, _ = milp.build()
+        pinned = LinearModel()
+        for var in model.variables:
+            pinned.add_variable(var.name, var.vartype, var.lower, var.upper)
+        for con in model.constraints:
+            pinned.add_constraint(
+                Constraint("", dict(con.coeffs), con.sense, con.rhs), name=con.name
+            )
+        # force B first, A as first inner
+        for name in ("tio[B,0]", "tii[A,0]"):
+            pinned.add_constraint(pinned.get_variable(name).eq(1), name=f"pin_{name}")
+        solution = BranchAndBoundSolver().solve(pinned).int_assignment()
+        # type 4 forces both B and A into join 1's outer operand
+        assert solution["tio[B,1]"] == 1
+        assert solution["tio[A,1]"] == 1
+
+    def test_mqo_weight_margin_scales(self):
+        problem = paper_example_problem()
+        tight = MqoQuboBuilder(problem, weight_margin=0.5)
+        loose = MqoQuboBuilder(problem, weight_margin=10.0)
+        assert loose.weight_l() > tight.weight_l()
+        # both produce the same ground-state selection
+        for builder in (tight, loose):
+            result = brute_force_minimum(builder.build())
+            assert builder.decode(result.sample).selected_plans == (2, 4, 8)
+
+    def test_quicksum_empty(self):
+        assert quicksum([]).evaluate({}) == 0.0
+
+    def test_constraint_sense_round_trip(self):
+        model = LinearModel()
+        x = model.add_binary("x")
+        le = model.add_constraint(x <= 1)
+        ge = model.add_constraint(x >= 0)
+        assert le.sense is Sense.LE and ge.sense is Sense.GE
+        assert not le.violated_by({"x": 1})
+        assert not ge.violated_by({"x": 0})

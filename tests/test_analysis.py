@@ -1,0 +1,138 @@
+"""Tests for the qubit-count formulas, coherence math and depth studies."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    DepthMeasurement,
+    JoinOrderQubitBounds,
+    binary_slack_bound,
+    continuous_slack_bound,
+    decoherence_error_probability,
+    logical_variable_bound,
+    max_reliable_depth,
+    measure_qaoa_depth,
+    measure_vqe_depth,
+    total_qubit_bound,
+)
+from repro.analysis.coherence import is_reliably_executable
+from repro.exceptions import ProblemError
+from repro.gate.backend import BackendProperties, fake_brooklyn, fake_mumbai, qasm_simulator
+from repro.gate.topologies import mumbai_coupling_map
+from repro.qubo import BinaryQuadraticModel
+
+
+class TestQubitFormulas:
+    def test_eq46_logical(self):
+        # J(2T + P + R) - P - R
+        assert logical_variable_bound(3, 3, 1) == 2 * (6 + 3 + 1) - 3 - 1
+
+    def test_eq47_binary_slacks(self):
+        assert binary_slack_bound(3, 3) == 2 * (3 + 6) - 6
+
+    def test_eq53_continuous_slacks(self):
+        # T=3, cards 10: only join with outer size 2, mlc = 2
+        assert continuous_slack_bound([10.0] * 3, 1, omega=1.0) == 2
+        assert continuous_slack_bound([10.0] * 3, 1, omega=0.001) == (
+            math.floor(math.log2(2 / 0.001)) + 1
+        )
+        assert continuous_slack_bound([10.0] * 3, 4, omega=1.0) == 8
+
+    def test_paper_figure11_landmark(self):
+        """T=42, P=J: the paper quotes ≈10,000 qubits."""
+        bounds = JoinOrderQubitBounds(42, 41, 1, 1.0)
+        assert 10_000 <= bounds.total <= 10_500
+
+    def test_paper_figure12_landmarks(self):
+        w1 = JoinOrderQubitBounds(20, 19, 20, 1.0).total
+        w4 = JoinOrderQubitBounds(20, 19, 20, 0.0001).total
+        assert 3_800 <= w1 <= 4_000  # "approximately 4,000"
+        assert w4 > 2 * w1 * 0.95  # "more than twice as many"
+        # ω=0.01 growth from 2 to 14 thresholds ≈ 94%
+        low = JoinOrderQubitBounds(20, 19, 2, 0.01).total
+        high = JoinOrderQubitBounds(20, 19, 14, 0.01).total
+        assert 0.85 <= (high - low) / low <= 1.05
+
+    def test_table4_qubit_counts(self):
+        """All three Table 4 instances land on exactly 30 qubits."""
+        assert total_qubit_bound([10.0] * 3, 3, 1, 1.0) == 30
+        assert total_qubit_bound([10.0] * 3, 0, 4, 1.0) == 30
+        assert total_qubit_bound([10.0] * 3, 0, 1, 0.001) == 30
+
+    def test_validation(self):
+        with pytest.raises(ProblemError):
+            logical_variable_bound(1, 0, 1)
+        with pytest.raises(ProblemError):
+            continuous_slack_bound([10.0] * 3, 1, omega=0.0)
+
+
+class TestCoherence:
+    def test_mumbai_threshold_eq37(self):
+        assert max_reliable_depth(fake_mumbai().properties) == 248
+
+    def test_brooklyn_threshold_eq55(self):
+        assert max_reliable_depth(fake_brooklyn().properties) == 178
+
+    def test_error_probability_eq36(self):
+        props = fake_mumbai().properties
+        d_max = max_reliable_depth(props)
+        # at the coherence time, p_err ≈ 1 - 1/e ≈ 0.63
+        assert decoherence_error_probability(props, d_max) == pytest.approx(
+            1 - math.exp(-1), abs=0.01
+        )
+        assert decoherence_error_probability(props, 0) == 0.0
+
+    def test_reliability_predicate(self):
+        backend = fake_brooklyn()
+        assert is_reliably_executable(backend, 178)
+        assert not is_reliably_executable(backend, 179)
+        assert is_reliably_executable(qasm_simulator(), 10_000)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ProblemError):
+            decoherence_error_probability(fake_mumbai().properties, -1)
+
+    def test_custom_properties(self):
+        props = BackendProperties(t1_ns=1000.0, t2_ns=500.0, avg_gate_time_ns=100.0)
+        assert props.min_coherence_ns == 500.0
+        assert props.max_reliable_depth() == 5
+
+
+class TestDepthStudies:
+    @pytest.fixture
+    def small_bqm(self):
+        bqm = BinaryQuadraticModel({f"x{i}": 1.0 for i in range(6)})
+        for i in range(5):
+            bqm.add_quadratic(f"x{i}", f"x{i+1}", 0.5)
+        return bqm
+
+    def test_qaoa_measurement_fields(self, small_bqm):
+        m = measure_qaoa_depth(small_bqm, None, samples=1, seed=1)
+        assert m.num_qubits == 6
+        assert m.num_quadratic_terms == 5
+        assert m.mean_transpiled_depth > 0
+
+    def test_vqe_depth_ignores_density(self, small_bqm):
+        dense = BinaryQuadraticModel({f"x{i}": 1.0 for i in range(6)})
+        for i in range(6):
+            for j in range(i + 1, 6):
+                dense.add_quadratic(f"x{i}", f"x{j}", 1.0)
+        sparse_m = measure_vqe_depth(small_bqm, None, samples=1)
+        dense_m = measure_vqe_depth(dense, None, samples=1)
+        assert sparse_m.mean_transpiled_depth == dense_m.mean_transpiled_depth
+
+    def test_routing_adds_depth(self, small_bqm):
+        dense = BinaryQuadraticModel({f"x{i}": 1.0 for i in range(10)})
+        for i in range(10):
+            for j in range(i + 1, 10):
+                dense.add_quadratic(f"x{i}", f"x{j}", 1.0)
+        optimal = measure_qaoa_depth(dense, None, samples=1)
+        routed = measure_qaoa_depth(
+            dense, mumbai_coupling_map(), samples=2, seed=3
+        )
+        assert routed.mean_transpiled_depth > optimal.mean_transpiled_depth
+
+    def test_multiple_samples_collected(self, small_bqm):
+        m = measure_qaoa_depth(small_bqm, mumbai_coupling_map(), samples=3, seed=5)
+        assert len(m.transpiled_depths) == 3

@@ -1,0 +1,284 @@
+"""Tests for the annealing substrate: topologies, samplers, embedding
+and composites."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import EmbeddingError, SolverError
+from repro.annealing import (
+    EmbeddingComposite,
+    ExactSampler,
+    SampleSet,
+    SimulatedAnnealingSampler,
+    StructureComposite,
+    chimera_graph,
+    find_embedding,
+    pegasus_graph,
+)
+from repro.annealing.composites import default_chain_strength, embed_bqm, unembed_sample
+from repro.annealing.pegasus import pegasus_node_count
+from repro.annealing.sampleset import SampleRecord
+from repro.qubo import BinaryQuadraticModel, Vartype, brute_force_minimum
+
+
+class TestSampleSet:
+    def test_sorted_by_energy(self):
+        ss = SampleSet.from_samples(
+            [{"a": 0}, {"a": 1}], [3.0, 1.0], vartype=Vartype.BINARY
+        )
+        assert ss.first.energy == 1.0
+        assert list(ss.energies()) == [1.0, 3.0]
+
+    def test_empty_first_raises(self):
+        with pytest.raises(SolverError):
+            SampleSet([], Vartype.BINARY).first
+
+    def test_lowest_ties(self):
+        ss = SampleSet.from_samples(
+            [{"a": 0}, {"a": 1}, {"b": 1}], [1.0, 1.0, 2.0], vartype=Vartype.BINARY
+        )
+        assert len(ss.lowest()) == 2
+
+    def test_aggregate_merges_duplicates(self):
+        ss = SampleSet.from_samples(
+            [{"a": 1}, {"a": 1}], [1.0, 1.0], vartype=Vartype.BINARY
+        )
+        merged = ss.aggregate()
+        assert len(merged) == 1
+        assert merged.first.num_occurrences == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(SolverError):
+            SampleSet.from_samples([{}], [1.0, 2.0], vartype=Vartype.BINARY)
+
+
+class TestChimera:
+    def test_cell_structure(self):
+        """Paper Fig. 5: 32 qubits in 4 cells, degree <= 6."""
+        g = chimera_graph(2, 2, 4)
+        assert g.number_of_nodes() == 32
+        assert max(d for _, d in g.degree) == 5  # boundary cells: 1 external
+        assert max(d for _, d in chimera_graph(3, 3, 4).degree) == 6
+
+    def test_dwave_2x_size(self):
+        assert chimera_graph(12).number_of_nodes() == 1152
+
+    def test_intra_cell_bipartite(self):
+        g = chimera_graph(1, 1, 4, coordinates=True)
+        # no edges within a shore
+        for k1 in range(4):
+            for k2 in range(4):
+                assert not g.has_edge((0, 0, 0, k1), (0, 0, 0, k2))
+        assert g.has_edge((0, 0, 0, 0), (0, 0, 1, 3))
+
+    def test_connected(self):
+        assert nx.is_connected(chimera_graph(3, 3, 4))
+
+
+class TestPegasus:
+    def test_advantage_size(self):
+        """Paper Sec. 3.6.2: P16 with 15 couplers per qubit."""
+        g = pegasus_graph(16)
+        assert g.number_of_nodes() == pegasus_node_count(16) == 5640
+        assert max(d for _, d in g.degree) == 15
+
+    def test_small_sizes(self):
+        for m in (2, 3, 4):
+            g = pegasus_graph(m)
+            assert g.number_of_nodes() == pegasus_node_count(m)
+            assert nx.is_connected(g)
+
+    def test_coordinates_mode(self):
+        g = pegasus_graph(3, coordinates=True)
+        u, w, k, z = next(iter(g.nodes))
+        assert u in (0, 1) and 0 <= k < 12
+
+    def test_pegasus_denser_than_chimera(self):
+        """Pegasus' 15 couplers vs Chimera's 6 (paper Sec. 3.6.2)."""
+        p = pegasus_graph(4)
+        c = chimera_graph(4)
+        assert max(d for _, d in p.degree) > max(d for _, d in c.degree)
+
+
+class TestSimulatedAnnealing:
+    def test_finds_small_optimum(self):
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": 1.0}, {("a", "b"): -3.0})
+        ss = SimulatedAnnealingSampler(num_sweeps=100, seed=1).sample(bqm, num_reads=10)
+        assert ss.first.energy == pytest.approx(-1.0)
+        assert ss.first.sample == {"a": 1, "b": 1}
+
+    def test_spin_output_for_spin_model(self):
+        bqm = BinaryQuadraticModel({"s": 1.0}, vartype=Vartype.SPIN)
+        ss = SimulatedAnnealingSampler(num_sweeps=50, seed=2).sample(bqm, num_reads=5)
+        assert set(ss.first.sample.values()) <= {-1, 1}
+        assert ss.first.energy == pytest.approx(-1.0)
+
+    def test_matches_exact_on_random_instances(self, rng):
+        for trial in range(3):
+            names = [f"x{i}" for i in range(8)]
+            bqm = BinaryQuadraticModel({n: float(rng.uniform(-1, 1)) for n in names})
+            for i in range(8):
+                for j in range(i + 1, 8):
+                    if rng.random() < 0.4:
+                        bqm.add_quadratic(
+                            names[i], names[j], float(rng.uniform(-1, 1))
+                        )
+            exact = brute_force_minimum(bqm)
+            ss = SimulatedAnnealingSampler(num_sweeps=300, seed=trial).sample(
+                bqm, num_reads=20
+            )
+            assert ss.first.energy == pytest.approx(exact.energy, abs=1e-9)
+
+    def test_empty_model(self):
+        ss = SimulatedAnnealingSampler().sample(BinaryQuadraticModel(offset=1.0))
+        assert ss.first.energy == 1.0
+
+    def test_invalid_reads(self):
+        with pytest.raises(SolverError):
+            SimulatedAnnealingSampler().sample(
+                BinaryQuadraticModel({"a": 1.0}), num_reads=0
+            )
+
+
+class TestExactSampler:
+    def test_full_spectrum(self):
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": 2.0})
+        ss = ExactSampler().sample(bqm)
+        assert len(ss) == 4
+        assert ss.first.energy == 0.0
+        assert ss.records[-1].energy == 3.0
+
+    def test_truncation(self):
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": 2.0})
+        assert len(ExactSampler().sample(bqm, num_reads=2)) == 2
+
+    def test_size_limit(self):
+        bqm = BinaryQuadraticModel({f"x{i}": 1.0 for i in range(25)})
+        with pytest.raises(SolverError):
+            ExactSampler().sample(bqm)
+
+
+class TestEmbedding:
+    def test_k4_into_chimera(self):
+        src = nx.complete_graph(4)
+        target = chimera_graph(2, 2, 4)
+        result = find_embedding(src, target, seed=1)
+        assert result is not None
+        assert result.is_valid(src, target)
+        assert result.num_physical_qubits >= 4
+
+    def test_triangle_needs_chain_on_chimera(self):
+        """Chimera cells are bipartite, so a triangle forces a chain."""
+        src = nx.cycle_graph(3)
+        target = chimera_graph(1, 1, 4)
+        result = find_embedding(src, target, seed=2)
+        assert result is not None
+        assert result.is_valid(src, target)
+        assert result.num_physical_qubits > 3
+
+    def test_native_subgraph_embeds_with_unit_chains(self):
+        target = chimera_graph(2, 2, 4)
+        src = nx.Graph([(0, 4), (4, 1)])  # a path using native couplers
+        src = nx.relabel_nodes(src, {0: "a", 4: "b", 1: "c"})
+        result = find_embedding(src, target, seed=3)
+        assert result is not None
+        assert result.is_valid(src, target)
+
+    def test_too_large_source_refused(self):
+        src = nx.complete_graph(40)
+        target = chimera_graph(2, 2, 4)  # 32 qubits
+        assert find_embedding(src, target, seed=1) is None
+
+    def test_empty_source(self):
+        result = find_embedding(nx.Graph(), chimera_graph(1, 1, 4))
+        assert result is not None and result.chains == {}
+
+    def test_max_chain_length_enforced(self):
+        src = nx.complete_graph(8)
+        target = chimera_graph(2, 2, 4)
+        result = find_embedding(src, target, seed=1, max_chain_length=1)
+        assert result is None
+
+    def test_validity_checker_rejects_bad_embeddings(self):
+        from repro.annealing.embedding import EmbeddingResult
+
+        src = nx.complete_graph(2)
+        target = chimera_graph(1, 1, 4)
+        overlapping = EmbeddingResult(chains={0: (0,), 1: (0,)})
+        assert not overlapping.is_valid(src, target)
+        disconnected = EmbeddingResult(chains={0: (0, 1), 1: (4,)})
+        assert not disconnected.is_valid(src, target)
+
+
+class TestComposites:
+    def _structured_sampler(self):
+        graph = chimera_graph(2, 2, 4)
+        return StructureComposite(
+            SimulatedAnnealingSampler(num_sweeps=150, seed=5), graph
+        )
+
+    def test_structure_rejects_foreign_variables(self):
+        structured = self._structured_sampler()
+        with pytest.raises(SolverError):
+            structured.sample(BinaryQuadraticModel({"alien": 1.0}))
+
+    def test_structure_rejects_non_native_couplers(self):
+        structured = self._structured_sampler()
+        bqm = BinaryQuadraticModel({}, {(0, 1): 1.0})  # same shore: no coupler
+        with pytest.raises(SolverError):
+            structured.sample(bqm)
+
+    def test_structure_accepts_native_model(self):
+        structured = self._structured_sampler()
+        bqm = BinaryQuadraticModel({0: 1.0, 4: 1.0}, {(0, 4): -2.0})
+        ss = structured.sample(bqm, num_reads=10)
+        assert ss.first.energy <= 0.0
+
+    def test_embedding_composite_end_to_end(self):
+        """Non-native problem solved through embedding (Sec. 6.2.2)."""
+        structured = self._structured_sampler()
+        composite = EmbeddingComposite(structured, seed=9)
+        bqm = BinaryQuadraticModel(
+            {"a": 1.0, "b": 1.0, "c": 1.0},
+            {("a", "b"): -2.0, ("b", "c"): -2.0, ("a", "c"): -2.0},
+        )
+        ss = composite.sample(bqm, num_reads=20)
+        exact = brute_force_minimum(bqm)
+        assert ss.first.energy == pytest.approx(exact.energy)
+        assert composite.last_embedding is not None
+        assert composite.last_embedding.num_physical_qubits >= 3
+
+    def test_chain_strength_heuristic(self):
+        bqm = BinaryQuadraticModel(
+            {"a": 4.0}, {("a", "b"): -6.0}, vartype=Vartype.SPIN
+        )
+        assert default_chain_strength(bqm) == pytest.approx(9.0)  # 1.5 * 6
+
+    def test_unembed_majority_vote(self):
+        from repro.annealing.embedding import EmbeddingResult
+
+        embedding = EmbeddingResult(chains={"v": (0, 1, 2)})
+        sample, broken = unembed_sample({0: 1, 1: 1, 2: -1}, embedding)
+        assert sample == {"v": 1}
+        assert broken == pytest.approx(1.0)
+        sample, broken = unembed_sample({0: -1, 1: -1, 2: -1}, embedding)
+        assert sample == {"v": -1}
+        assert broken == 0.0
+
+    def test_embed_bqm_ground_state_preserved(self):
+        """The embedded model's ground state unembeds to the logical one."""
+        target = chimera_graph(2, 2, 4)
+        bqm = BinaryQuadraticModel(
+            {"a": -1.0, "b": 0.5}, {("a", "b"): 2.0}, vartype=Vartype.SPIN
+        )
+        result = find_embedding(bqm.interaction_graph(), target, seed=4)
+        embedded = embed_bqm(bqm, result, target)
+        exact = brute_force_minimum(bqm)
+        # solve the embedded model exactly via SA (small enough)
+        ss = SimulatedAnnealingSampler(num_sweeps=300, seed=6).sample(
+            embedded, num_reads=20
+        )
+        logical, broken = unembed_sample(ss.first.sample, result)
+        assert broken == 0.0
+        assert bqm.energy(logical) == pytest.approx(exact.energy)

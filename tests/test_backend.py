@@ -1,0 +1,57 @@
+"""Tests for backends and calibration data."""
+
+import math
+
+import pytest
+
+from repro.exceptions import BackendError
+from repro.gate import QuantumCircuit, fake_brooklyn, fake_mumbai, qasm_simulator
+from repro.gate.backend import Backend, BackendProperties
+from repro.gate.topologies import full_coupling_map
+
+
+class TestBackendProperties:
+    def test_paper_calibration_values(self):
+        """The frozen calibration data reproduces Eqs. 37/55 exactly."""
+        mumbai = fake_mumbai().properties
+        assert mumbai.t1_ns == 117_220.0
+        assert mumbai.t2_ns == 118_470.0
+        assert mumbai.max_reliable_depth() == 248
+        brooklyn = fake_brooklyn().properties
+        assert brooklyn.max_reliable_depth() == 178
+
+    def test_binding_coherence_is_min(self):
+        props = BackendProperties(t1_ns=100.0, t2_ns=200.0, avg_gate_time_ns=10.0)
+        assert props.min_coherence_ns == 100.0
+
+    def test_error_probability_monotone(self):
+        props = fake_mumbai().properties
+        previous = -1.0
+        for depth in (0, 50, 100, 248, 1000):
+            p = props.decoherence_error_probability(depth)
+            assert p > previous
+            previous = p
+        assert props.decoherence_error_probability(10_000) <= 1.0
+
+
+class TestBackendExecution:
+    def test_counts_from_simulator(self):
+        backend = qasm_simulator(4)
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        counts = backend.run_counts(qc, shots=50, seed=1)
+        assert counts == {"01": 50}
+
+    def test_width_limit(self):
+        backend = Backend("tiny", full_coupling_map(2), max_qubits=2)
+        with pytest.raises(BackendError):
+            backend.run_statevector(QuantumCircuit(3))
+
+    def test_qasm_simulator_32_qubit_limit(self):
+        """The paper's Sec. 6.3.4 constraint: 32 simulated qubits."""
+        backend = qasm_simulator()
+        assert backend.max_qubits == 32
+
+    def test_device_shapes(self):
+        assert fake_mumbai().num_qubits == 27
+        assert fake_brooklyn().num_qubits == 65

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "tables12" in out and "fig14-left" in out
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiments_run_table3(self, capsys):
+        assert main(["experiments", "table3"]) == 0
+        assert "51000" in capsys.readouterr().out.replace(",", "")
+
+    def test_solve_mqo_greedy(self, capsys):
+        assert main(["solve-mqo", "--solver", "greedy", "--seed", "3"]) == 0
+        assert "plans" in capsys.readouterr().out
+
+    def test_solve_mqo_annealing(self, capsys):
+        code = main(
+            ["solve-mqo", "--solver", "annealing", "--queries", "2", "--ppq", "2"]
+        )
+        assert code == 0
+
+    def test_solve_join_dp(self, capsys):
+        assert main(["solve-join", "--shape", "star", "--relations", "5"]) == 0
+        assert "C_out" in capsys.readouterr().out
+
+    def test_solve_join_direct_qubo(self, capsys):
+        code = main(
+            [
+                "solve-join",
+                "--solver",
+                "direct-qubo",
+                "--relations",
+                "4",
+                "--reads",
+                "40",
+            ]
+        )
+        assert code == 0
+        assert "direct encoding: 16 qubits" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        assert "repro.qubo" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Tests for the ASCII circuit drawer."""
+
+from repro.gate import Parameter, QuantumCircuit
+
+
+class TestDrawer:
+    def test_single_qubit_gates(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.x(0)
+        art = qc.draw()
+        assert "q0:" in art
+        assert "[H]" in art and "[X]" in art
+
+    def test_cx_shows_control_and_target(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        art = qc.draw()
+        lines = art.splitlines()
+        assert "■" in lines[0]
+        assert "[X]" in lines[2]
+        assert "│" in lines[1]  # connector between the wires
+
+    def test_parameterized_gate_renders_name(self):
+        qc = QuantumCircuit(1)
+        qc.rz(Parameter("gamma"), 0)
+        assert "gamma" in qc.draw()
+
+    def test_numeric_angle_renders(self):
+        qc = QuantumCircuit(1)
+        qc.ry(0.5, 0)
+        assert "RY(0.5)" in qc.draw()
+
+    def test_column_count_matches_depth(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.h(1)
+        qc.cx(0, 1)
+        qc.rz(1.0, 1)
+        art = qc.draw()
+        # depth 3 -> three gate columns on the busiest wire
+        assert qc.depth() == 3
+        assert art.count("\n") == 2  # 3 rows: q0, connector, q1
+
+    def test_wide_circuit_wraps(self):
+        qc = QuantumCircuit(1)
+        for _ in range(60):
+            qc.h(0)
+        art = qc.draw(max_width=40)
+        assert "·" in art  # block separator
+
+    def test_empty_circuit(self):
+        qc = QuantumCircuit(2)
+        art = qc.draw()
+        assert "q0:" in art and "q1:" in art
+
+    def test_barrier_ignored_in_layout(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.barrier()
+        qc.h(1)
+        art = qc.draw()
+        assert "[H]" in art

@@ -1,0 +1,59 @@
+"""Tests for the extension experiment drivers (cheap configurations)."""
+
+import pytest
+
+from repro.experiments.jo_direct import run_direct_vs_two_step
+from repro.experiments.jo_embedding import _pegasus_window
+from repro.experiments.mqo_annealer import run_mqo_annealer_capacity
+from repro.experiments.noise_study import run_noise_study
+
+
+class TestDirectVsTwoStep:
+    def test_small_sweep(self):
+        table = run_direct_vs_two_step(relation_counts=(4, 5), solve_up_to=4)
+        rows = {r["relations"]: r for r in table.rows}
+        assert rows[4]["direct qubits"] == 16
+        assert rows[5]["direct qubits"] == 25
+        for row in table.rows:
+            assert row["direct qubits"] < row["two-step qubits"]
+            assert row["direct quad"] < row["two-step quad"]
+        assert rows[4]["direct cost ratio"] <= 1.5
+        assert rows[5]["direct cost ratio"] == "-"  # beyond solve_up_to
+
+
+class TestPegasusWindow:
+    def test_window_grows_with_problem(self):
+        m_small, _ = _pegasus_window(50)
+        m_large, _ = _pegasus_window(400)
+        assert m_small <= m_large <= 16
+
+    def test_window_is_cached(self):
+        _, g1 = _pegasus_window(50)
+        _, g2 = _pegasus_window(50)
+        assert g1 is g2
+
+    def test_huge_problem_gets_full_p16(self):
+        m, graph = _pegasus_window(5000)
+        assert m == 16
+        assert graph.number_of_nodes() == 5640
+
+
+class TestNoiseStudy:
+    @pytest.mark.slow
+    def test_decoherence_grows_with_depth(self):
+        table = run_noise_study(reps_values=(1, 2), shots=128, trajectories=3)
+        rows = {r["p"]: r for r in table.rows}
+        assert rows[2]["depth"] > rows[1]["depth"]
+        assert rows[2]["p_decoherence"] > rows[1]["p_decoherence"]
+        for row in table.rows:
+            assert 0.0 <= row["success noisy"] <= 1.0
+
+
+class TestMqoAnnealerCapacity:
+    @pytest.mark.slow
+    def test_density_ordering(self):
+        table = run_mqo_annealer_capacity(
+            plan_counts=(16,), ppq_values=(2, 4), samples=1
+        )
+        quads = [r["quadratic terms"] for r in table.rows]
+        assert quads == sorted(quads)

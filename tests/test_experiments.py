@@ -1,0 +1,98 @@
+"""Tests for the experiment drivers: each must reproduce its paper
+artifact's key numbers or shapes (with tiny sample counts)."""
+
+import pytest
+
+from repro.experiments.coherence_thresholds import run_coherence_thresholds
+from repro.experiments.common import ExperimentTable, bench_samples
+from repro.experiments.jo_qubits import run_figure11, run_figure12
+from repro.experiments.jo_table4 import run_table4
+from repro.experiments.tables import run_table_3, run_tables_1_2
+
+
+class TestCommon:
+    def test_table_formatting(self):
+        table = ExperimentTable("T", ["a", "b"])
+        table.add_row(a=1, b=2.5)
+        text = table.format()
+        assert "T" in text and "2.50" in text
+
+    def test_column_extraction(self):
+        table = ExperimentTable("T", ["a"])
+        table.add_row(a=1)
+        table.add_row(a=2)
+        assert table.column("a") == [1, 2]
+
+    def test_bench_samples_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SAMPLES", "7")
+        assert bench_samples() == 7
+        monkeypatch.delenv("REPRO_BENCH_SAMPLES")
+        assert bench_samples(4) == 4
+
+
+class TestPaperTables:
+    def test_tables_1_2(self):
+        table = run_tables_1_2()
+        costs = table.column("total cost")
+        assert costs == [26.0, 21.0]
+
+    def test_table_3(self):
+        table = run_table_3()
+        assert table.column("cost") == [51_000.0, 60_000.0, 100_000.0]
+
+    def test_table_4_structure(self):
+        table = run_table4(measure_depths=True)
+        assert table.column("qubits") == [30, 30, 30]
+        quads = table.column("quadratic terms")
+        assert quads[0] < quads[1] < quads[2]
+        depths = table.column("qaoa depth")
+        assert depths[0] < depths[1] < depths[2]
+
+    def test_coherence_thresholds(self):
+        table = run_coherence_thresholds()
+        assert table.column("d_max") == [248, 178]
+
+
+class TestScalingFigures:
+    def test_figure11_landmark_and_monotonicity(self):
+        table = run_figure11(relation_counts=(6, 22, 42))
+        p1 = table.column("qubits P=J")
+        assert p1 == sorted(p1)
+        assert 10_000 <= p1[-1] <= 10_500
+        # doubling predicates -> roughly +50% at T=42 (paper)
+        p2 = table.column("qubits P=2J")
+        assert 1.4 <= p2[-1] / p1[-1] <= 1.6
+
+    def test_figure12_omega_ordering(self):
+        table = run_figure12(threshold_counts=(2, 20))
+        w1 = table.column("qubits ω=1")
+        w2 = table.column("qubits ω=0.01")
+        w4 = table.column("qubits ω=0.0001")
+        for a, b, c in zip(w1, w2, w4):
+            assert a < b < c
+        assert w4[-1] > 2 * w1[-1]  # paper: "more than twice as many"
+
+
+@pytest.mark.slow
+class TestDepthFigures:
+    def test_figure8_ppq_effect(self):
+        from repro.experiments.mqo_depths import run_figure8
+
+        table = run_figure8(ppq_values=(4, 8), max_plans=16, instances=2, transpilations=1)
+        at16 = {row["ppq"]: row for row in table.rows if row["plans"] == 16}
+        assert at16[8]["depth optimal"] > at16[4]["depth optimal"]
+        for row in table.rows:
+            assert row["depth mumbai"] >= row["depth optimal"]
+
+    def test_figure13_shapes(self):
+        from repro.experiments.jo_depths import run_figure13_qaoa, run_figure13_vqe
+
+        qaoa = run_figure13_qaoa(transpilations=1)
+        s1 = {r["qubits"]: r for r in qaoa.rows if r["strategy"] == "s1"}
+        s2 = {r["qubits"]: r for r in qaoa.rows if r["strategy"] == "s2"}
+        # strategy 2 denser QUBO -> deeper circuits at 30 qubits
+        assert s2[30]["depth optimal"] > s1[30]["depth optimal"]
+        assert s2[30]["quadratic terms"] > s1[30]["quadratic terms"]
+        vqe = run_figure13_vqe(transpilations=1)
+        for row in vqe.rows:
+            assert row["depth brooklyn"] > 178  # paper: all exceed d_max

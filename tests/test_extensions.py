@@ -1,0 +1,217 @@
+"""Tests for the extension modules: the direct join-ordering QUBO
+(paper Sec. 7 future work), the stochastic noise model (Sec. 3.6.1)
+and the deterministic Chimera clique embedding."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError, EmbeddingError, ProblemError
+from repro.annealing import chimera_graph
+from repro.annealing.clique_embedding import (
+    chimera_clique_embedding,
+    max_native_clique,
+)
+from repro.gate.backend import fake_mumbai
+from repro.gate.circuit import QuantumCircuit
+from repro.gate.noise import (
+    NoiseModel,
+    expected_energy_under_noise,
+    noisy_circuit_instance,
+    sample_with_noise,
+)
+from repro.joinorder import JoinOrderQuantumPipeline, solve_dp_left_deep
+from repro.joinorder.direct_qubo import (
+    DirectJoinOrderQubo,
+    solve_direct_with_annealer,
+    variable_name,
+)
+from repro.joinorder.generators import (
+    chain_query,
+    milp_example_graph,
+    random_query,
+    star_query,
+)
+from repro.qubo import brute_force_minimum
+
+
+class TestDirectQubo:
+    def test_qubit_count_is_t_squared(self, abc_graph):
+        builder = DirectJoinOrderQubo(abc_graph)
+        assert builder.num_qubits == 9
+        assert builder.build().num_variables == 9
+
+    def test_far_fewer_qubits_than_two_step(self):
+        """The Sec. 7 conjecture the module validates."""
+        graph = chain_query(8, seed=1)
+        direct = DirectJoinOrderQubo(graph)
+        two_step = JoinOrderQuantumPipeline(
+            graph, precision_exponent=0, prune_thresholds=False
+        ).report().num_qubits
+        assert direct.num_qubits < two_step / 3
+        assert direct.qubit_savings_vs_two_step(two_step) > 0.6
+
+    def test_ground_state_is_optimal_on_example(self, abc_graph):
+        builder = DirectJoinOrderQubo(abc_graph)
+        result = brute_force_minimum(builder.build())
+        solution = builder.decode(result.sample)
+        assert solution.cost == pytest.approx(solve_dp_left_deep(abc_graph).cost)
+
+    def test_every_low_energy_state_is_a_permutation(self, abc_graph):
+        """The one-hot penalty must dominate every cost swing."""
+        builder = DirectJoinOrderQubo(abc_graph)
+        bqm = builder.build()
+        result = brute_force_minimum(bqm)
+        for sample in result.all_optima:
+            builder.decode(sample)  # raises if not a permutation
+
+    def test_decode_rejects_invalid(self, abc_graph):
+        builder = DirectJoinOrderQubo(abc_graph)
+        with pytest.raises(ProblemError):
+            builder.decode({})  # nothing selected
+
+    def test_surrogate_agrees_with_log_cout(self, abc_graph):
+        builder = DirectJoinOrderQubo(abc_graph)
+        # order (A,B,C): prefix {A,B} has card 10*10*0.1 = 10 -> log 1
+        assert builder.surrogate_objective(["A", "B", "C"]) == pytest.approx(1.0)
+        # order (A,C,B): prefix {A,C} has card 100 -> log 2
+        assert builder.surrogate_objective(["A", "C", "B"]) == pytest.approx(2.0)
+
+    def test_energy_equals_surrogate_plus_constant_for_valid_states(self, abc_graph):
+        import itertools
+
+        builder = DirectJoinOrderQubo(abc_graph)
+        bqm = builder.build()
+        names = abc_graph.relation_names
+        gaps = set()
+        for perm in itertools.permutations(names):
+            sample = {
+                variable_name(r, pos): 0 for r in names for pos in range(3)
+            }
+            for pos, r in enumerate(perm):
+                sample[variable_name(r, pos)] = 1
+            gap = bqm.energy(sample) - builder.surrogate_objective(perm)
+            gaps.add(round(gap, 9))
+        assert len(gaps) == 1  # constant offset across all permutations
+
+    def test_annealer_matches_dp_on_workloads(self):
+        for maker in (
+            lambda: chain_query(5, seed=9),
+            lambda: star_query(5, seed=9),
+            lambda: random_query(6, 8, seed=9),
+        ):
+            graph = maker()
+            reference = solve_dp_left_deep(graph)
+            builder = DirectJoinOrderQubo(graph)
+            solution = solve_direct_with_annealer(builder, num_reads=60, seed=2)
+            assert solution.cost <= 1.5 * reference.cost
+
+    def test_fits_hardware_where_two_step_does_not(self):
+        """An 8-relation query: 64 qubits (direct) fits Brooklyn's 65;
+        the two-step needs hundreds (paper Sec. 6.3.4's bottleneck)."""
+        graph = chain_query(8, seed=2)
+        direct = DirectJoinOrderQubo(graph)
+        assert direct.num_qubits <= 65
+        two_step = JoinOrderQuantumPipeline(graph, precision_exponent=0)
+        assert two_step.report().num_qubits > 65
+
+
+class TestNoiseModel:
+    def test_probability_validation(self):
+        with pytest.raises(BackendError):
+            NoiseModel(gate_error=1.5)
+
+    def test_zero_noise_is_identity(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        rng = np.random.default_rng(1)
+        instance = noisy_circuit_instance(qc, NoiseModel(), rng)
+        assert instance.size() == qc.size()
+
+    def test_gate_noise_inserts_paulis(self):
+        qc = QuantumCircuit(2)
+        for _ in range(50):
+            qc.h(0)
+        rng = np.random.default_rng(2)
+        instance = noisy_circuit_instance(qc, NoiseModel(gate_error=0.5), rng)
+        assert instance.size() > qc.size()
+
+    def test_readout_error_flips_bits(self):
+        qc = QuantumCircuit(1)  # stays |0>
+        counts = sample_with_noise(
+            qc, NoiseModel(readout_error=0.5), shots=400, trajectories=1, seed=3
+        )
+        assert counts.get("1", 0) > 100  # ~half flipped
+
+    def test_decoherence_uses_backend_calibration(self):
+        noise = NoiseModel.from_backend_properties(fake_mumbai().properties)
+        assert noise.decoherence_probability(248) == pytest.approx(0.63, abs=0.01)
+        assert noise.decoherence_probability(0) == 0.0
+
+    def test_noise_degrades_energy(self):
+        """A circuit preparing the ground state measures higher energy
+        under noise than without."""
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.x(1)  # |11>, the ground state of -Z0Z1 + Z0 + Z1... use diag
+        diagonal = np.array([3.0, 1.0, 1.0, 0.0])  # min at |11>
+        clean = expected_energy_under_noise(
+            qc, diagonal, NoiseModel(), shots=300, trajectories=1, seed=4
+        )
+        noisy = expected_energy_under_noise(
+            qc,
+            diagonal,
+            NoiseModel(gate_error=0.2, readout_error=0.1),
+            shots=300,
+            trajectories=6,
+            seed=4,
+        )
+        assert clean == pytest.approx(0.0)
+        assert noisy > clean
+
+
+class TestCliqueEmbedding:
+    @pytest.mark.parametrize("m,t,k", [(2, 4, 8), (3, 4, 12), (4, 4, 16)])
+    def test_valid_embeddings(self, m, t, k):
+        target = chimera_graph(m, m, t)
+        embedding = chimera_clique_embedding(k, m, t)
+        assert embedding.is_valid(nx.complete_graph(k), target)
+        assert embedding.max_chain_length == m + 1
+
+    def test_partial_clique(self):
+        target = chimera_graph(3, 3, 4)
+        embedding = chimera_clique_embedding(7, 3, 4)
+        assert embedding.is_valid(nx.complete_graph(7), target)
+
+    def test_capacity_enforced(self):
+        with pytest.raises(EmbeddingError):
+            chimera_clique_embedding(9, 2, 4)
+        assert max_native_clique(12) == 48
+
+    def test_custom_labels(self):
+        embedding = chimera_clique_embedding(3, 2, 4, node_labels=["a", "b", "c"])
+        assert set(embedding.chains) == {"a", "b", "c"}
+        with pytest.raises(EmbeddingError):
+            chimera_clique_embedding(3, 2, 4, node_labels=["a"])
+
+    def test_usable_by_embed_bqm(self):
+        """The template plugs into the same embedding machinery."""
+        from repro.annealing.composites import embed_bqm, unembed_sample
+        from repro.annealing.simulated_annealing import SimulatedAnnealingSampler
+        from repro.qubo import BinaryQuadraticModel, Vartype
+
+        bqm = BinaryQuadraticModel(
+            {"a": -1.0, "b": 1.0, "c": 0.0},
+            {("a", "b"): 2.0, ("b", "c"): -1.0, ("a", "c"): 0.5},
+            vartype=Vartype.SPIN,
+        )
+        target = chimera_graph(2, 2, 4)
+        embedding = chimera_clique_embedding(3, 2, 4, node_labels=["a", "b", "c"])
+        embedded = embed_bqm(bqm, embedding, target)
+        exact = brute_force_minimum(bqm)
+        sample_set = SimulatedAnnealingSampler(num_sweeps=300, seed=5).sample(
+            embedded, num_reads=20
+        )
+        logical, broken = unembed_sample(sample_set.first.sample, embedding)
+        assert bqm.energy(logical) == pytest.approx(exact.energy)

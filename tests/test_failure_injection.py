@@ -1,0 +1,161 @@
+"""Failure-injection tests: corrupted inputs and adversarial states
+must produce *typed* errors or graceful degradation, never silent
+wrong answers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    CircuitError,
+    EmbeddingError,
+    InfeasibleError,
+    ProblemError,
+    SolverError,
+    TranspilerError,
+)
+from repro.annealing import (
+    EmbeddingComposite,
+    SimulatedAnnealingSampler,
+    StructureComposite,
+    chimera_graph,
+)
+from repro.annealing.composites import embed_bqm, unembed_sample
+from repro.annealing.embedding import EmbeddingResult
+from repro.gate import QuantumCircuit
+from repro.gate.topologies import CouplingMap
+from repro.gate.transpiler import transpile
+from repro.gate.transpiler.layout import trivial_layout
+from repro.gate.transpiler.routing import sabre_route
+from repro.joinorder import JoinOrderMilp, JoinOrderQuantumPipeline
+from repro.joinorder.generators import milp_example_graph
+from repro.linprog import BranchAndBoundSolver, LinearModel
+from repro.mqo import MqoQuboBuilder, paper_example_problem
+from repro.qubo import BinaryQuadraticModel, Vartype
+
+
+class TestCorruptedSamples:
+    def test_mqo_decode_with_missing_variables(self):
+        """A truncated sample decodes to an *invalid* solution, not a
+        crash and not a fake-valid one."""
+        builder = MqoQuboBuilder(paper_example_problem())
+        solution = builder.decode({})  # nothing selected
+        assert not solution.valid
+        assert solution.cost == float("inf")
+
+    def test_mqo_decode_with_double_selection(self):
+        builder = MqoQuboBuilder(paper_example_problem())
+        sample = {f"x{i}": 1 for i in range(1, 9)}  # everything selected
+        solution = builder.decode(sample)
+        assert not solution.valid
+
+    def test_join_order_decode_rejects_two_relations_per_slot(self):
+        graph = milp_example_graph()
+        milp = JoinOrderMilp(graph=graph, thresholds=[10.0])
+        corrupt = {"tio[A,0]": 1, "tio[B,0]": 1}
+        with pytest.raises(ProblemError):
+            milp.decode_order(corrupt)
+
+    def test_pipeline_survives_garbage_sample_stream(self):
+        """_best_valid skips undecodable samples and raises only when
+        every sample is garbage."""
+        graph = milp_example_graph()
+        pipe = JoinOrderQuantumPipeline(graph, thresholds=[10.0])
+        with pytest.raises(SolverError):
+            pipe._best_valid([{}, {"tio[A,0]": 1}], method="test")
+
+
+class TestBrokenChains:
+    def test_majority_vote_on_fully_broken_chain(self):
+        embedding = EmbeddingResult(chains={"v": (0, 1)})
+        sample, fraction = unembed_sample({0: 1, 1: -1}, embedding)
+        assert sample["v"] in (-1, 1)
+        assert fraction == 1.0
+
+    def test_chain_break_fraction_reported_through_composite(self):
+        """Deliberately weak chains: the composite must still return
+        decodable samples with the break fraction recorded."""
+        bqm = BinaryQuadraticModel(
+            {"a": -1.0, "b": 1.0}, {("a", "b"): -2.0}, vartype=Vartype.SPIN
+        )
+        structured = StructureComposite(
+            SimulatedAnnealingSampler(num_sweeps=5, seed=1), chimera_graph(2, 2, 4)
+        )
+        composite = EmbeddingComposite(structured, seed=1)
+        sample_set = composite.sample(bqm, num_reads=10, chain_strength=0.01)
+        for record in sample_set:
+            assert 0.0 <= record.chain_break_fraction <= 1.0
+
+    def test_embed_bqm_rejects_uncoupled_interaction(self):
+        target = chimera_graph(1, 1, 4)
+        bqm = BinaryQuadraticModel({}, {("a", "b"): 1.0}, vartype=Vartype.SPIN)
+        # chains on the same shore have no coupler between them
+        embedding = EmbeddingResult(chains={"a": (0,), "b": (1,)})
+        with pytest.raises(EmbeddingError):
+            embed_bqm(bqm, embedding, target)
+
+
+class TestHostileTopologies:
+    def test_routing_on_disconnected_map_fails_loudly(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        disconnected = CouplingMap([(0, 1)], num_qubits=3)
+        with pytest.raises(TranspilerError):
+            sabre_route(qc, disconnected, trivial_layout(3, disconnected))
+
+    def test_transpile_rejects_oversized_circuit(self):
+        qc = QuantumCircuit(5)
+        with pytest.raises(TranspilerError):
+            transpile(qc, CouplingMap([(0, 1)], num_qubits=2))
+
+    def test_embedding_composite_raises_when_nothing_fits(self):
+        bqm = BinaryQuadraticModel({f"x{i}": 1.0 for i in range(40)})
+        for i in range(40):
+            bqm.add_quadratic(f"x{i}", f"x{(i + 1) % 40}", 1.0)
+        structured = StructureComposite(
+            SimulatedAnnealingSampler(num_sweeps=5, seed=1), chimera_graph(1, 1, 4)
+        )
+        with pytest.raises(EmbeddingError):
+            EmbeddingComposite(structured, seed=1).sample(bqm)
+
+
+class TestInfeasibleModels:
+    def test_contradictory_constraints(self):
+        model = LinearModel()
+        x = model.add_binary("x")
+        model.add_constraint(x >= 1)
+        model.add_constraint(x <= 0)
+        with pytest.raises(InfeasibleError):
+            BranchAndBoundSolver().solve(model)
+
+    def test_impossible_one_hot(self):
+        model = LinearModel()
+        xs = [model.add_binary(f"x{i}") for i in range(2)]
+        from repro.linprog.model import quicksum
+
+        model.add_constraint(quicksum(xs).eq(3))
+        with pytest.raises(InfeasibleError):
+            BranchAndBoundSolver().solve(model)
+
+
+class TestNumericEdgeCases:
+    def test_bqm_with_huge_penalties_still_enumerable(self):
+        bqm = BinaryQuadraticModel({"a": 1e12, "b": -1e12}, {("a", "b"): 1e12})
+        from repro.qubo import brute_force_minimum
+
+        result = brute_force_minimum(bqm)
+        assert result.sample == {"a": 0, "b": 1}
+
+    def test_simulator_rejects_unbound_parameters(self):
+        from repro.gate import Parameter, Statevector
+
+        qc = QuantumCircuit(1)
+        qc.rx(Parameter("t"), 0)
+        with pytest.raises(CircuitError):
+            Statevector.from_circuit(qc)
+
+    def test_sa_handles_constant_model(self):
+        ss = SimulatedAnnealingSampler(num_sweeps=10, seed=1).sample(
+            BinaryQuadraticModel(offset=5.0), num_reads=3
+        )
+        assert ss.first.energy == 5.0

@@ -1,0 +1,175 @@
+"""Tests for gates, parameters and the circuit container."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.gate import Gate, Parameter, QuantumCircuit
+from repro.gate.gates import matrices_equal_up_to_phase, standard_gate_matrix
+from repro.gate.parameter import ParameterExpression
+
+
+class TestGates:
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("frobnicate")
+
+    def test_wrong_param_count(self):
+        with pytest.raises(CircuitError):
+            Gate("rz")  # needs one angle
+
+    def test_all_matrices_unitary(self):
+        for name in ("id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx"):
+            u = standard_gate_matrix(name)
+            assert np.allclose(u.conj().T @ u, np.eye(2), atol=1e-12)
+        for name in ("rx", "ry", "rz", "p"):
+            u = standard_gate_matrix(name, (0.7,))
+            assert np.allclose(u.conj().T @ u, np.eye(2), atol=1e-12)
+        for name in ("cx", "cz", "swap", "rzz"):
+            params = (0.7,) if name == "rzz" else ()
+            u = standard_gate_matrix(name, params)
+            assert np.allclose(u.conj().T @ u, np.eye(4), atol=1e-12)
+
+    def test_x_is_negation(self):
+        x = standard_gate_matrix("x")
+        ket0 = np.array([1, 0], dtype=complex)
+        assert np.allclose(x @ ket0, [0, 1])
+
+    def test_hadamard_creates_balanced_superposition(self):
+        h = standard_gate_matrix("h")
+        ket0 = np.array([1, 0], dtype=complex)
+        amp = h @ ket0
+        assert np.allclose(np.abs(amp) ** 2, [0.5, 0.5])
+
+    def test_phase_equality_helper(self):
+        u = standard_gate_matrix("h")
+        assert matrices_equal_up_to_phase(u, np.exp(1j * 0.3) * u)
+        assert not matrices_equal_up_to_phase(u, standard_gate_matrix("x"))
+
+    def test_parameterized_gate_binding(self):
+        theta = Parameter("t")
+        gate = Gate("rz", (theta,))
+        assert gate.is_parameterized()
+        bound = gate.bind({theta: 1.5})
+        assert not bound.is_parameterized()
+        assert np.allclose(bound.matrix(), standard_gate_matrix("rz", (1.5,)))
+
+    def test_unbound_matrix_raises(self):
+        gate = Gate("rz", (Parameter("t"),))
+        with pytest.raises(CircuitError):
+            gate.matrix()
+
+
+class TestParameterExpression:
+    def test_affine_arithmetic(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = 2 * a + b - 1
+        assert isinstance(expr, ParameterExpression)
+        assert expr.bind({a: 1.0, b: 3.0}) == pytest.approx(4.0)
+
+    def test_partial_binding(self):
+        a, b = Parameter("a"), Parameter("b")
+        expr = (a + b).bind({a: 1.0})
+        assert isinstance(expr, ParameterExpression)
+        assert expr.bind({b: 2.0}) == pytest.approx(3.0)
+
+    def test_parameters_identity_not_name(self):
+        assert Parameter("x") != Parameter("x")
+
+
+class TestQuantumCircuit:
+    def test_append_validates_range(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.h(2)
+
+    def test_append_validates_duplicates(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            qc.cx(0, 0)
+
+    def test_depth_counts_layers(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.h(1)
+        qc.h(2)
+        assert qc.depth() == 1
+        qc.cx(0, 1)
+        assert qc.depth() == 2
+        qc.cx(1, 2)
+        assert qc.depth() == 3
+        qc.x(0)  # parallel with the second cx
+        assert qc.depth() == 3
+
+    def test_barrier_synchronises_without_depth(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.barrier()
+        qc.x(1)  # forced after the barrier, aligned with qubit 0's level
+        assert qc.depth() == 2
+
+    def test_count_ops_and_size(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.barrier()
+        assert qc.count_ops() == {"h": 1, "cx": 1, "barrier": 1}
+        assert qc.size() == 2
+        assert qc.two_qubit_gate_count() == 1
+
+    def test_parameters_collected(self):
+        qc = QuantumCircuit(1)
+        t1, t2 = Parameter("a"), Parameter("b")
+        qc.rz(t1, 0)
+        qc.rx(t2 * 2, 0)
+        assert qc.parameters == frozenset((t1, t2))
+
+    def test_bind_parameters(self):
+        qc = QuantumCircuit(1)
+        t = Parameter("a")
+        qc.rz(t, 0)
+        bound = qc.bind_parameters({t: 0.5})
+        assert not bound.is_parameterized()
+        assert qc.is_parameterized()  # original untouched
+
+    def test_assign_all_positional(self):
+        qc = QuantumCircuit(1)
+        qc.rz(Parameter("a"), 0)
+        qc.rz(Parameter("b"), 0)
+        bound = qc.assign_all([0.1, 0.2])
+        assert not bound.is_parameterized()
+        with pytest.raises(CircuitError):
+            qc.assign_all([0.1])
+
+    def test_compose_with_mapping(self):
+        outer = QuantumCircuit(3)
+        inner = QuantumCircuit(2)
+        inner.cx(0, 1)
+        combined = outer.compose(inner, qubits=[2, 0])
+        assert combined.instructions[0].qubits == (2, 0)
+
+    def test_inverse_round_trip(self):
+        from repro.gate.statevector import Statevector
+
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        qc.rz(0.3, 1)
+        round_trip = qc.compose(qc.inverse())
+        sv = Statevector.from_circuit(round_trip)
+        assert abs(sv.data[0]) == pytest.approx(1.0)
+
+    def test_remap_qubits(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        remapped = qc.remap_qubits({0: 3, 1: 1}, num_qubits=4)
+        assert remapped.instructions[0].qubits == (3, 1)
+
+    def test_interaction_pairs_deduplicated(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        qc.cx(1, 2)
+        assert sorted(qc.interaction_pairs()) == [(0, 1), (1, 2)]

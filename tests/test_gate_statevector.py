@@ -1,0 +1,141 @@
+"""Tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError, CircuitError
+from repro.gate import QuantumCircuit, Statevector, sample_counts
+from repro.gate.statevector import ising_diagonal
+
+
+class TestEvolution:
+    def test_zero_state(self):
+        sv = Statevector.zero_state(3)
+        assert sv.data[0] == 1.0
+        assert np.sum(np.abs(sv.data)) == 1.0
+
+    def test_bell_state(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.cx(0, 1)
+        sv = Statevector.from_circuit(qc)
+        expected = np.zeros(4, dtype=complex)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        assert np.allclose(sv.data, expected)
+
+    def test_paper_swap_circuit(self):
+        """Fig. 2: three CNOTs swap |01> into |10>."""
+        qc = QuantumCircuit(2)
+        qc.x(0)  # prepare qubit0 = 1
+        qc.cx(0, 1)
+        qc.cx(1, 0)
+        qc.cx(0, 1)
+        sv = Statevector.from_circuit(qc)
+        assert np.argmax(np.abs(sv.data)) == 2  # qubit1 = 1, qubit0 = 0
+
+    def test_swap_gate_matches_cnot_construction(self):
+        direct = QuantumCircuit(2)
+        direct.h(0)
+        direct.rz(0.4, 0)
+        direct.swap(0, 1)
+        via_cnots = QuantumCircuit(2)
+        via_cnots.h(0)
+        via_cnots.rz(0.4, 0)
+        via_cnots.cx(0, 1)
+        via_cnots.cx(1, 0)
+        via_cnots.cx(0, 1)
+        a = Statevector.from_circuit(direct)
+        b = Statevector.from_circuit(via_cnots)
+        assert a.fidelity(b) == pytest.approx(1.0)
+
+    def test_qubit_ordering_little_endian(self):
+        qc = QuantumCircuit(3)
+        qc.x(2)
+        sv = Statevector.from_circuit(qc)
+        assert np.argmax(np.abs(sv.data)) == 4  # bit 2 set
+
+    def test_normalization_preserved(self, rng):
+        qc = QuantumCircuit(4)
+        for _ in range(30):
+            kind = rng.integers(3)
+            if kind == 0:
+                qc.ry(float(rng.uniform(0, np.pi)), int(rng.integers(4)))
+            elif kind == 1:
+                a, b = rng.choice(4, 2, replace=False)
+                qc.cx(int(a), int(b))
+            else:
+                a, b = rng.choice(4, 2, replace=False)
+                qc.rzz(float(rng.uniform(0, np.pi)), int(a), int(b))
+        sv = Statevector.from_circuit(qc)
+        assert np.sum(sv.probabilities()) == pytest.approx(1.0)
+
+    def test_parameterized_circuit_rejected(self):
+        from repro.gate import Parameter
+
+        qc = QuantumCircuit(1)
+        qc.rz(Parameter("t"), 0)
+        with pytest.raises(CircuitError):
+            Statevector.from_circuit(qc)
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(BackendError):
+            Statevector.from_circuit(QuantumCircuit(33))
+
+
+class TestMeasurement:
+    def test_sampling_distribution(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        counts = sample_counts(qc, shots=4000, seed=7)
+        assert set(counts) == {"0", "1"}
+        assert abs(counts["0"] - 2000) < 200
+
+    def test_deterministic_outcome(self):
+        qc = QuantumCircuit(2)
+        qc.x(1)
+        counts = sample_counts(qc, shots=100, seed=1)
+        assert counts == {"10": 100}
+
+    def test_expectation_diagonal(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        sv = Statevector.from_circuit(qc)
+        diag = np.array([1.0, -1.0])  # Z observable
+        assert sv.expectation_diagonal(diag) == pytest.approx(0.0, abs=1e-12)
+
+    def test_expectation_shape_check(self):
+        sv = Statevector.zero_state(2)
+        with pytest.raises(CircuitError):
+            sv.expectation_diagonal(np.array([1.0]))
+
+
+class TestIsingDiagonal:
+    def test_single_z(self):
+        diag = ising_diagonal(1, {0: 1.0}, {})
+        assert diag.tolist() == [1.0, -1.0]  # Z|0> = +1
+
+    def test_zz_coupling(self):
+        diag = ising_diagonal(2, {}, {(0, 1): 1.0})
+        # |00>,|11> aligned -> +1; |01>,|10> anti -> -1
+        assert diag.tolist() == [1.0, -1.0, -1.0, 1.0]
+
+    def test_offset(self):
+        diag = ising_diagonal(1, {}, {}, offset=2.5)
+        assert diag.tolist() == [2.5, 2.5]
+
+    def test_matches_bqm_energy(self, rng):
+        from repro.qubo import BinaryQuadraticModel
+        from repro.variational import IsingHamiltonian
+
+        bqm = BinaryQuadraticModel()
+        names = list("abcd")
+        for n in names:
+            bqm.add_linear(n, rng.uniform(-1, 1))
+        bqm.add_quadratic("a", "c", 0.8)
+        bqm.add_quadratic("b", "d", -0.3)
+        hamiltonian = IsingHamiltonian.from_bqm(bqm)
+        diag = hamiltonian.diagonal()
+        for index in range(16):
+            bits = {q: (index >> q) & 1 for q in range(4)}
+            sample = hamiltonian.bits_to_sample(bits, bqm.vartype)
+            assert diag[index] == pytest.approx(bqm.energy(sample))

@@ -1,0 +1,75 @@
+"""Tests for coupling maps and device topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.gate import (
+    CouplingMap,
+    brooklyn_coupling_map,
+    full_coupling_map,
+    grid_coupling_map,
+    line_coupling_map,
+    mumbai_coupling_map,
+)
+
+
+class TestCouplingMap:
+    def test_basic_queries(self):
+        cmap = CouplingMap([(0, 1), (1, 2)])
+        assert cmap.num_qubits == 3
+        assert cmap.are_adjacent(0, 1)
+        assert not cmap.are_adjacent(0, 2)
+        assert cmap.distance(0, 2) == 2
+        assert cmap.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_disconnected_distance_raises(self):
+        cmap = CouplingMap([(0, 1)], num_qubits=3)
+        assert not cmap.is_connected()
+        with pytest.raises(TranspilerError):
+            cmap.distance(0, 2)
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(TranspilerError):
+            CouplingMap([(0, 5)], num_qubits=2)
+
+    def test_full_map(self):
+        cmap = full_coupling_map(5)
+        assert cmap.is_fully_connected()
+        assert cmap.max_degree() == 4
+
+    def test_line_and_grid(self):
+        line = line_coupling_map(6)
+        assert line.distance(0, 5) == 5
+        grid = grid_coupling_map(3, 4)
+        assert grid.num_qubits == 12
+        assert grid.distance(0, 11) == 5
+
+
+class TestDeviceMaps:
+    def test_mumbai_properties(self):
+        """Paper Fig. 4: 27-qubit Falcon heavy-hex lattice."""
+        cmap = mumbai_coupling_map()
+        assert cmap.num_qubits == 27
+        assert len(cmap.edges) == 28
+        assert cmap.is_connected()
+        assert cmap.max_degree() == 3  # heavy-hex signature
+
+    def test_brooklyn_properties(self):
+        """65-qubit Hummingbird heavy-hex lattice."""
+        cmap = brooklyn_coupling_map()
+        assert cmap.num_qubits == 65
+        assert cmap.is_connected()
+        assert cmap.max_degree() == 3
+        assert not cmap.is_fully_connected()
+
+    def test_heavy_hex_sparsity(self):
+        """Sparse topologies are what force swap routing (Sec. 3.6.1)."""
+        for cmap in (mumbai_coupling_map(), brooklyn_coupling_map()):
+            n = cmap.num_qubits
+            assert len(cmap.edges) < 2 * n  # far below n(n-1)/2
+            # some pair must be far apart
+            far = max(
+                cmap.distance(0, q) for q in range(n)
+            )
+            assert far >= 4

@@ -1,0 +1,137 @@
+"""Cross-module integration tests: full quantum pipelines end to end."""
+
+import pytest
+
+from repro.annealing import (
+    EmbeddingComposite,
+    SimulatedAnnealingSampler,
+    StructureComposite,
+    chimera_graph,
+    pegasus_graph,
+)
+from repro.joinorder import JoinOrderQuantumPipeline, solve_dp_left_deep
+from repro.joinorder.generators import milp_example_graph
+from repro.mqo import (
+    MqoQuboBuilder,
+    paper_example_problem,
+    solve_exhaustive,
+)
+from repro.qubo import brute_force_minimum
+from repro.variational import QAOA, Cobyla, MinimumEigenOptimizer, VQE
+
+
+class TestMqoGateModelPipeline:
+    """Paper Chapter 5 end to end: MQO → QUBO → QAOA/VQE → decode."""
+
+    def test_qaoa_on_paper_example(self):
+        problem = paper_example_problem()
+        builder = MqoQuboBuilder(problem)
+        optimizer = MinimumEigenOptimizer(QAOA(optimizer=Cobyla(maxiter=150), seed=5))
+        result = optimizer.solve(builder.build())
+        solutions = [
+            builder.decode(sample)
+            for sample, _ in [(result.sample, result.fval)] + result.candidates
+        ]
+        valid = [s for s in solutions if s.valid]
+        assert valid, "QAOA sampled no valid selection"
+        assert min(s.cost for s in valid) == pytest.approx(21.0)
+
+    def test_vqe_on_small_instance(self):
+        from repro.mqo import random_mqo_problem
+
+        problem = random_mqo_problem(2, 2, seed=8)
+        builder = MqoQuboBuilder(problem)
+        optimizer = MinimumEigenOptimizer(VQE(optimizer=Cobyla(maxiter=200), seed=8))
+        result = optimizer.solve(builder.build())
+        reference = solve_exhaustive(problem)
+        best = min(
+            (builder.decode(s) for s, _ in [(result.sample, 0)] + result.candidates),
+            key=lambda sol: sol.cost if sol.valid else float("inf"),
+        )
+        assert best.cost == pytest.approx(reference.cost)
+
+    def test_optimal_circuit_transpiles_to_mumbai(self):
+        """Sec. 5.2.2: retrieve the optimal circuit, transpile, inspect
+        its depth against the backend threshold."""
+        from repro.analysis.coherence import max_reliable_depth
+        from repro.gate import transpile
+        from repro.gate.backend import fake_mumbai
+        from repro.mqo import random_mqo_problem
+
+        problem = random_mqo_problem(2, 2, seed=3)
+        builder = MqoQuboBuilder(problem)
+        optimizer = MinimumEigenOptimizer(QAOA(optimizer=Cobyla(maxiter=40), seed=3))
+        result = optimizer.solve(builder.build())
+        backend = fake_mumbai()
+        transpiled = transpile(result.optimal_circuit, backend.coupling_map, seed=1)
+        assert transpiled.depth() <= max_reliable_depth(backend.properties)
+
+
+class TestJoinOrderQuantumPipeline:
+    """Paper Chapter 6 end to end: query graph → MILP → BILP → QUBO."""
+
+    def test_exact_ground_state_is_optimal_order(self, abc_graph):
+        pipe = JoinOrderQuantumPipeline(abc_graph, thresholds=[10.0])
+        result = brute_force_minimum(pipe.bqm)
+        solution = pipe.decode_sample(result.sample)
+        reference = solve_dp_left_deep(abc_graph)
+        assert solution.cost == pytest.approx(reference.cost)
+
+    def test_annealing_path(self, rst_graph):
+        pipe = JoinOrderQuantumPipeline(rst_graph, thresholds=[1000.0, 50_000.0])
+        solution = pipe.solve_with_annealer(num_reads=80, seed=2)
+        assert solution.cost == pytest.approx(51_000.0)
+
+    def test_qaoa_path_small(self):
+        """A predicate-free 3-relation instance keeps the statevector
+        at 21 qubits; a budget-capped QAOA run just needs to produce
+        some valid decoded order."""
+        from repro.joinorder.generators import uniform_query
+
+        graph = uniform_query(3, 0, cardinality=10.0, seed=0)
+        pipe = JoinOrderQuantumPipeline(graph, thresholds=[10.0])
+        assert pipe.report().num_qubits == 21
+        solution = pipe.solve_with_minimum_eigen(
+            QAOA(optimizer=Cobyla(maxiter=2), seed=1)
+        )
+        assert sorted(solution.order) == sorted(graph.relation_names)
+
+
+class TestAnnealerHardwarePath:
+    """Paper Sec. 6.2.2: BQM → StructureComposite → EmbeddingComposite."""
+
+    def test_mqo_on_chimera_cell_grid(self):
+        from repro.mqo import random_mqo_problem
+
+        problem = random_mqo_problem(2, 2, seed=4)
+        builder = MqoQuboBuilder(problem)
+        structured = StructureComposite(
+            SimulatedAnnealingSampler(num_sweeps=200, seed=4), chimera_graph(2, 2, 4)
+        )
+        composite = EmbeddingComposite(structured, seed=4)
+        sample_set = composite.sample(builder.build(), num_reads=30)
+        solution = builder.decode(sample_set.first.sample)
+        reference = solve_exhaustive(problem)
+        assert solution.valid
+        assert solution.cost == pytest.approx(reference.cost)
+
+    @pytest.mark.slow
+    def test_join_order_on_pegasus(self, abc_graph):
+        """The full Fig. 10 + Fig. 14 pipeline on a small Pegasus."""
+        pipe = JoinOrderQuantumPipeline(abc_graph, thresholds=[10.0])
+        structured = StructureComposite(
+            SimulatedAnnealingSampler(num_sweeps=500, seed=6), pegasus_graph(4)
+        )
+        composite = EmbeddingComposite(structured, seed=6)
+        sample_set = composite.sample(pipe.bqm, num_reads=60)
+        embedding = composite.last_embedding
+        assert embedding is not None
+        # physical overhead exists (chains longer than 1 somewhere)
+        assert embedding.num_physical_qubits >= pipe.report().num_qubits
+        decoded = []
+        for record in sample_set:
+            try:
+                decoded.append(pipe.decode_sample(record.sample))
+            except Exception:
+                continue
+        assert decoded, "no valid join order decoded from hardware samples"

@@ -1,0 +1,81 @@
+"""Tests for the bushy-tree DP baseline."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.joinorder import solve_dp_left_deep
+from repro.joinorder.bushy import BushyResult, left_deep_penalty, solve_dp_bushy
+from repro.joinorder.generators import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    random_query,
+    star_query,
+)
+
+
+class TestBushyDp:
+    def test_bushy_never_worse_than_left_deep(self):
+        """Left-deep trees are a subset of bushy trees."""
+        for maker, seed in (
+            (chain_query, 1),
+            (star_query, 2),
+            (cycle_query, 3),
+            (clique_query, 4),
+        ):
+            graph = maker(6, seed=seed)
+            bushy = solve_dp_bushy(graph)
+            left_deep = solve_dp_left_deep(graph)
+            assert bushy.cost <= left_deep.cost + 1e-6
+
+    def test_paper_example(self, rst_graph):
+        """3 relations: every bushy tree is left-deep, costs agree."""
+        bushy = solve_dp_bushy(rst_graph)
+        assert bushy.cost == pytest.approx(51_000.0)
+        assert sorted(bushy.leaves()) == ["R", "S", "T"]
+
+    def test_tree_structure_is_well_formed(self):
+        graph = random_query(5, 6, seed=7)
+        result = solve_dp_bushy(graph)
+        assert sorted(result.leaves()) == sorted(graph.relation_names)
+        rendered = result.render()
+        assert rendered.count("⋈") == graph.num_joins
+
+    def test_cost_reconstruction(self):
+        """The DP cost equals the recomputed cost of its own tree."""
+        from repro.joinorder.cost import join_result_cardinality
+
+        graph = random_query(6, 9, seed=11)
+        result = solve_dp_bushy(graph)
+
+        def tree_cost(node):
+            if isinstance(node, str):
+                return 0.0, [node]
+            lc, ln = tree_cost(node[0])
+            rc, rn = tree_cost(node[1])
+            names = ln + rn
+            return lc + rc + join_result_cardinality(graph, names), names
+
+        cost, _ = tree_cost(result.tree)
+        assert cost == pytest.approx(result.cost)
+
+    def test_size_limit(self):
+        graph = chain_query(6, seed=1)
+        with pytest.raises(SolverError):
+            solve_dp_bushy(graph, max_relations=5)
+
+    def test_left_deep_penalty_at_least_one(self):
+        for seed in range(3):
+            graph = random_query(6, 8, seed=40 + seed)
+            assert left_deep_penalty(graph) >= 1.0 - 1e-9
+
+    def test_bushy_beats_left_deep_somewhere(self):
+        """There exist queries where bushy strictly wins — the cost of
+        the paper's left-deep restriction is real."""
+        found = False
+        for seed in range(20):
+            graph = random_query(7, 9, seed=100 + seed)
+            if left_deep_penalty(graph) > 1.0 + 1e-6:
+                found = True
+                break
+        assert found

@@ -1,0 +1,177 @@
+"""Tests for query graphs, the cost model and classical algorithms."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ProblemError, SolverError
+from repro.joinorder import (
+    Predicate,
+    QueryGraph,
+    Relation,
+    chain_query,
+    clique_query,
+    cout_cost,
+    cycle_query,
+    intermediate_cardinalities,
+    join_result_cardinality,
+    random_query,
+    solve_dp_left_deep,
+    solve_exhaustive,
+    solve_genetic,
+    solve_greedy,
+    solve_simulated_annealing,
+    star_query,
+    uniform_query,
+)
+
+
+class TestQueryGraph:
+    def test_paper_example(self, rst_graph):
+        assert rst_graph.num_relations == 3
+        assert rst_graph.num_joins == 2
+        assert rst_graph.selectivity("R", "S") == 0.1
+        assert rst_graph.selectivity("R", "T") == 1.0  # cross product
+
+    def test_validation(self):
+        with pytest.raises(ProblemError):
+            QueryGraph(relations=(Relation("A", 10),))  # needs >= 2
+        with pytest.raises(ProblemError):
+            QueryGraph(
+                relations=(Relation("A", 10), Relation("A", 20)),
+            )
+        with pytest.raises(ProblemError):
+            Relation("A", 0.5)
+        with pytest.raises(ProblemError):
+            Predicate("A", "A", 0.5)
+        with pytest.raises(ProblemError):
+            Predicate("A", "B", 0.0)
+
+    def test_duplicate_predicate_rejected(self):
+        with pytest.raises(ProblemError):
+            QueryGraph(
+                relations=(Relation("A", 10), Relation("B", 10)),
+                predicates=(Predicate("A", "B", 0.5), Predicate("B", "A", 0.2)),
+            )
+
+    def test_predicates_within(self, rst_graph):
+        assert len(rst_graph.predicates_within(["R", "S"])) == 1
+        assert len(rst_graph.predicates_within(["R", "S", "T"])) == 2
+        assert len(rst_graph.predicates_within(["R", "T"])) == 0
+
+    def test_connectivity(self, rst_graph):
+        assert rst_graph.is_connected()
+        disconnected = QueryGraph(
+            relations=(Relation("A", 10), Relation("B", 10), Relation("C", 10)),
+            predicates=(Predicate("A", "B", 0.5),),
+        )
+        assert not disconnected.is_connected()
+
+    def test_permutation_validation(self, rst_graph):
+        with pytest.raises(ProblemError):
+            rst_graph.validate_permutation(["R", "S"])
+
+
+class TestCostModel:
+    def test_table3_costs(self, rst_graph):
+        """Paper Table 3 verbatim."""
+        assert cout_cost(rst_graph, ["R", "S", "T"]) == 51_000.0
+        assert cout_cost(rst_graph, ["R", "T", "S"]) == 60_000.0
+        assert cout_cost(rst_graph, ["S", "T", "R"]) == 100_000.0
+
+    def test_first_pair_order_irrelevant(self, rst_graph):
+        assert cout_cost(rst_graph, ["R", "S", "T"]) == cout_cost(
+            rst_graph, ["S", "R", "T"]
+        )
+
+    def test_final_join_constant_across_orders(self, rst_graph):
+        """The note under Table 3: the last join costs the same for all."""
+        orders = [["R", "S", "T"], ["R", "T", "S"], ["S", "T", "R"]]
+        finals = [
+            cout_cost(rst_graph, o) - cout_cost(rst_graph, o, include_final_join=False)
+            for o in orders
+        ]
+        assert len(set(finals)) == 1
+
+    def test_join_result_cardinality(self, rst_graph):
+        assert join_result_cardinality(rst_graph, ["R", "S"]) == 1000.0
+        assert join_result_cardinality(rst_graph, ["R", "T"]) == 10_000.0
+        assert join_result_cardinality(rst_graph, ["R", "S", "T"]) == 50_000.0
+
+    def test_intermediate_cardinalities(self, rst_graph):
+        cards = intermediate_cardinalities(rst_graph, ["R", "S", "T"])
+        assert cards == [1000.0, 50_000.0]
+
+
+class TestGenerators:
+    def test_chain_shape(self):
+        g = chain_query(5, seed=1)
+        assert g.num_relations == 5
+        assert g.num_predicates == 4
+        assert g.is_connected()
+
+    def test_star_shape(self):
+        g = star_query(5, seed=1)
+        hub = g.relation_names[0]
+        assert all(hub in p.relations for p in g.predicates)
+
+    def test_cycle_shape(self):
+        g = cycle_query(5, seed=1)
+        assert g.num_predicates == 5
+
+    def test_clique_shape(self):
+        g = clique_query(4, seed=1)
+        assert g.num_predicates == 6
+
+    def test_random_connected(self):
+        g = random_query(8, 12, seed=3)
+        assert g.num_predicates == 12
+        assert g.is_connected()
+
+    def test_random_needs_spanning_predicates(self):
+        with pytest.raises(ProblemError):
+            random_query(5, 2, seed=1)
+
+    def test_uniform_predicate_limit(self):
+        with pytest.raises(ProblemError):
+            uniform_query(3, 4)
+
+    def test_uniform_reproducible(self):
+        assert uniform_query(6, 8, seed=2).predicates == uniform_query(6, 8, seed=2).predicates
+
+
+class TestClassicalSolvers:
+    def test_exhaustive_matches_paper(self, rst_graph):
+        result = solve_exhaustive(rst_graph)
+        assert result.cost == 51_000.0
+
+    def test_dp_is_optimal_vs_exhaustive(self, rng):
+        for trial in range(4):
+            g = random_query(6, 8, seed=200 + trial)
+            dp = solve_dp_left_deep(g)
+            exhaustive = solve_exhaustive(g)
+            assert dp.cost == pytest.approx(exhaustive.cost)
+
+    def test_dp_refuses_huge(self):
+        g = chain_query(5, seed=1)
+        with pytest.raises(SolverError):
+            solve_dp_left_deep(g, max_relations=4)
+
+    def test_exhaustive_refuses_huge(self):
+        g = chain_query(12, seed=1)
+        with pytest.raises(SolverError):
+            solve_exhaustive(g)
+
+    def test_heuristics_within_bound(self, rng):
+        for trial in range(3):
+            g = random_query(7, 10, seed=300 + trial)
+            reference = solve_dp_left_deep(g).cost
+            assert solve_greedy(g).cost >= reference - 1e-9
+            assert solve_genetic(g, seed=trial).cost == pytest.approx(reference)
+            sa = solve_simulated_annealing(g, seed=trial)
+            assert sa.cost <= 5 * reference  # randomized: loose bound
+
+    def test_greedy_near_optimal_on_star(self):
+        """Smallest-intermediate greedy is near-optimal on star queries."""
+        g = star_query(6, seed=5)
+        assert solve_greedy(g).cost <= 1.01 * solve_dp_left_deep(g).cost

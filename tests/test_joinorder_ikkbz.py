@@ -1,0 +1,106 @@
+"""Tests for the IKKBZ polynomial-time optimal algorithm."""
+
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.joinorder import solve_dp_left_deep
+from repro.joinorder.generators import (
+    chain_query,
+    cycle_query,
+    paper_example_graph,
+    star_query,
+)
+from repro.joinorder.ikkbz import (
+    _Module,
+    _combine,
+    _merge_chains,
+    _normalize,
+    connected_orders_bruteforce,
+    solve_ikkbz,
+)
+from repro.joinorder.query_graph import Predicate, QueryGraph, Relation
+
+
+class TestModules:
+    def test_combine_asi_algebra(self):
+        a = _Module(("A",), t=2.0, c=2.0)
+        b = _Module(("B",), t=3.0, c=3.0)
+        ab = _combine(a, b)
+        assert ab.relations == ("A", "B")
+        assert ab.t == 6.0
+        assert ab.c == 2.0 + 2.0 * 3.0
+
+    def test_rank_ordering(self):
+        small = _Module(("A",), t=0.5, c=0.5)   # shrinking: negative rank
+        large = _Module(("B",), t=10.0, c=10.0)
+        assert small.rank < 0 < large.rank
+
+    def test_normalize_resolves_conflicts(self):
+        high = _Module(("A",), t=10.0, c=10.0)
+        low = _Module(("B",), t=0.5, c=0.5)
+        out = _normalize([high, low])
+        assert len(out) == 1
+        assert out[0].relations == ("A", "B")
+
+    def test_normalize_keeps_ascending(self):
+        a = _Module(("A",), t=1.5, c=1.5)
+        b = _Module(("B",), t=5.0, c=5.0)
+        assert len(_normalize([a, b])) == 2
+
+    def test_merge_chains_sorts_by_rank(self):
+        c1 = [_Module(("A",), t=2.0, c=2.0), _Module(("B",), t=8.0, c=8.0)]
+        c2 = [_Module(("C",), t=4.0, c=4.0)]
+        merged = _merge_chains([c1, c2])
+        assert [m.relations[0] for m in merged] == ["A", "C", "B"]
+
+
+class TestOptimality:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda: chain_query(5, seed=1),
+            lambda: chain_query(6, seed=9),
+            lambda: star_query(5, seed=2),
+            lambda: star_query(6, seed=5),
+            paper_example_graph,
+        ],
+    )
+    def test_matches_connected_bruteforce(self, maker):
+        """IKKBZ is exactly optimal over connected left-deep orders."""
+        graph = maker()
+        ikkbz = solve_ikkbz(graph)
+        reference = connected_orders_bruteforce(graph)
+        assert ikkbz.cost == pytest.approx(reference.cost)
+
+    def test_never_beats_unrestricted_dp(self):
+        """DP may use cross products, so DP <= IKKBZ always."""
+        for seed in range(3):
+            graph = chain_query(6, seed=seed)
+            assert solve_dp_left_deep(graph).cost <= solve_ikkbz(graph).cost + 1e-6
+
+    def test_order_is_connected(self):
+        graph = chain_query(7, seed=4)
+        order = solve_ikkbz(graph).order
+        import networkx as nx
+
+        g = nx.Graph((p.first, p.second) for p in graph.predicates)
+        for i in range(1, len(order)):
+            assert any(g.has_edge(order[i], prev) for prev in order[:i])
+
+
+class TestApplicability:
+    def test_rejects_cycles(self):
+        with pytest.raises(ProblemError):
+            solve_ikkbz(cycle_query(5, seed=1))
+
+    def test_rejects_disconnected(self):
+        graph = QueryGraph(
+            relations=(Relation("A", 10), Relation("B", 10), Relation("C", 10)),
+            predicates=(Predicate("A", "B", 0.5),),
+        )
+        with pytest.raises(ProblemError):
+            solve_ikkbz(graph)
+
+    def test_bruteforce_size_limit(self):
+        with pytest.raises(ProblemError):
+            connected_orders_bruteforce(chain_query(9, seed=1))

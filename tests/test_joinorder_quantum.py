@@ -1,0 +1,233 @@
+"""Tests for the MILP → BILP → QUBO pipeline (paper Sec. 6.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.joinorder import (
+    JoinOrderMilp,
+    JoinOrderQuantumPipeline,
+    bilp_to_bqm,
+    penalty_weight,
+    solve_dp_left_deep,
+)
+from repro.joinorder.bilp import build_join_order_bilp
+from repro.joinorder.generators import milp_example_graph, uniform_query
+from repro.linprog import BranchAndBoundSolver
+from repro.qubo import brute_force_minimum
+
+
+@pytest.fixture
+def abc_milp(abc_graph):
+    """The Sec. 6.1.2 example: A,B,C cards 10, one predicate, θ = 10."""
+    return JoinOrderMilp(graph=abc_graph, thresholds=[10.0], precision_omega=1.0)
+
+
+class TestMilpFormulation:
+    def test_variable_inventory(self, abc_milp):
+        model, stats = abc_milp.build()
+        # T=3, J=2: tio/tii 6 each; pao/cto only for j=1
+        assert stats.num_tio == 6
+        assert stats.num_tii == 6
+        assert stats.num_pao == 1
+        assert stats.num_cto == 1
+        assert stats.num_logical == 14
+
+    def test_constraint_counts(self, abc_milp):
+        model, stats = abc_milp.build()
+        names = [c.name for c in model.constraints]
+        assert names.count("t1") == 1
+        assert sum(n.startswith("t2") for n in names) == 2
+        assert sum(n.startswith("t3") for n in names) == 6
+        assert sum(n.startswith("t4") for n in names) == 3
+        assert sum(n.startswith("t5") for n in names) == 1
+        assert sum(n.startswith("t6") for n in names) == 1
+        assert sum(n.startswith("t7") for n in names) == 1
+
+    def test_thresholds_must_ascend(self, abc_graph):
+        with pytest.raises(ProblemError):
+            JoinOrderMilp(graph=abc_graph, thresholds=[10.0, 5.0])
+        with pytest.raises(ProblemError):
+            JoinOrderMilp(graph=abc_graph, thresholds=[])
+
+    def test_delta_thetas(self, abc_graph):
+        milp = JoinOrderMilp(graph=abc_graph, thresholds=[10.0, 30.0, 100.0])
+        assert milp.delta_thetas() == [10.0, 20.0, 70.0]
+
+    def test_mlc_is_sorted_partial_sum(self, rst_graph):
+        milp = JoinOrderMilp(graph=rst_graph, thresholds=[10.0])
+        # cards 10, 1000, 1000 -> logs 1, 3, 3 (descending 3, 3, 1)
+        assert milp.max_log_cardinality(0) == pytest.approx(3.0)
+        assert milp.max_log_cardinality(1) == pytest.approx(6.0)
+
+    def test_pruning_drops_unreachable_thresholds(self, abc_graph):
+        # θ = 1000 > worst-case intermediate 100 -> prunable
+        pruned = JoinOrderMilp(
+            graph=abc_graph, thresholds=[1000.0], prune_thresholds=True
+        )
+        _, stats = pruned.build()
+        assert stats.num_cto == 0
+        unpruned = JoinOrderMilp(
+            graph=abc_graph, thresholds=[1000.0], prune_thresholds=False
+        )
+        _, stats = unpruned.build()
+        assert stats.num_cto == 1
+
+    def test_milp_solved_classically_gives_optimal_order(self, abc_graph):
+        """The classical baseline path: MILP + branch and bound."""
+        milp = JoinOrderMilp(graph=abc_graph, thresholds=[10.0])
+        model, _ = milp.build()
+        solution = BranchAndBoundSolver().solve(model)
+        order = milp.decode_order(solution.assignment)
+        # optimal orders put A and B first (Sec. 6.1.2 example)
+        assert set(order[:2]) == {"A", "B"}
+        assert solution.objective == pytest.approx(0.0)  # threshold not crossed
+
+    def test_decode_rejects_garbage(self, abc_milp):
+        with pytest.raises(ProblemError):
+            abc_milp.decode_order({})
+
+
+class TestBilpConversion:
+    def test_counts_match_eq45(self, abc_graph):
+        milp = JoinOrderMilp(
+            graph=abc_graph, thresholds=[10.0], precision_omega=1.0
+        )
+        bilp = build_join_order_bilp(milp, precision_exponent=0)
+        counts = bilp.variable_counts()
+        assert counts["n"] == counts["n_log"] + counts["n_bsl"] + counts["n_csl"]
+        assert counts["n_log"] == 14
+        # type 3 (6) + type 5 (1) + type 6 (1) single slacks
+        assert counts["n_bsl"] == 8
+        # one type-7 constraint with bound mlc=2, omega=1 -> 2 binaries
+        assert counts["n_csl"] == 2
+
+    def test_counts_match_formula_without_pruning(self):
+        from repro.analysis.qubit_counts import JoinOrderQubitBounds
+
+        for t, p, r, exp in ((4, 3, 2, 0), (5, 6, 1, 1), (6, 5, 3, 0)):
+            graph = uniform_query(t, p, seed=9)
+            thresholds = [10.0 * 3 ** k for k in range(r)]
+            pipe = JoinOrderQuantumPipeline(
+                graph,
+                thresholds=thresholds,
+                precision_exponent=exp,
+                prune_thresholds=False,
+            )
+            counts = pipe.bilp.variable_counts()
+            bounds = JoinOrderQubitBounds(t, p, r, 0.1 ** exp)
+            assert counts["n_log"] == bounds.n_log
+            assert counts["n_bsl"] == bounds.n_bsl
+            assert counts["n_csl"] == bounds.n_csl
+
+    def test_all_constraints_equalities(self, abc_graph):
+        milp = JoinOrderMilp(graph=abc_graph, thresholds=[10.0], precision_omega=1.0)
+        bilp = build_join_order_bilp(milp)
+        from repro.linprog import Sense
+
+        assert all(c.sense is Sense.EQ for c in bilp.model.constraints)
+
+    def test_valid_order_has_feasible_completion(self, abc_graph):
+        """Every valid join order must extend to a feasible BILP point —
+        otherwise the QUBO penalises valid solutions."""
+        milp = JoinOrderMilp(graph=abc_graph, thresholds=[10.0], precision_omega=1.0)
+        bilp = build_join_order_bilp(milp)
+        solver = BranchAndBoundSolver()
+        # pin the optimal order A,B,C through its tio/tii variables and
+        # check the equality system stays feasible
+        model = bilp.model
+        from repro.linprog import LinearModel
+
+        pinned = LinearModel()
+        for var in model.variables:
+            pinned.add_variable(var.name, var.vartype, var.lower, var.upper)
+        for con in model.constraints:
+            from repro.linprog.model import Constraint, Sense
+
+            pinned.add_constraint(
+                Constraint("", dict(con.coeffs), con.sense, con.rhs), name=con.name
+            )
+        assignments = {
+            "tio[A,0]": 1, "tii[B,0]": 1, "tii[C,1]": 1,
+            "tio[A,1]": 1, "tio[B,1]": 1,
+        }
+        for name, value in assignments.items():
+            var = pinned.get_variable(name)
+            pinned.add_constraint(var.eq(value), name=f"pin_{name}")
+        solution = solver.solve(pinned)  # raises InfeasibleError on failure
+        assert bilp.decode_order(solution.assignment) == ("A", "B", "C")
+
+
+class TestQuboTransformation:
+    def test_penalty_weight_eq44(self):
+        c = np.array([1.0, 2.0, 3.0])
+        assert penalty_weight(c, omega=1.0) > 6.0
+        assert penalty_weight(c, omega=0.1) > 600.0
+        with pytest.raises(Exception):
+            penalty_weight(np.array([-1.0]), omega=1.0)
+
+    def test_ground_state_energy_zero_objective(self, abc_graph):
+        """An optimal order crosses no threshold: H_B = 0 and all
+        constraints hold, so the ground energy is exactly 0."""
+        pipe = JoinOrderQuantumPipeline(
+            abc_graph, thresholds=[10.0], precision_exponent=0
+        )
+        result = brute_force_minimum(pipe.bqm)
+        assert result.energy == pytest.approx(0.0, abs=1e-6)
+        order = pipe.decode_sample(result.sample).order
+        assert set(order[:2]) == {"A", "B"}
+
+    def test_quadratic_terms_from_constraints_only(self, abc_graph):
+        """H_A is the sole quadratic source (Sec. 6.1.4)."""
+        pipe = JoinOrderQuantumPipeline(abc_graph, thresholds=[10.0])
+        bqm_constraints_only = bilp_to_bqm(pipe.bilp, penalty_a=1.0, weight_b=0.0)
+        assert pipe.bqm.num_interactions == bqm_constraints_only.num_interactions
+
+    def test_violating_assignment_energy_exceeds_any_valid(self, abc_graph):
+        pipe = JoinOrderQuantumPipeline(abc_graph, thresholds=[10.0])
+        bqm = pipe.bqm
+        # all-zeros violates type 1/2 constraints
+        zeros = {v: 0 for v in bqm.variables}
+        s, b, c, order = pipe.bilp.to_matrices()
+        worst_objective = float(np.sum(np.abs(c)))
+        assert bqm.energy(zeros) > worst_objective
+
+    def test_table4_instances(self):
+        """Paper Table 4: 30 qubits each, density ordering preserved."""
+        from repro.experiments.jo_table4 import TABLE4_CONFIGS, build_instance
+
+        quads = []
+        for _, p, r, exp in TABLE4_CONFIGS:
+            report = build_instance(p, r, exp).report()
+            assert report.num_qubits == 30
+            quads.append(report.num_quadratic_terms)
+        assert quads[0] < quads[1] < quads[2]
+        assert quads[2] == 138  # exact paper value for problem 3
+
+
+class TestPipeline:
+    def test_report_contents(self, abc_graph):
+        pipe = JoinOrderQuantumPipeline(abc_graph, thresholds=[10.0])
+        report = pipe.report()
+        assert report.num_relations == 3
+        assert report.num_qubits == report.variable_counts["n"]
+        assert report.num_quadratic_terms > 0
+
+    def test_annealer_solves_example(self, abc_graph):
+        pipe = JoinOrderQuantumPipeline(abc_graph, thresholds=[10.0])
+        solution = pipe.solve_with_annealer(num_reads=60, seed=11)
+        reference = solve_dp_left_deep(abc_graph)
+        assert solution.cost == pytest.approx(reference.cost)
+
+    def test_default_threshold_is_max_cardinality(self, rst_graph):
+        pipe = JoinOrderQuantumPipeline(rst_graph)
+        assert pipe.milp_builder.thresholds == [1000.0]
+
+    def test_decode_round_trip(self, abc_graph):
+        pipe = JoinOrderQuantumPipeline(abc_graph, thresholds=[10.0])
+        result = brute_force_minimum(pipe.bqm)
+        solution = pipe.decode_sample(result.sample, method="exact")
+        assert solution.method == "exact"
+        assert sorted(solution.order) == ["A", "B", "C"]

@@ -1,0 +1,212 @@
+"""Tests for the MILP modelling layer, standard-form conversion and
+branch-and-bound solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError, ModelError, VariableError
+from repro.linprog import (
+    BranchAndBoundSolver,
+    LinearModel,
+    Sense,
+    VarType,
+    binary_slack_count,
+    discretize_slack,
+    to_equality_form,
+)
+from repro.linprog.model import quicksum
+
+
+class TestModelBuilding:
+    def test_variable_registration(self):
+        model = LinearModel()
+        x = model.add_binary("x")
+        assert x.vartype is VarType.BINARY
+        assert model.variable_names == ("x",)
+        with pytest.raises(VariableError):
+            model.add_binary("x")
+
+    def test_expression_arithmetic(self):
+        model = LinearModel()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expr = 2 * x - y + 3
+        assert expr.evaluate({"x": 1, "y": 1}) == pytest.approx(4.0)
+
+    def test_constraint_normalization(self):
+        model = LinearModel()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        con = model.add_constraint(x + 1 <= y + 3)
+        assert con.sense is Sense.LE
+        assert con.rhs == pytest.approx(2.0)
+        assert con.coeffs == {"x": 1.0, "y": -1.0}
+
+    def test_constraint_unknown_variable(self):
+        model = LinearModel()
+        model.add_binary("x")
+        other = LinearModel().add_binary("y")
+        with pytest.raises(VariableError):
+            model.add_constraint(other <= 1)
+
+    def test_equality_via_eq(self):
+        model = LinearModel()
+        x = model.add_binary("x")
+        con = model.add_constraint(x.eq(1))
+        assert con.sense is Sense.EQ
+
+    def test_feasibility_check(self):
+        model = LinearModel()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        model.add_constraint(x + y <= 1)
+        assert model.is_feasible({"x": 1, "y": 0})
+        assert not model.is_feasible({"x": 1, "y": 1})
+        assert not model.is_feasible({"x": 0.5, "y": 0})  # fractional binary
+
+    def test_matrix_extraction(self):
+        model = LinearModel()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        model.add_constraint((x + 2 * y).eq(1), name="c")
+        model.set_objective(3 * x + 4 * y)
+        s, b, c, order = model.to_matrices()
+        assert order == ("x", "y")
+        assert s.tolist() == [[1.0, 2.0]]
+        assert b.tolist() == [1.0]
+        assert c.tolist() == [3.0, 4.0]
+
+    def test_quicksum(self):
+        model = LinearModel()
+        xs = [model.add_binary(f"x{i}") for i in range(4)]
+        expr = quicksum(xs)
+        assert expr.evaluate({f"x{i}": 1 for i in range(4)}) == 4.0
+
+
+class TestSlackDiscretization:
+    def test_binary_slack_count_matches_eq52(self):
+        # n = floor(log2(C/omega)) + 1
+        assert binary_slack_count(2.0, 1.0) == 2
+        assert binary_slack_count(2.0, 0.001) == math.floor(math.log2(2000)) + 1
+        assert binary_slack_count(0.5, 1.0) == 1
+        assert binary_slack_count(0.0, 1.0) == 0
+
+    def test_discretize_coefficients_are_powers(self):
+        names, weights = discretize_slack(5.0, 0.5, "sl")
+        assert weights == [0.5 * 2 ** i for i in range(len(weights))]
+        # covers [0, C] in steps of omega
+        assert sum(weights) >= 5.0
+
+    def test_omega_must_be_positive(self):
+        with pytest.raises(ModelError):
+            binary_slack_count(1.0, 0.0)
+
+
+class TestEqualityForm:
+    def test_le_gets_single_binary_slack(self):
+        model = LinearModel()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        model.add_constraint(x + y <= 1, name="cap")
+        result = to_equality_form(model)
+        assert result.num_slack_variables == 1
+        (con,) = result.model.constraints
+        assert con.sense is Sense.EQ
+        # x + y + slack == 1 for every feasible assignment
+        assert result.model.is_feasible({"x": 1, "y": 0, result.slack_variables[0]: 0})
+        assert result.model.is_feasible({"x": 0, "y": 0, result.slack_variables[0]: 1})
+
+    def test_ge_negated(self):
+        model = LinearModel()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        model.add_constraint(x + y >= 1, name="atleast")
+        result = to_equality_form(model)
+        assert result.model.is_feasible({"x": 1, "y": 1, result.slack_variables[0]: 1})
+        assert not result.model.is_feasible(
+            {"x": 0, "y": 0, result.slack_variables[0]: 0}
+        )
+
+    def test_equality_untouched(self):
+        model = LinearModel()
+        x = model.add_binary("x")
+        model.add_constraint(x.eq(1), name="pin")
+        result = to_equality_form(model)
+        assert result.num_slack_variables == 0
+
+    def test_fractional_gap_discretized(self):
+        model = LinearModel()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        model.add_constraint(1.5 * x + 2.5 * y <= 4.0, name="wide")
+        result = to_equality_form(model, omega=0.5)
+        # gap = 4.0, omega 0.5 -> floor(log2(8)) + 1 = 4 slacks
+        assert len(result.slack_of_constraint["wide"]) == 4
+
+    def test_requires_binary_program(self):
+        model = LinearModel()
+        model.add_variable("x", VarType.CONTINUOUS)
+        with pytest.raises(ModelError):
+            to_equality_form(model)
+
+    def test_objective_preserved(self):
+        model = LinearModel()
+        x = model.add_binary("x")
+        model.set_objective(5 * x)
+        result = to_equality_form(model)
+        assert result.model.objective.coeffs == {"x": 5.0}
+
+
+class TestBranchAndBound:
+    def test_simple_knapsack(self):
+        model = LinearModel()
+        xs = [model.add_binary(f"x{i}") for i in range(4)]
+        weights = [2, 3, 4, 5]
+        values = [3, 4, 5, 6]
+        model.add_constraint(quicksum(w * x for w, x in zip(weights, xs)) <= 6)
+        model.set_objective(quicksum(-v * x for v, x in zip(values, xs)))
+        solution = BranchAndBoundSolver().solve(model)
+        assert solution.objective == pytest.approx(-8.0)  # items 0+2 (val 3+5)
+
+    def test_equality_model(self):
+        model = LinearModel()
+        x, y, z = (model.add_binary(n) for n in "xyz")
+        model.add_constraint((x + y + z).eq(2))
+        model.set_objective(1 * x + 2 * y + 3 * z)
+        solution = BranchAndBoundSolver().solve(model)
+        assert solution.objective == pytest.approx(3.0)
+        assignment = solution.int_assignment()
+        assert assignment["x"] == 1 and assignment["y"] == 1
+
+    def test_infeasible(self):
+        model = LinearModel()
+        x = model.add_binary("x")
+        model.add_constraint(x >= 2)
+        with pytest.raises(InfeasibleError):
+            BranchAndBoundSolver().solve(model)
+
+    def test_mixed_integer_continuous(self):
+        model = LinearModel()
+        x = model.add_variable("x", VarType.INTEGER, lower=0, upper=10)
+        y = model.add_variable("y", VarType.CONTINUOUS, lower=0, upper=10)
+        model.add_constraint(x + y <= 5.5)
+        model.set_objective(-2 * x - 1 * y)
+        solution = BranchAndBoundSolver().solve(model)
+        assert solution.assignment["x"] == pytest.approx(5.0)
+        assert solution.assignment["y"] == pytest.approx(0.5)
+
+    def test_matches_exhaustive_on_random_bilps(self, rng):
+        for _ in range(5):
+            model = LinearModel()
+            n = 6
+            xs = [model.add_binary(f"x{i}") for i in range(n)]
+            coeffs = rng.integers(-3, 4, size=n)
+            rhs = int(rng.integers(0, 4))
+            model.add_constraint(quicksum(int(c) * x for c, x in zip(coeffs, xs)) <= rhs)
+            cost = rng.integers(-5, 6, size=n)
+            model.set_objective(quicksum(int(c) * x for c, x in zip(cost, xs)))
+            best = min(
+                (
+                    sum(int(cost[i]) * ((k >> i) & 1) for i in range(n))
+                    for k in range(1 << n)
+                    if sum(int(coeffs[i]) * ((k >> i) & 1) for i in range(n)) <= rhs
+                ),
+                default=None,
+            )
+            solution = BranchAndBoundSolver().solve(model)
+            assert solution.objective == pytest.approx(best)

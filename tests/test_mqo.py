@@ -1,0 +1,190 @@
+"""Tests for the MQO problem model, QUBO formulation and solvers."""
+
+import itertools
+
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.mqo import (
+    MqoProblem,
+    MqoQuboBuilder,
+    Plan,
+    Saving,
+    mqo_to_bqm,
+    paper_example_problem,
+    random_mqo_problem,
+    solve_exhaustive,
+    solve_genetic,
+    solve_greedy_local,
+    solve_with_annealer,
+    solve_with_minimum_eigen,
+)
+from repro.mqo.qubo import quadratic_term_count, variable_name
+from repro.qubo import brute_force_minimum
+from repro.qubo.bqm import all_assignments, Vartype
+from repro.variational import NumPyMinimumEigensolver
+
+
+class TestProblemModel:
+    def test_paper_example_shape(self, mqo_example):
+        assert mqo_example.num_plans == 8
+        assert mqo_example.num_queries == 3
+        assert len(mqo_example.plans_by_query()[1]) == 3
+
+    def test_validation_rejects_duplicates(self):
+        with pytest.raises(ProblemError):
+            MqoProblem(plans=(Plan(1, 1, 1.0), Plan(1, 2, 1.0)))
+
+    def test_validation_rejects_unknown_saving(self):
+        with pytest.raises(ProblemError):
+            MqoProblem(plans=(Plan(1, 1, 1.0),), savings=(Saving(1, 9, 1.0),))
+
+    def test_saving_must_be_positive(self):
+        with pytest.raises(ProblemError):
+            Saving(1, 2, 0.0)
+
+    def test_selection_validation(self, mqo_example):
+        assert mqo_example.is_valid_selection([1, 4, 6])
+        assert not mqo_example.is_valid_selection([1, 2, 4, 6])  # two for query 1
+        assert not mqo_example.is_valid_selection([1, 4])  # query 3 missing
+
+    def test_execution_cost_matches_paper(self, mqo_example):
+        """Sec. 4.1: locally optimal 26, globally optimal 21."""
+        assert mqo_example.execution_cost([1, 4, 6]) == 26.0
+        assert mqo_example.execution_cost([2, 4, 8]) == 21.0
+
+    def test_execution_cost_rejects_invalid(self, mqo_example):
+        with pytest.raises(ProblemError):
+            mqo_example.execution_cost([1, 2, 4, 6])
+
+    def test_penalty_inputs(self, mqo_example):
+        assert mqo_example.max_plan_cost() == 16.0
+        # plan 5 has savings 7 + 3 = 10, the maximum
+        assert mqo_example.max_savings_of_any_plan() == 10.0
+
+    def test_saving_between(self, mqo_example):
+        assert mqo_example.saving_between(2, 4) == 4.0
+        assert mqo_example.saving_between(4, 2) == 4.0
+        assert mqo_example.saving_between(1, 4) == 0.0
+
+
+class TestGenerator:
+    def test_shape(self):
+        problem = random_mqo_problem(4, 3, seed=1)
+        assert problem.num_queries == 4
+        assert problem.num_plans == 12
+
+    def test_savings_cross_query_only(self):
+        problem = random_mqo_problem(3, 4, savings_density=1.0, seed=2)
+        for s in problem.savings:
+            assert problem.plan(s.plan_a).query_id != problem.plan(s.plan_b).query_id
+
+    def test_reproducible(self):
+        a = random_mqo_problem(3, 3, seed=5)
+        b = random_mqo_problem(3, 3, seed=5)
+        assert a.plans == b.plans and a.savings == b.savings
+
+    def test_bad_parameters(self):
+        with pytest.raises(ProblemError):
+            random_mqo_problem(0, 1)
+        with pytest.raises(ProblemError):
+            random_mqo_problem(1, 1, savings_density=2.0)
+
+
+class TestQuboFormulation:
+    def test_one_variable_per_plan(self, mqo_example):
+        """Sec. 5.3.1: the plan count is the qubit count."""
+        bqm = mqo_to_bqm(mqo_example)
+        assert bqm.num_variables == mqo_example.num_plans
+
+    def test_quadratic_term_count_formula(self, mqo_example):
+        bqm = mqo_to_bqm(mqo_example)
+        assert bqm.num_interactions == quadratic_term_count(mqo_example)
+
+    def test_penalty_weights_satisfy_inequalities(self, mqo_example):
+        builder = MqoQuboBuilder(mqo_example)
+        assert builder.weight_l() > mqo_example.max_plan_cost()  # Eq. 34
+        assert builder.weight_m() > builder.weight_l() + mqo_example.max_savings_of_any_plan()  # Eq. 35
+
+    def test_ground_state_is_global_optimum(self, mqo_example):
+        builder = MqoQuboBuilder(mqo_example)
+        result = brute_force_minimum(builder.build())
+        solution = builder.decode(result.sample)
+        assert solution.valid
+        assert solution.selected_plans == (2, 4, 8)
+        assert solution.cost == 21.0
+
+    def test_invalid_states_never_beat_the_best_valid_state(self, mqo_example):
+        """Eqs. 34–35 guarantee the energy minimiser is valid: every
+        invalid assignment must sit strictly above the best valid one."""
+        builder = MqoQuboBuilder(mqo_example)
+        bqm = builder.build()
+        min_valid_energy = None
+        min_invalid_energy = None
+        for sample in all_assignments(bqm.variables, Vartype.BINARY):
+            energy = bqm.energy(sample)
+            selected = [
+                p.plan_id
+                for p in mqo_example.plans
+                if sample[variable_name(p.plan_id)] == 1
+            ]
+            if mqo_example.is_valid_selection(selected):
+                if min_valid_energy is None or energy < min_valid_energy:
+                    min_valid_energy = energy
+            else:
+                if min_invalid_energy is None or energy < min_invalid_energy:
+                    min_invalid_energy = energy
+        assert min_valid_energy < min_invalid_energy
+
+    def test_energy_tracks_execution_cost(self, mqo_example):
+        """For valid selections, energy differences equal cost differences."""
+        builder = MqoQuboBuilder(mqo_example)
+        bqm = builder.build()
+        groups = list(mqo_example.plans_by_query().values())
+        energies, costs = [], []
+        for combo in itertools.product(*groups):
+            selection = {p.plan_id for p in combo}
+            sample = {
+                variable_name(p.plan_id): int(p.plan_id in selection)
+                for p in mqo_example.plans
+            }
+            energies.append(bqm.energy(sample))
+            costs.append(mqo_example.execution_cost(selection))
+        baseline = energies[0] - costs[0]
+        for e, c in zip(energies, costs):
+            assert e - c == pytest.approx(baseline)
+
+
+class TestSolvers:
+    def test_greedy_matches_paper(self, mqo_example):
+        solution = solve_greedy_local(mqo_example)
+        assert solution.selected_plans == (1, 4, 6)
+        assert solution.cost == 26.0
+
+    def test_exhaustive_matches_paper(self, mqo_example):
+        solution = solve_exhaustive(mqo_example)
+        assert solution.selected_plans == (2, 4, 8)
+        assert solution.cost == 21.0
+
+    def test_genetic_finds_optimum(self, mqo_example):
+        solution = solve_genetic(mqo_example, seed=3)
+        assert solution.cost == 21.0
+
+    def test_annealer_finds_optimum(self, mqo_example):
+        solution = solve_with_annealer(mqo_example, seed=4)
+        assert solution.valid
+        assert solution.cost == 21.0
+
+    def test_minimum_eigen_exact(self, mqo_example):
+        solution = solve_with_minimum_eigen(mqo_example, NumPyMinimumEigensolver())
+        assert solution.cost == 21.0
+
+    def test_solvers_agree_on_random_instances(self, rng):
+        for trial in range(3):
+            problem = random_mqo_problem(3, 3, seed=100 + trial)
+            reference = solve_exhaustive(problem)
+            annealed = solve_with_annealer(problem, seed=trial, num_reads=80)
+            genetic = solve_genetic(problem, seed=trial)
+            assert annealed.cost == pytest.approx(reference.cost)
+            assert genetic.cost == pytest.approx(reference.cost)
+            assert solve_greedy_local(problem).cost >= reference.cost - 1e-9

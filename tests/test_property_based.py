@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) on core data structures and the
+paper's structural invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.qubit_counts import (
+    binary_slack_bound,
+    continuous_slack_bound,
+    logical_variable_bound,
+)
+from repro.gate.circuit import QuantumCircuit
+from repro.gate.gates import matrices_equal_up_to_phase, standard_gate_matrix
+from repro.gate.transpiler.basis import zsx_decompose_matrix
+from repro.linprog.standard_form import binary_slack_count, discretize_slack
+from repro.qubo import BinaryQuadraticModel, Vartype
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+finite = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+names = st.sampled_from([f"v{i}" for i in range(6)])
+
+
+@st.composite
+def bqms(draw):
+    bqm = BinaryQuadraticModel()
+    for _ in range(draw(st.integers(1, 6))):
+        bqm.add_linear(draw(names), draw(finite))
+    for _ in range(draw(st.integers(0, 8))):
+        u, v = draw(names), draw(names)
+        if u != v:
+            bqm.add_quadratic(u, v, draw(finite))
+    bqm.offset = draw(finite)
+    return bqm
+
+
+@st.composite
+def assignments_for(draw, bqm):
+    return {v: draw(st.integers(0, 1)) for v in bqm.variables}
+
+
+# ----------------------------------------------------------------------
+# BQM invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_vartype_conversion_preserves_energy(data):
+    """Binary <-> spin conversion is an exact energy isomorphism."""
+    bqm = data.draw(bqms())
+    sample = data.draw(assignments_for(bqm))
+    spin = bqm.change_vartype(Vartype.SPIN)
+    spin_sample = {v: 2 * x - 1 for v, x in sample.items()}
+    assert math.isclose(
+        bqm.energy(sample), spin.energy(spin_sample), rel_tol=1e-9, abs_tol=1e-7
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_matrix_form_matches_energy(data):
+    bqm = data.draw(bqms())
+    sample = data.draw(assignments_for(bqm))
+    q, offset, order = bqm.to_numpy_matrix()
+    x = np.array([sample[v] for v in order], dtype=float)
+    assert math.isclose(
+        float(x @ q @ x) + offset, bqm.energy(sample), rel_tol=1e-9, abs_tol=1e-7
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), scale=st.floats(min_value=-3, max_value=3, allow_nan=False))
+def test_scaling_scales_energy(data, scale):
+    bqm = data.draw(bqms())
+    sample = data.draw(assignments_for(bqm))
+    before = bqm.energy(sample)
+    bqm.scale(scale)
+    assert math.isclose(bqm.energy(sample), scale * before, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data(), value=st.integers(0, 1))
+def test_fix_variable_preserves_conditional_energies(data, value):
+    bqm = data.draw(bqms())
+    sample = data.draw(assignments_for(bqm))
+    target = bqm.variables[0]
+    expected = bqm.energy({**sample, target: value})
+    bqm.fix_variable(target, value)
+    reduced = {v: x for v, x in sample.items() if v != target}
+    assert math.isclose(bqm.energy(reduced), expected, rel_tol=1e-9, abs_tol=1e-7)
+
+
+# ----------------------------------------------------------------------
+# gate/circuit invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    theta=st.floats(min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False),
+    name=st.sampled_from(["rx", "ry", "rz"]),
+)
+def test_zsx_decomposition_of_rotations(theta, name):
+    u = standard_gate_matrix(name, (theta,))
+    seq = zsx_decompose_matrix(u)
+    m = np.eye(2, dtype=complex)
+    for g in seq:
+        m = g.matrix() @ m
+    assert matrices_equal_up_to_phase(u, m)
+    assert len(seq) <= 5
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=25))
+def test_depth_monotone_under_append(ops):
+    """Appending gates never decreases circuit depth."""
+    qc = QuantumCircuit(4)
+    last_depth = 0
+    for a, b in ops:
+        if a == b:
+            qc.h(a)
+        else:
+            qc.cx(a, b)
+        depth = qc.depth()
+        assert depth >= last_depth
+        assert depth <= qc.size()
+        last_depth = depth
+
+
+# ----------------------------------------------------------------------
+# slack discretization invariants (Eq. 40)
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(
+    bound=st.floats(min_value=0.01, max_value=500.0, allow_nan=False),
+    exponent=st.integers(0, 3),
+)
+def test_discretized_slack_covers_range(bound, exponent):
+    """The binary expansion reaches the bound and resolves ω steps."""
+    omega = 0.1 ** exponent
+    names, weights = discretize_slack(bound, omega, "sl")
+    assert len(names) == binary_slack_count(bound, omega)
+    assert sum(weights) >= bound - omega  # covers the range
+    assert min(weights) == omega  # finest step is ω
+
+
+# ----------------------------------------------------------------------
+# qubit-count formula invariants (Sec. 6.3.1)
+# ----------------------------------------------------------------------
+@settings(max_examples=80, deadline=None)
+@given(
+    t=st.integers(2, 30),
+    p=st.integers(0, 40),
+    r=st.integers(1, 10),
+)
+def test_qubit_bounds_monotone(t, p, r):
+    """More relations/predicates/thresholds never need fewer qubits."""
+    base = logical_variable_bound(t, p, r) + binary_slack_bound(t, p)
+    assert logical_variable_bound(t + 1, p, r) + binary_slack_bound(t + 1, p) > base
+    assert logical_variable_bound(t, p + 1, r) >= logical_variable_bound(t, p, r)
+    assert logical_variable_bound(t, p, r + 1) >= logical_variable_bound(t, p, r)
+
+
+@settings(max_examples=40, deadline=None)
+@given(t=st.integers(3, 12), r=st.integers(1, 6), exponent=st.integers(0, 3))
+def test_csl_decreasing_in_omega(t, r, exponent):
+    """Smaller ω (higher precision) needs at least as many slack bits."""
+    cards = [10.0] * t
+    coarse = continuous_slack_bound(cards, r, omega=0.1 ** exponent)
+    fine = continuous_slack_bound(cards, r, omega=0.1 ** (exponent + 1))
+    assert fine >= coarse
+
+
+# ----------------------------------------------------------------------
+# MQO invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    queries=st.integers(1, 3),
+    ppq=st.integers(1, 3),
+    seed=st.integers(0, 1000),
+)
+def test_mqo_qubo_ground_state_always_valid(queries, ppq, seed):
+    """The QUBO minimiser decodes to a valid selection for any instance."""
+    from repro.mqo import MqoQuboBuilder, random_mqo_problem
+    from repro.qubo import brute_force_minimum
+
+    problem = random_mqo_problem(queries, ppq, seed=seed)
+    builder = MqoQuboBuilder(problem)
+    result = brute_force_minimum(builder.build())
+    solution = builder.decode(result.sample)
+    assert solution.valid
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(2, 8),
+    density=st.floats(0.2, 0.9),
+    seed=st.integers(0, 10_000),
+)
+def test_embedding_valid_on_random_graphs(n, density, seed):
+    """Whatever the embedder returns must be a valid minor embedding;
+    with the clique-template fallback, n <= 12 on C(3,3,4) never fails."""
+    import networkx as nx
+
+    from repro.annealing import chimera_graph, find_embedding
+
+    source = nx.gnp_random_graph(n, density, seed=seed)
+    target = chimera_graph(3, 3, 4)
+    result = find_embedding(source, target, tries=1, seed=seed)
+    assert result is not None
+    assert result.is_valid(source, target)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_join_cost_permutation_invariant_prefix(seed):
+    """C_out ignores the order of the first two relations (Table 3 note)."""
+    from repro.joinorder import cout_cost, random_query
+
+    graph = random_query(5, 6, seed=seed)
+    names = list(graph.relation_names)
+    swapped = [names[1], names[0]] + names[2:]
+    assert math.isclose(
+        cout_cost(graph, names), cout_cost(graph, swapped), rel_tol=1e-12
+    )

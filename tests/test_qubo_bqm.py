@@ -1,0 +1,182 @@
+"""Tests for the binary quadratic model core."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, VariableError
+from repro.qubo import BinaryQuadraticModel, Vartype
+from repro.qubo.bqm import all_assignments
+
+
+class TestConstruction:
+    def test_empty_model(self):
+        bqm = BinaryQuadraticModel()
+        assert bqm.num_variables == 0
+        assert bqm.num_interactions == 0
+        assert bqm.energy({}) == 0.0
+
+    def test_linear_accumulates(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_linear("a", 1.0)
+        bqm.add_linear("a", 2.5)
+        assert bqm.get_linear("a") == pytest.approx(3.5)
+
+    def test_quadratic_symmetric_accumulation(self):
+        bqm = BinaryQuadraticModel()
+        bqm.add_quadratic("a", "b", 1.0)
+        bqm.add_quadratic("b", "a", 2.0)
+        assert bqm.get_quadratic("a", "b") == pytest.approx(3.0)
+        assert bqm.get_quadratic("b", "a") == pytest.approx(3.0)
+        assert bqm.num_interactions == 1
+
+    def test_self_loop_binary_becomes_linear(self):
+        bqm = BinaryQuadraticModel(vartype=Vartype.BINARY)
+        bqm.add_quadratic("a", "a", 2.0)
+        assert bqm.get_linear("a") == pytest.approx(2.0)
+        assert bqm.num_interactions == 0
+
+    def test_self_loop_spin_becomes_offset(self):
+        bqm = BinaryQuadraticModel(vartype=Vartype.SPIN)
+        bqm.add_quadratic("a", "a", 2.0)
+        assert bqm.offset == pytest.approx(2.0)
+
+    def test_bad_vartype_rejected(self):
+        with pytest.raises(ModelError):
+            BinaryQuadraticModel(vartype="BINARY")
+
+    def test_unknown_variable_raises(self):
+        bqm = BinaryQuadraticModel({"a": 1.0})
+        with pytest.raises(VariableError):
+            bqm.get_linear("zzz")
+
+    def test_degree(self):
+        bqm = BinaryQuadraticModel(
+            {"a": 0, "b": 0, "c": 0}, {("a", "b"): 1, ("a", "c"): 1}
+        )
+        assert bqm.degree("a") == 2
+        assert bqm.degree("b") == 1
+
+
+class TestEnergy:
+    def test_energy_binary(self):
+        bqm = BinaryQuadraticModel({"a": 1, "b": -2}, {("a", "b"): 3}, offset=0.5)
+        assert bqm.energy({"a": 1, "b": 1}) == pytest.approx(1 - 2 + 3 + 0.5)
+        assert bqm.energy({"a": 0, "b": 1}) == pytest.approx(-2 + 0.5)
+
+    def test_energy_missing_variable(self):
+        bqm = BinaryQuadraticModel({"a": 1})
+        with pytest.raises(VariableError):
+            bqm.energy({})
+
+    def test_energies_vector(self):
+        bqm = BinaryQuadraticModel({"a": 1.0})
+        values = bqm.energies([{"a": 0}, {"a": 1}])
+        assert list(values) == [0.0, 1.0]
+
+
+class TestConversions:
+    def test_vartype_round_trip_preserves_energy(self, rng):
+        bqm = BinaryQuadraticModel()
+        names = [f"x{i}" for i in range(5)]
+        for n in names:
+            bqm.add_linear(n, rng.uniform(-2, 2))
+        for i in range(5):
+            for j in range(i + 1, 5):
+                bqm.add_quadratic(names[i], names[j], rng.uniform(-2, 2))
+        bqm.offset = 0.7
+        spin = bqm.change_vartype(Vartype.SPIN)
+        back = spin.change_vartype(Vartype.BINARY)
+        for sample in all_assignments(bqm.variables, Vartype.BINARY):
+            spin_sample = {v: 2 * x - 1 for v, x in sample.items()}
+            assert spin.energy(spin_sample) == pytest.approx(bqm.energy(sample))
+            assert back.energy(sample) == pytest.approx(bqm.energy(sample))
+
+    def test_to_qubo_diagonal_holds_linear(self):
+        bqm = BinaryQuadraticModel({"a": 1.5}, {("a", "b"): -1})
+        q, offset = bqm.to_qubo()
+        assert q[("a", "a")] == pytest.approx(1.5)
+        assert offset == 0.0
+
+    def test_from_qubo_diagonal(self):
+        bqm = BinaryQuadraticModel.from_qubo({("a", "a"): 2.0, ("a", "b"): 1.0})
+        assert bqm.get_linear("a") == pytest.approx(2.0)
+        assert bqm.get_quadratic("a", "b") == pytest.approx(1.0)
+
+    def test_ising_round_trip(self):
+        bqm = BinaryQuadraticModel({"a": 1, "b": -1}, {("a", "b"): 0.5})
+        h, j, offset = bqm.to_ising()
+        rebuilt = BinaryQuadraticModel.from_ising(h, j, offset)
+        binary = rebuilt.change_vartype(Vartype.BINARY)
+        for sample in all_assignments(("a", "b"), Vartype.BINARY):
+            assert binary.energy(sample) == pytest.approx(bqm.energy(sample))
+
+    def test_numpy_matrix_energy_agreement(self, rng):
+        bqm = BinaryQuadraticModel(
+            {"a": 1.0, "b": -0.5, "c": 2.0}, {("a", "c"): -1.5}, offset=3.0
+        )
+        q, offset, order = bqm.to_numpy_matrix()
+        for sample in all_assignments(bqm.variables, Vartype.BINARY):
+            x = np.array([sample[v] for v in order], dtype=float)
+            assert x @ q @ x + offset == pytest.approx(bqm.energy(sample))
+
+    def test_numpy_matrix_missing_order_raises(self):
+        bqm = BinaryQuadraticModel({"a": 1, "b": 1})
+        with pytest.raises(VariableError):
+            bqm.to_numpy_matrix(variable_order=["a"])
+
+
+class TestMutation:
+    def test_fix_variable(self):
+        bqm = BinaryQuadraticModel({"a": 1, "b": 2}, {("a", "b"): 5})
+        bqm.fix_variable("a", 1)
+        assert "a" not in bqm
+        assert bqm.energy({"b": 0}) == pytest.approx(1.0)
+        assert bqm.energy({"b": 1}) == pytest.approx(1 + 2 + 5)
+
+    def test_fix_variable_bad_value(self):
+        bqm = BinaryQuadraticModel({"a": 1})
+        with pytest.raises(ModelError):
+            bqm.fix_variable("a", 2)
+
+    def test_scale(self):
+        bqm = BinaryQuadraticModel({"a": 1}, {("a", "b"): 2}, offset=3)
+        bqm.scale(2.0)
+        assert bqm.get_linear("a") == 2.0
+        assert bqm.get_quadratic("a", "b") == 4.0
+        assert bqm.offset == 6.0
+
+    def test_update_merges_models(self):
+        a = BinaryQuadraticModel({"x": 1}, {("x", "y"): 1})
+        b = BinaryQuadraticModel({"x": 2, "z": 1})
+        a.update(b, scale=2.0)
+        assert a.get_linear("x") == pytest.approx(5.0)
+        assert a.get_linear("z") == pytest.approx(2.0)
+
+    def test_update_cross_vartype(self):
+        binary = BinaryQuadraticModel({"x": 1.0})
+        spin = BinaryQuadraticModel({"x": 1.0}, vartype=Vartype.SPIN)
+        binary.update(spin)
+        # spin x = 2b - 1 -> adds 2b - 1
+        assert binary.energy({"x": 1}) == pytest.approx(1 + 2 - 1)
+
+    def test_copy_is_independent(self):
+        bqm = BinaryQuadraticModel({"a": 1})
+        clone = bqm.copy()
+        clone.add_linear("a", 5)
+        assert bqm.get_linear("a") == 1
+
+    def test_remove_interaction(self):
+        bqm = BinaryQuadraticModel({}, {("a", "b"): 2})
+        bqm.remove_interaction("a", "b")
+        assert bqm.num_interactions == 0
+
+
+class TestInteractionGraph:
+    def test_graph_matches_terms(self):
+        bqm = BinaryQuadraticModel(
+            {"a": 0, "b": 0, "c": 0}, {("a", "b"): 1, ("b", "c"): -1}
+        )
+        g = bqm.interaction_graph()
+        assert set(g.nodes) == {"a", "b", "c"}
+        assert g.number_of_edges() == 2
+        assert g.has_edge("a", "b") and g.has_edge("b", "c")

@@ -1,0 +1,96 @@
+"""Tests for the symbolic binary expression builder."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.qubo import BinaryExpression, BinaryVariable, Constant
+
+
+class TestAlgebra:
+    def test_idempotence(self):
+        x = BinaryVariable("x")
+        assert (x * x) == x
+
+    def test_addition_collects_terms(self):
+        x, y = BinaryVariable("x"), BinaryVariable("y")
+        expr = x + y + x
+        assert expr.terms[frozenset(("x",))] == 2.0
+
+    def test_zero_coefficients_dropped(self):
+        x = BinaryVariable("x")
+        expr = x - x
+        assert expr.terms == {}
+        assert expr.degree == 0
+
+    def test_subtraction_and_negation(self):
+        x = BinaryVariable("x")
+        assert (1 - x).evaluate({"x": 1}) == 0.0
+        assert (-x).evaluate({"x": 1}) == -1.0
+
+    def test_scalar_multiplication(self):
+        x = BinaryVariable("x")
+        assert (3 * x).evaluate({"x": 1}) == 3.0
+        assert (x * 0.5).evaluate({"x": 1}) == 0.5
+
+    def test_product_expands(self):
+        x, y = BinaryVariable("x"), BinaryVariable("y")
+        expr = (1 - x) * (1 - y)
+        assert expr.evaluate({"x": 0, "y": 0}) == 1.0
+        assert expr.evaluate({"x": 1, "y": 0}) == 0.0
+        assert expr.evaluate({"x": 1, "y": 1}) == 0.0
+
+    def test_square_of_sum(self):
+        x, y = BinaryVariable("x"), BinaryVariable("y")
+        expr = (x + y - 1) ** 2
+        for vx in (0, 1):
+            for vy in (0, 1):
+                assert expr.evaluate({"x": vx, "y": vy}) == (vx + vy - 1) ** 2
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(ModelError):
+            BinaryVariable("x") ** -1
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(ModelError):
+            BinaryVariable("x") + "nonsense"
+
+    def test_variables_and_constant(self):
+        x, y = BinaryVariable("x"), BinaryVariable("y")
+        expr = 2 * x * y + 3
+        assert expr.variables() == frozenset(("x", "y"))
+        assert expr.constant() == 3.0
+
+
+class TestCompilation:
+    def test_compile_matches_evaluate(self):
+        x, y, z = (BinaryVariable(n) for n in "xyz")
+        expr = 2 * x + 3 * y - x * y + 0.5 * y * z - 4
+        bqm = expr.compile()
+        for vx in (0, 1):
+            for vy in (0, 1):
+                for vz in (0, 1):
+                    sample = {"x": vx, "y": vy, "z": vz}
+                    assert bqm.energy(sample) == pytest.approx(expr.evaluate(sample))
+
+    def test_compile_rejects_cubic(self):
+        x, y, z = (BinaryVariable(n) for n in "xyz")
+        with pytest.raises(ModelError):
+            (x * y * z).compile()
+
+    def test_compile_constant_only(self):
+        bqm = Constant(7).compile()
+        assert bqm.offset == 7.0
+        assert bqm.num_variables == 0
+
+    def test_square_produces_quadratic_bqm(self):
+        x, y = BinaryVariable("x"), BinaryVariable("y")
+        bqm = ((x + y - 1) ** 2).compile()
+        # (x+y-1)^2 = x + y + 2xy - 2x - 2y + 1 = -x - y + 2xy + 1
+        assert bqm.get_linear("x") == pytest.approx(-1.0)
+        assert bqm.get_quadratic("x", "y") == pytest.approx(2.0)
+        assert bqm.offset == pytest.approx(1.0)
+
+    def test_hash_and_equality(self):
+        x = BinaryVariable("x")
+        assert hash(x + 1) == hash(1 + x)
+        assert (x + 1) == (1 + x)

@@ -1,0 +1,84 @@
+"""Tests for JSON serialization round trips."""
+
+import pytest
+
+from repro.exceptions import ProblemError
+from repro.joinorder.generators import paper_example_graph, random_query
+from repro.mqo.generator import paper_example_problem, random_mqo_problem
+from repro.qubo import BinaryQuadraticModel, Vartype
+from repro.serialization import (
+    bqm_from_dict,
+    bqm_to_dict,
+    dumps,
+    load,
+    loads,
+    mqo_from_dict,
+    mqo_to_dict,
+    query_graph_from_dict,
+    query_graph_to_dict,
+    save,
+)
+
+
+class TestMqoRoundTrip:
+    def test_paper_example(self, mqo_example):
+        restored = mqo_from_dict(mqo_to_dict(mqo_example))
+        assert restored == mqo_example
+
+    def test_random_instances(self):
+        for seed in range(3):
+            problem = random_mqo_problem(3, 3, seed=seed)
+            assert loads(dumps(problem)) == problem
+
+    def test_kind_mismatch(self, mqo_example):
+        data = mqo_to_dict(mqo_example)
+        data["kind"] = "query_graph"
+        with pytest.raises(ProblemError):
+            mqo_from_dict(data)
+
+
+class TestQueryGraphRoundTrip:
+    def test_paper_example(self, rst_graph):
+        restored = query_graph_from_dict(query_graph_to_dict(rst_graph))
+        assert restored == rst_graph
+
+    def test_random(self):
+        graph = random_query(6, 8, seed=4)
+        assert loads(dumps(graph)) == graph
+
+    def test_format_version_checked(self, rst_graph):
+        data = query_graph_to_dict(rst_graph)
+        data["format"] = 99
+        with pytest.raises(ProblemError):
+            query_graph_from_dict(data)
+
+
+class TestBqmRoundTrip:
+    def test_binary_model(self):
+        bqm = BinaryQuadraticModel(
+            {"a": 1.5, "b": -2.0}, {("a", "b"): 0.25}, offset=3.0
+        )
+        restored = bqm_from_dict(bqm_to_dict(bqm))
+        assert restored.vartype is Vartype.BINARY
+        for sample in ({"a": 0, "b": 0}, {"a": 1, "b": 1}, {"a": 1, "b": 0}):
+            assert restored.energy(sample) == pytest.approx(bqm.energy(sample))
+
+    def test_spin_model(self):
+        bqm = BinaryQuadraticModel({"s": 1.0}, vartype=Vartype.SPIN)
+        restored = loads(dumps(bqm))
+        assert restored.vartype is Vartype.SPIN
+
+
+class TestFrontEnds:
+    def test_file_round_trip(self, tmp_path, mqo_example):
+        path = tmp_path / "problem.json"
+        save(mqo_example, str(path))
+        assert load(str(path)) == mqo_example
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(ProblemError):
+            dumps(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProblemError):
+            loads('{"kind": "martian", "format": 1}')

@@ -1,0 +1,263 @@
+"""Tests for the transpiler: basis translation, layout, routing,
+optimization and the full pipeline."""
+
+from functools import reduce
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TranspilerError
+from repro.gate import Parameter, QuantumCircuit, Statevector, transpile
+from repro.gate.gates import matrices_equal_up_to_phase, standard_gate_matrix
+from repro.gate.topologies import (
+    full_coupling_map,
+    line_coupling_map,
+    mumbai_coupling_map,
+)
+from repro.gate.transpiler import (
+    decompose_to_basis,
+    optimize_circuit,
+    zsx_decompose_matrix,
+)
+from repro.gate.transpiler.basis import BASIS_GATES
+from repro.gate.transpiler.layout import Layout, dense_layout, trivial_layout
+from repro.gate.transpiler.routing import route_circuit, sabre_route
+
+
+def _sequence_matrix(gates):
+    return reduce(lambda acc, g: g.matrix() @ acc, gates, np.eye(2, dtype=complex))
+
+
+def _random_unitary(rng):
+    m = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, _ = np.linalg.qr(m)
+    return q
+
+
+class TestZsxDecomposition:
+    def test_random_unitaries(self, rng):
+        for _ in range(100):
+            u = _random_unitary(rng)
+            seq = zsx_decompose_matrix(u)
+            assert matrices_equal_up_to_phase(u, _sequence_matrix(seq))
+            assert all(g.name in ("rz", "sx", "x") for g in seq)
+            assert len(seq) <= 5
+
+    def test_named_gates(self):
+        for name in ("h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx"):
+            u = standard_gate_matrix(name)
+            seq = zsx_decompose_matrix(u)
+            assert matrices_equal_up_to_phase(u, _sequence_matrix(seq)), name
+
+    def test_identity_empty(self):
+        assert zsx_decompose_matrix(np.eye(2, dtype=complex)) == []
+
+    def test_hadamard_three_gates(self):
+        """H needs only rz-sx-rz (one pulse), the hardware-optimal form."""
+        seq = zsx_decompose_matrix(standard_gate_matrix("h"))
+        assert [g.name for g in seq] == ["rz", "sx", "rz"]
+
+    def test_native_fast_paths(self):
+        assert [g.name for g in zsx_decompose_matrix(standard_gate_matrix("x"))] == ["x"]
+        assert [g.name for g in zsx_decompose_matrix(standard_gate_matrix("sx"))] == ["sx"]
+
+
+class TestBasisTranslation:
+    def test_only_basis_gates_remain(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.ry(0.3, 1)
+        qc.swap(0, 2)
+        qc.cz(1, 2)
+        qc.rzz(0.7, 0, 1)
+        translated = decompose_to_basis(qc)
+        assert set(translated.count_ops()) <= set(BASIS_GATES)
+
+    def test_semantics_preserved(self, rng):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.ry(1.1, 1)
+        qc.rzz(0.4, 0, 2)
+        qc.swap(1, 2)
+        qc.cz(0, 1)
+        qc.rx(0.9, 2)
+        qc.t(0)
+        reference = Statevector.from_circuit(qc)
+        translated = decompose_to_basis(qc)
+        assert Statevector.from_circuit(translated).fidelity(reference) == pytest.approx(1.0)
+
+    def test_parameterized_rotations_translate_symbolically(self):
+        theta = Parameter("t")
+        qc = QuantumCircuit(1)
+        qc.ry(theta, 0)
+        translated = decompose_to_basis(qc)
+        assert set(translated.count_ops()) <= set(BASIS_GATES)
+        # binding after translation equals translating after binding
+        for value in (0.0, 0.5, 2.2):
+            a = Statevector.from_circuit(translated.bind_parameters({theta: value}))
+            b = Statevector.from_circuit(
+                decompose_to_basis(qc.bind_parameters({theta: value}))
+            )
+            assert a.fidelity(b) == pytest.approx(1.0)
+
+
+class TestOptimization:
+    def test_rz_merging(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.3, 0)
+        qc.rz(-0.3, 0)
+        optimized = optimize_circuit(qc, level=1)
+        assert optimized.size() == 0
+
+    def test_cx_cancellation(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.cx(0, 1)
+        optimized = optimize_circuit(qc, level=1)
+        assert optimized.size() == 0
+
+    def test_cx_not_cancelled_across_blocker(self):
+        qc = QuantumCircuit(2)
+        qc.cx(0, 1)
+        qc.rz(0.5, 1)
+        qc.cx(0, 1)
+        optimized = optimize_circuit(qc, level=1)
+        assert optimized.count_ops().get("cx", 0) == 2
+
+    def test_level2_fuses_1q_runs(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        qc.t(0)
+        qc.h(0)
+        qc.s(0)
+        reference = Statevector.from_circuit(qc)
+        optimized = optimize_circuit(decompose_to_basis(qc), level=2)
+        assert optimized.size() <= 5
+        assert Statevector.from_circuit(optimized).fidelity(reference) == pytest.approx(1.0)
+
+    def test_level0_untouched(self):
+        qc = QuantumCircuit(1)
+        qc.rz(0.1, 0)
+        qc.rz(0.1, 0)
+        assert optimize_circuit(qc, level=0).size() == 2
+
+
+class TestLayout:
+    def test_trivial_layout(self):
+        layout = trivial_layout(3, full_coupling_map(5))
+        assert layout.physical(2) == 2
+        assert layout.logical(4) is None
+
+    def test_layout_too_large(self):
+        with pytest.raises(TranspilerError):
+            trivial_layout(6, full_coupling_map(5))
+
+    def test_swap_physical_updates(self):
+        layout = Layout({0: 0, 1: 1}, 3)
+        layout.swap_physical(1, 2)
+        assert layout.physical(1) == 2
+        assert layout.logical(1) is None
+
+    def test_injective_enforced(self):
+        with pytest.raises(TranspilerError):
+            Layout({0: 1, 1: 1}, 3)
+
+    def test_dense_layout_places_interacting_qubits_nearby(self, rng):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 1)
+        qc.cx(1, 2)
+        qc.cx(2, 3)
+        cmap = mumbai_coupling_map()
+        layout = dense_layout(qc, cmap, rng)
+        total = sum(
+            cmap.distance(layout.physical(a), layout.physical(b))
+            for a, b in ((0, 1), (1, 2), (2, 3))
+        )
+        assert total <= 5  # near-adjacent placement
+
+
+class TestRouting:
+    @pytest.mark.parametrize("router", [route_circuit, sabre_route])
+    def test_all_gates_adjacent_after_routing(self, router, rng):
+        qc = QuantumCircuit(5)
+        for _ in range(15):
+            a, b = rng.choice(5, 2, replace=False)
+            qc.cx(int(a), int(b))
+        cmap = line_coupling_map(5)
+        routed, _ = router(qc, cmap, trivial_layout(5, cmap), rng)
+        for ins in routed.instructions:
+            if len(ins.qubits) == 2:
+                assert cmap.are_adjacent(*ins.qubits)
+
+    @pytest.mark.parametrize("router", [route_circuit, sabre_route])
+    def test_semantics_preserved_up_to_layout(self, router, rng):
+        qc = QuantumCircuit(4)
+        qc.h(0)
+        qc.cx(0, 3)
+        qc.rzz(0.7, 1, 3)
+        qc.ry(0.3, 2)
+        qc.cx(2, 0)
+        cmap = line_coupling_map(4)
+        routed, final = router(qc, cmap, trivial_layout(4, cmap), rng)
+        reference = Statevector.from_circuit(qc).probabilities()
+        routed_probs = Statevector.from_circuit(routed).probabilities()
+        # un-permute: logical q lives on physical final.physical(q)
+        mapped = np.zeros_like(reference)
+        for idx in range(len(reference)):
+            phys = 0
+            for q in range(4):
+                phys |= ((idx >> q) & 1) << final.physical(q)
+            mapped[idx] = routed_probs[phys]
+        assert np.allclose(mapped, reference, atol=1e-9)
+
+    def test_sabre_beats_basic_on_dense_circuit(self):
+        from repro.variational.ansatz import real_amplitudes
+
+        circuit, params = real_amplitudes(12, reps=1, entanglement="full")
+        bound = circuit.bind_parameters({p: 0.5 for p in params})
+        cmap = mumbai_coupling_map()
+        sabre_depth = transpile(bound, cmap, seed=3, routing="sabre").depth()
+        basic_depth = transpile(bound, cmap, seed=3, routing="basic").depth()
+        assert sabre_depth < basic_depth
+
+
+class TestTranspilePipeline:
+    def test_full_topology_no_swaps(self):
+        qc = QuantumCircuit(4)
+        qc.cx(0, 3)
+        out = transpile(qc, None)
+        assert out.count_ops().get("cx", 0) == 1
+
+    def test_circuit_too_wide(self):
+        with pytest.raises(TranspilerError):
+            transpile(QuantumCircuit(30), mumbai_coupling_map())
+
+    def test_output_respects_basis_and_coupling(self, rng):
+        qc = QuantumCircuit(6)
+        for _ in range(12):
+            a, b = rng.choice(6, 2, replace=False)
+            qc.rzz(0.3, int(a), int(b))
+        cmap = mumbai_coupling_map()
+        out = transpile(qc, cmap, seed=5)
+        assert set(out.count_ops()) <= set(BASIS_GATES)
+        for ins in out.instructions:
+            if len(ins.qubits) == 2:
+                assert cmap.are_adjacent(*ins.qubits)
+
+    def test_sparse_topology_inflates_depth(self):
+        """The paper's core gate-model observation (Sec. 3.6.1)."""
+        from repro.variational.ansatz import real_amplitudes
+
+        circuit, params = real_amplitudes(16, reps=2, entanglement="full")
+        bound = circuit.bind_parameters({p: 0.7 for p in params})
+        optimal = transpile(bound, None).depth()
+        routed = transpile(bound, mumbai_coupling_map(), seed=1).depth()
+        assert routed > 2 * optimal
+
+    def test_unknown_options_rejected(self):
+        qc = QuantumCircuit(3)
+        qc.cx(0, 2)
+        with pytest.raises(TranspilerError):
+            transpile(qc, line_coupling_map(3), initial_layout="magic")
+        with pytest.raises(TranspilerError):
+            transpile(qc, line_coupling_map(3), routing="telepathy")

@@ -1,0 +1,191 @@
+"""Tests for Hamiltonians, ansätze, optimizers and VQE/QAOA."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError, SolverError
+from repro.qubo import BinaryQuadraticModel, Vartype, brute_force_minimum
+from repro.variational import (
+    Cobyla,
+    IsingHamiltonian,
+    MinimumEigenOptimizer,
+    NelderMead,
+    NumPyMinimumEigensolver,
+    QAOA,
+    Spsa,
+    VQE,
+    qaoa_ansatz,
+    real_amplitudes,
+)
+
+
+@pytest.fixture
+def small_bqm():
+    return BinaryQuadraticModel({"a": 1.0, "b": 1.0}, {("a", "b"): -3.0})
+
+
+class TestIsingHamiltonian:
+    def test_from_bqm_counts(self, small_bqm):
+        h = IsingHamiltonian.from_bqm(small_bqm)
+        assert h.num_qubits == 2
+        assert h.num_quadratic_terms == 1
+
+    def test_ground_state_matches_brute_force(self, small_bqm):
+        h = IsingHamiltonian.from_bqm(small_bqm)
+        index, energy = h.ground_state()
+        exact = brute_force_minimum(small_bqm)
+        assert energy == pytest.approx(exact.energy)
+        bits = {q: (index >> q) & 1 for q in range(2)}
+        assert h.bits_to_sample(bits, Vartype.BINARY) == exact.sample
+
+    def test_diagonal_covers_all_energies(self, small_bqm):
+        h = IsingHamiltonian.from_bqm(small_bqm)
+        diag = h.diagonal()
+        energies = sorted(
+            small_bqm.energy({"a": x, "b": y}) for x in (0, 1) for y in (0, 1)
+        )
+        assert sorted(diag.tolist()) == pytest.approx(energies)
+
+    def test_spin_sample_decoding(self):
+        bqm = BinaryQuadraticModel({"s": 2.0}, vartype=Vartype.SPIN)
+        h = IsingHamiltonian.from_bqm(bqm)
+        assert h.bits_to_sample({0: 1}, Vartype.SPIN) == {"s": -1}
+        assert h.bits_to_sample({0: 0}, Vartype.SPIN) == {"s": 1}
+
+    def test_energy_of_bits(self, small_bqm):
+        h = IsingHamiltonian.from_bqm(small_bqm)
+        diag = h.diagonal()
+        for index in range(4):
+            bits = {q: (index >> q) & 1 for q in range(2)}
+            assert h.energy_of_bits(bits) == pytest.approx(diag[index])
+
+
+class TestAnsatz:
+    def test_real_amplitudes_parameter_count(self):
+        circuit, params = real_amplitudes(4, reps=3)
+        assert len(params) == 4 * 4  # (reps+1) * n
+        assert circuit.num_qubits == 4
+
+    def test_real_amplitudes_depth_independent_of_problem(self):
+        """The paper's VQE property: depth fixed by qubit count alone."""
+        c1, _ = real_amplitudes(6, reps=2)
+        c2, _ = real_amplitudes(6, reps=2)
+        assert c1.depth() == c2.depth()
+
+    def test_real_amplitudes_linear_entanglement_cheaper(self):
+        full, _ = real_amplitudes(8, reps=2, entanglement="full")
+        linear, _ = real_amplitudes(8, reps=2, entanglement="linear")
+        assert linear.two_qubit_gate_count() < full.two_qubit_gate_count()
+
+    def test_real_amplitudes_rejects_bad_entanglement(self):
+        with pytest.raises(CircuitError):
+            real_amplitudes(3, entanglement="ring")
+
+    def test_qaoa_structure(self, small_bqm):
+        h = IsingHamiltonian.from_bqm(small_bqm)
+        circuit, params = qaoa_ansatz(h, reps=2)
+        assert len(params) == 4  # gamma, beta per repetition
+        ops = circuit.count_ops()
+        assert ops["h"] == 2  # initial superposition (Eq. 19)
+        assert ops["rzz"] == 2 * h.num_quadratic_terms
+        assert ops["rx"] == 2 * h.num_qubits
+
+    def test_qaoa_depth_grows_with_quadratic_terms(self):
+        """Sec. 6.3.3: QUBO density drives QAOA depth."""
+        sparse = BinaryQuadraticModel(
+            {f"x{i}": 1.0 for i in range(6)}, {("x0", "x1"): 1.0}
+        )
+        dense = BinaryQuadraticModel({f"x{i}": 1.0 for i in range(6)})
+        for i in range(6):
+            for j in range(i + 1, 6):
+                dense.add_quadratic(f"x{i}", f"x{j}", 1.0)
+        sparse_c, _ = qaoa_ansatz(IsingHamiltonian.from_bqm(sparse))
+        dense_c, _ = qaoa_ansatz(IsingHamiltonian.from_bqm(dense))
+        assert dense_c.depth() > sparse_c.depth()
+
+    def test_qaoa_rejects_zero_reps(self, small_bqm):
+        with pytest.raises(CircuitError):
+            qaoa_ansatz(IsingHamiltonian.from_bqm(small_bqm), reps=0)
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "optimizer",
+        [Cobyla(maxiter=300), NelderMead(maxiter=400), Spsa(maxiter=300, seed=3)],
+    )
+    def test_minimizes_quadratic(self, optimizer):
+        target = np.array([1.0, -2.0])
+
+        def objective(x):
+            return float(np.sum((x - target) ** 2))
+
+        result = optimizer.minimize(objective, np.zeros(2))
+        assert result.fun < 0.1
+        assert result.nfev > 0
+
+    def test_spsa_requires_iterations(self):
+        with pytest.raises(SolverError):
+            Spsa(maxiter=0)
+
+
+class TestAlgorithms:
+    def test_numpy_solver_exact(self, small_bqm):
+        result = MinimumEigenOptimizer(NumPyMinimumEigensolver()).solve(small_bqm)
+        assert result.sample == {"a": 1, "b": 1}
+        assert result.fval == pytest.approx(-1.0)
+
+    def test_qaoa_finds_small_optimum(self, small_bqm):
+        solver = QAOA(optimizer=Cobyla(maxiter=120), seed=7)
+        result = MinimumEigenOptimizer(solver).solve(small_bqm)
+        assert result.fval == pytest.approx(-1.0)
+        assert result.optimal_circuit is not None
+        assert not result.optimal_circuit.is_parameterized()
+
+    def test_vqe_finds_small_optimum(self, small_bqm):
+        solver = VQE(optimizer=Cobyla(maxiter=250), seed=3)
+        result = MinimumEigenOptimizer(solver).solve(small_bqm)
+        assert result.fval == pytest.approx(-1.0)
+
+    def test_variational_history_recorded(self, small_bqm):
+        solver = QAOA(optimizer=Cobyla(maxiter=40), seed=1)
+        h = IsingHamiltonian.from_bqm(small_bqm)
+        result = solver.compute_minimum_eigenvalue(h)
+        assert len(result.history) > 5
+        assert result.best_bits is not None
+
+    def test_shot_based_expectation(self, small_bqm):
+        solver = QAOA(optimizer=Spsa(maxiter=60, seed=2), shots=512, seed=2)
+        result = MinimumEigenOptimizer(solver).solve(small_bqm)
+        # sampled candidates must contain the optimum
+        energies = [e for _, e in result.candidates]
+        assert min(energies) == pytest.approx(-1.0)
+
+    def test_qubit_limit_enforced(self):
+        bqm = BinaryQuadraticModel({f"x{i}": 1.0 for i in range(40)})
+        with pytest.raises(SolverError):
+            MinimumEigenOptimizer(NumPyMinimumEigensolver(), max_qubits=32).solve(bqm)
+
+    def test_spin_model_round_trip(self):
+        bqm = BinaryQuadraticModel(
+            {"s": -1.0, "t": 0.5}, {("s", "t"): 1.0}, vartype=Vartype.SPIN
+        )
+        result = MinimumEigenOptimizer(NumPyMinimumEigensolver()).solve(bqm)
+        exact = brute_force_minimum(bqm)
+        assert bqm.energy(result.sample) == pytest.approx(exact.energy)
+        assert set(result.sample.values()) <= {-1, 1}
+
+    def test_qaoa_matches_exact_on_random_qubos(self, rng):
+        """QAOA's sampled candidates should include the true optimum on
+        small instances (the sampling net is wide even at p=1)."""
+        for trial in range(3):
+            bqm = BinaryQuadraticModel()
+            names = [f"x{i}" for i in range(5)]
+            for n in names:
+                bqm.add_linear(n, float(rng.uniform(-2, 2)))
+            for i in range(5):
+                for j in range(i + 1, 5):
+                    if rng.random() < 0.6:
+                        bqm.add_quadratic(names[i], names[j], float(rng.uniform(-2, 2)))
+            exact = brute_force_minimum(bqm)
+            result = MinimumEigenOptimizer(QAOA(seed=trial)).solve(bqm)
+            assert result.fval == pytest.approx(exact.energy, abs=1e-9)
