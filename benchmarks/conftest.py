@@ -7,7 +7,14 @@ paper-vs-measured comparison in EXPERIMENTS.md can be refreshed.
 
 Sample counts default to laptop-friendly values; set
 ``REPRO_BENCH_SAMPLES=20`` and ``REPRO_BENCH_SCALE=full`` to match the
-paper's grids exactly.
+paper's grids exactly.  The drivers route through :mod:`repro.harness`,
+so two more knobs apply here:
+
+* ``REPRO_BENCH_WORKERS=N`` — fan each sweep's grid points out over N
+  worker processes (the tables stay bit-identical to serial runs);
+* ``REPRO_CACHE=1`` — reuse cached grid-point results from
+  ``results/.cache`` so interrupted full-scale sweeps resume instantly
+  (leave unset when the point of the run is timing fresh work).
 """
 
 import os
@@ -15,7 +22,15 @@ import pathlib
 
 import pytest
 
+from repro.harness import resolve_workers
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def bench_workers():
+    """Worker count the drivers will use (REPRO_BENCH_WORKERS, default 1)."""
+    return resolve_workers(None)
 
 
 @pytest.fixture

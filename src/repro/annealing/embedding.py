@@ -283,10 +283,14 @@ def _single_attempt(
         if full_sweep:
             worklist = list(source.nodes)
         else:
-            shared = {i for i in np.flatnonzero(usage > 1)}
-            dirty = {
+            shared = {int(i) for i in np.flatnonzero(usage > 1)}
+            # keep chain-insertion order: a *set* of logical nodes would
+            # iterate in string-hash order, which varies with
+            # PYTHONHASHSEED and leaks into the rng tie-break draws,
+            # making results differ between otherwise identical runs
+            dirty = [
                 node for node, chain in chains.items() if chain & shared
-            }
+            ]
             worklist = list(dirty)
             for node in dirty:
                 worklist.extend(source.neighbors(node))

@@ -20,6 +20,7 @@ import sys
 from typing import Callable, Dict
 
 from repro import __version__
+from repro.exceptions import ConfigurationError
 
 
 def _experiment_registry() -> Dict[str, Callable]:
@@ -70,8 +71,15 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(registry)}", file=sys.stderr)
         return 2
+    kwargs = {
+        "workers": args.workers,
+        "cache": not args.no_cache,
+        "cache_dir": args.cache_dir,
+    }
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
     for name in names:
-        table = registry[name]()
+        table = registry[name](**kwargs)
         print(table.format())
         print()
     return 0
@@ -186,6 +194,29 @@ def build_parser() -> argparse.ArgumentParser:
         "name",
         help="experiment name, 'all', or 'list'",
     )
+    experiments.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel worker processes per sweep "
+        "(default: REPRO_BENCH_WORKERS or 1)",
+    )
+    experiments.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed override (per-point seeds derive from it)",
+    )
+    experiments.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every grid point, ignoring results/.cache",
+    )
+    experiments.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: REPRO_CACHE_DIR or results/.cache)",
+    )
     experiments.set_defaults(func=_cmd_experiments)
 
     mqo = sub.add_parser("solve-mqo", help="solve a random MQO instance")
@@ -220,7 +251,11 @@ def main(argv=None) -> int:
     """Entry point for ``python -m repro``."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -53,3 +53,9 @@ class ProblemError(ReproError):
     """A query-optimization problem instance is malformed — e.g. an MQO
     plan referencing an unknown query, or a join predicate referencing an
     unknown relation."""
+
+
+class ConfigurationError(ReproError):
+    """A runtime configuration knob (environment variable, CLI flag,
+    harness parameter) holds an invalid value — e.g. a non-integer
+    ``REPRO_BENCH_SAMPLES`` or a worker count below one."""

@@ -23,8 +23,16 @@ mqo_annealer           extension: MQO capacity on the D-Wave 2X (Sec. 5.3.1)
 Sample counts default to laptop-friendly values and scale up through
 the ``REPRO_BENCH_SAMPLES`` environment variable (the paper uses 20
 samples per point).
+
+Every driver declares its sweep as a list of grid points and routes
+execution through :mod:`repro.harness`, which adds process-pool
+fan-out (``workers=N`` / ``REPRO_BENCH_WORKERS``), per-point seeds
+derived deterministically from the root seed (parallel and serial runs
+produce identical tables), and an on-disk result cache under
+``results/.cache`` (``cache=True`` / ``REPRO_CACHE=1``).
 """
 
 from repro.experiments.common import ExperimentTable, bench_samples
+from repro.harness import run_grid
 
-__all__ = ["ExperimentTable", "bench_samples"]
+__all__ = ["ExperimentTable", "bench_samples", "run_grid"]

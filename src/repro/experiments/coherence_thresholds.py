@@ -7,13 +7,40 @@ Brooklyn — plus the decoherence-error probabilities at those depths.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 from repro.analysis.coherence import decoherence_error_probability, max_reliable_depth
 from repro.experiments.common import ExperimentTable
 from repro.gate.backend import fake_brooklyn, fake_mumbai
+from repro.harness import extend_table, resolve_workers, run_grid
+
+_BACKENDS = {"mumbai": fake_mumbai, "brooklyn": fake_brooklyn}
 
 
-def run_coherence_thresholds() -> ExperimentTable:
+def _coherence_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Eqs. 37/55 for one backend's calibration values."""
+    backend = _BACKENDS[params["backend"]]()
+    props = backend.properties
+    d_max = max_reliable_depth(props)
+    return {
+        "backend": backend.name,
+        "T1 (us)": props.t1_ns / 1000.0,
+        "T2 (us)": props.t2_ns / 1000.0,
+        "avg gate (ns)": props.avg_gate_time_ns,
+        "d_max": d_max,
+        "p_err at d_max": round(decoherence_error_probability(props, d_max), 4),
+    }
+
+
+def run_coherence_thresholds(
+    seed: int = 0,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExperimentTable:
     """Eqs. 37/55 for the paper's calibration values."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Coherence thresholds (Eqs. 37/55)",
         columns=[
@@ -26,19 +53,15 @@ def run_coherence_thresholds() -> ExperimentTable:
         ],
         notes="Paper: Mumbai d_max = 248; Brooklyn d_max = 178 (≈28% lower).",
     )
-    for backend in (fake_mumbai(), fake_brooklyn()):
-        props = backend.properties
-        d_max = max_reliable_depth(props)
-        table.add_row(
-            backend=backend.name,
-            **{
-                "T1 (us)": props.t1_ns / 1000.0,
-                "T2 (us)": props.t2_ns / 1000.0,
-                "avg gate (ns)": props.avg_gate_time_ns,
-                "d_max": d_max,
-                "p_err at d_max": round(
-                    decoherence_error_probability(props, d_max), 4
-                ),
-            },
-        )
+    points = [{"backend": name} for name in ("mumbai", "brooklyn")]
+    results = run_grid(
+        points,
+        _coherence_point,
+        experiment="coherence",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

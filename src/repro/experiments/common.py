@@ -6,6 +6,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.exceptions import ConfigurationError
+
 
 def bench_samples(default: int = 5) -> int:
     """Per-point sample count for stochastic experiments.
@@ -17,7 +19,13 @@ def bench_samples(default: int = 5) -> int:
     value = os.environ.get("REPRO_BENCH_SAMPLES")
     if value is None:
         return default
-    return max(1, int(value))
+    try:
+        parsed = int(value)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"REPRO_BENCH_SAMPLES must be an integer, got {value!r}"
+        ) from exc
+    return max(1, parsed)
 
 
 def bench_scale() -> str:

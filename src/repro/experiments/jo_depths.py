@@ -20,11 +20,12 @@ topology.  Paper findings reproduced in shape:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from repro.analysis.depth import measure_qaoa_depth, measure_vqe_depth
 from repro.experiments.common import ExperimentTable, bench_samples
 from repro.gate.topologies import brooklyn_coupling_map
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.joinorder.generators import uniform_query
 from repro.joinorder.pipeline import JoinOrderQuantumPipeline
 
@@ -34,32 +35,46 @@ STRATEGY1_PREDICATES = (0, 1, 2, 3)
 STRATEGY2_EXPONENTS = (0, 1, 2, 3)
 
 
-def _pipelines(strategy: int) -> List[Tuple[int, JoinOrderQuantumPipeline]]:
-    """(qubits, pipeline) per step of the given strategy."""
-    out = []
+def _pipeline(strategy: int, step: int) -> JoinOrderQuantumPipeline:
+    """The pipeline for one step of the given growth strategy."""
     if strategy == 1:
-        for p in STRATEGY1_PREDICATES:
-            graph = uniform_query(3, p, cardinality=10.0, selectivity=0.5, seed=1)
-            pipe = JoinOrderQuantumPipeline(
-                graph, thresholds=[10.0], precision_exponent=0, prune_thresholds=False
-            )
-            out.append((pipe.report().num_qubits, pipe))
-    else:
-        for exp in STRATEGY2_EXPONENTS:
-            graph = uniform_query(3, 0, cardinality=10.0, seed=1)
-            pipe = JoinOrderQuantumPipeline(
-                graph, thresholds=[10.0], precision_exponent=exp, prune_thresholds=False
-            )
-            out.append((pipe.report().num_qubits, pipe))
-    return out
+        graph = uniform_query(3, step, cardinality=10.0, selectivity=0.5, seed=1)
+        return JoinOrderQuantumPipeline(
+            graph, thresholds=[10.0], precision_exponent=0, prune_thresholds=False
+        )
+    graph = uniform_query(3, 0, cardinality=10.0, seed=1)
+    return JoinOrderQuantumPipeline(
+        graph, thresholds=[10.0], precision_exponent=step, prune_thresholds=False
+    )
+
+
+def _figure13_qaoa_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """QAOA depths of one (strategy, step) instance on both topologies."""
+    pipe = _pipeline(params["strategy"], params["step"])
+    optimal = measure_qaoa_depth(pipe.bqm, None, samples=1, seed=seed)
+    routed = measure_qaoa_depth(
+        pipe.bqm, brooklyn_coupling_map(), samples=params["transpilations"], seed=seed
+    )
+    return {
+        "qubits": pipe.report().num_qubits,
+        "strategy": f"s{params['strategy']}",
+        "quadratic terms": optimal.num_quadratic_terms,
+        "depth optimal": round(optimal.mean_transpiled_depth, 1),
+        "depth brooklyn": round(routed.mean_transpiled_depth, 1),
+    }
 
 
 def run_figure13_qaoa(
-    transpilations: Optional[int] = None, seed: int = 23
+    transpilations: Optional[int] = None,
+    seed: int = 23,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Figure 13 (left): QAOA depths for both strategies/topologies."""
+    workers = resolve_workers(workers)
     transpilations = transpilations or bench_samples(3)
-    brooklyn = brooklyn_coupling_map()
     table = ExperimentTable(
         title="Figure 13 (left) - join ordering QAOA depths",
         columns=[
@@ -75,45 +90,66 @@ def run_figure13_qaoa(
             "~24 qubits."
         ),
     )
-    for strategy in (1, 2):
-        for qubits, pipe in _pipelines(strategy):
-            optimal = measure_qaoa_depth(pipe.bqm, None, samples=1, seed=seed)
-            routed = measure_qaoa_depth(
-                pipe.bqm, brooklyn, samples=transpilations, seed=seed
-            )
-            table.add_row(
-                qubits=qubits,
-                strategy=f"s{strategy}",
-                **{
-                    "quadratic terms": optimal.num_quadratic_terms,
-                    "depth optimal": round(optimal.mean_transpiled_depth, 1),
-                    "depth brooklyn": round(routed.mean_transpiled_depth, 1),
-                },
-            )
+    points = [
+        {"strategy": strategy, "step": step, "transpilations": transpilations}
+        for strategy in (1, 2)
+        for step in (STRATEGY1_PREDICATES if strategy == 1 else STRATEGY2_EXPONENTS)
+    ]
+    results = run_grid(
+        points,
+        _figure13_qaoa_point,
+        experiment="fig13-qaoa",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table
 
 
+def _figure13_vqe_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """VQE depths of one strategy-2 step on both topologies."""
+    pipe = _pipeline(2, params["step"])
+    optimal = measure_vqe_depth(pipe.bqm, None, samples=1, seed=seed)
+    routed = measure_vqe_depth(
+        pipe.bqm, brooklyn_coupling_map(), samples=params["transpilations"], seed=seed
+    )
+    return {
+        "qubits": pipe.report().num_qubits,
+        "depth optimal": round(optimal.mean_transpiled_depth, 1),
+        "depth brooklyn": round(routed.mean_transpiled_depth, 1),
+    }
+
+
 def run_figure13_vqe(
-    transpilations: Optional[int] = None, seed: int = 29
+    transpilations: Optional[int] = None,
+    seed: int = 29,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Figure 13 (right): VQE depths (strategy-independent)."""
+    workers = resolve_workers(workers)
     transpilations = transpilations or bench_samples(3)
-    brooklyn = brooklyn_coupling_map()
     table = ExperimentTable(
         title="Figure 13 (right) - join ordering VQE depths",
         columns=["qubits", "depth optimal", "depth brooklyn"],
         notes="Paper: every VQE depth far exceeds Brooklyn's d_max = 178.",
     )
-    for qubits, pipe in _pipelines(2):
-        optimal = measure_vqe_depth(pipe.bqm, None, samples=1, seed=seed)
-        routed = measure_vqe_depth(
-            pipe.bqm, brooklyn, samples=transpilations, seed=seed
-        )
-        table.add_row(
-            qubits=qubits,
-            **{
-                "depth optimal": round(optimal.mean_transpiled_depth, 1),
-                "depth brooklyn": round(routed.mean_transpiled_depth, 1),
-            },
-        )
+    points = [
+        {"step": step, "transpilations": transpilations}
+        for step in STRATEGY2_EXPONENTS
+    ]
+    results = run_grid(
+        points,
+        _figure13_vqe_point,
+        experiment="fig13-vqe",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

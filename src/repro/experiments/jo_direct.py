@@ -14,21 +14,62 @@ quality through simulated annealing against the exact DP baseline.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.experiments.common import ExperimentTable
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.joinorder.classical import solve_dp_left_deep
 from repro.joinorder.direct_qubo import DirectJoinOrderQubo, solve_direct_with_annealer
 from repro.joinorder.generators import chain_query
 from repro.joinorder.pipeline import JoinOrderQuantumPipeline
 
 
+def _direct_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Both encodings on one chain query size.
+
+    The chain instance and annealing run are seeded from the shared
+    ``instance_seed`` so the comparison matches the historical serial
+    driver row for row.
+    """
+    t = params["relations"]
+    instance_seed = params["instance_seed"]
+    graph = chain_query(t, seed=instance_seed)
+    two_step = JoinOrderQuantumPipeline(
+        graph, precision_exponent=0, prune_thresholds=False
+    )
+    two_report = two_step.report()
+    direct = DirectJoinOrderQubo(graph)
+    direct_bqm = direct.build()
+    ratio: Any = "-"
+    if t <= params["solve_up_to"]:
+        reference = solve_dp_left_deep(graph)
+        solution = solve_direct_with_annealer(
+            direct, num_reads=80, seed=instance_seed
+        )
+        ratio = round(solution.cost / reference.cost, 3)
+    saving = 1.0 - direct.num_qubits / two_report.num_qubits
+    return {
+        "relations": t,
+        "two-step qubits": two_report.num_qubits,
+        "direct qubits": direct.num_qubits,
+        "saving %": round(100 * saving, 1),
+        "two-step quad": two_report.num_quadratic_terms,
+        "direct quad": direct_bqm.num_interactions,
+        "direct cost ratio": ratio,
+    }
+
+
 def run_direct_vs_two_step(
     relation_counts: Sequence[int] = (4, 5, 6, 7, 8),
     solve_up_to: int = 6,
     seed: int = 61,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Compare the two encodings on chain queries."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Extension - direct vs two-step join-ordering QUBO",
         columns=[
@@ -47,29 +88,18 @@ def run_direct_vs_two_step(
             "(the direct encoding optimises a log-domain surrogate)."
         ),
     )
-    for t in relation_counts:
-        graph = chain_query(t, seed=seed)
-        two_step = JoinOrderQuantumPipeline(
-            graph, precision_exponent=0, prune_thresholds=False
-        )
-        two_report = two_step.report()
-        direct = DirectJoinOrderQubo(graph)
-        direct_bqm = direct.build()
-        ratio: object = "-"
-        if t <= solve_up_to:
-            reference = solve_dp_left_deep(graph)
-            solution = solve_direct_with_annealer(direct, num_reads=80, seed=seed)
-            ratio = round(solution.cost / reference.cost, 3)
-        saving = 1.0 - direct.num_qubits / two_report.num_qubits
-        table.add_row(
-            relations=t,
-            **{
-                "two-step qubits": two_report.num_qubits,
-                "direct qubits": direct.num_qubits,
-                "saving %": round(100 * saving, 1),
-                "two-step quad": two_report.num_quadratic_terms,
-                "direct quad": direct_bqm.num_interactions,
-                "direct cost ratio": ratio,
-            },
-        )
+    points = [
+        {"relations": t, "solve_up_to": solve_up_to, "instance_seed": seed}
+        for t in relation_counts
+    ]
+    results = run_grid(
+        points,
+        _direct_point,
+        experiment="jo-direct",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

@@ -14,18 +14,21 @@ paper's criterion for "an embedding can no longer reliably be found".
 
 The default grids are trimmed (the full sweep embeds thousand-node
 graphs and takes tens of minutes); set ``REPRO_BENCH_SCALE=full`` for
-the paper's ranges.
+the paper's ranges.  Each grid point is an independent embedding job,
+so ``workers=N`` (or ``REPRO_BENCH_WORKERS``) fans the sweep out
+across processes and the result cache makes re-runs instant.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.annealing.embedding import find_embedding
 from repro.annealing.pegasus import pegasus_graph, pegasus_node_count
 from repro.experiments.common import ExperimentTable, bench_samples, bench_scale
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.joinorder.generators import uniform_query
 from repro.joinorder.pipeline import JoinOrderQuantumPipeline
 
@@ -77,13 +80,40 @@ def _embedding_stats(
     return mean, rate, source.number_of_nodes()
 
 
+def _figure14_left_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Embedding stats for one (relations, P/J) configuration."""
+    t = params["relations"]
+    multiple = params["predicate_multiple"]
+    graph = uniform_query(
+        t, multiple * (t - 1), cardinality=10.0, seed=params["instance_seed"]
+    )
+    pipeline = JoinOrderQuantumPipeline(
+        graph, thresholds=[10.0], precision_exponent=0, prune_thresholds=False
+    )
+    mean, rate, logical = _embedding_stats(pipeline, params["samples"], seed)
+    return {
+        "relations": t,
+        "P/J": multiple,
+        "logical qubits": logical,
+        "mean physical qubits": (
+            round(mean, 1) if mean is not None else "unreliable"
+        ),
+        "success rate": round(rate, 2),
+    }
+
+
 def run_figure14_left(
     relation_counts: Optional[Sequence[int]] = None,
     predicate_multiples: Optional[Sequence[int]] = None,
     samples: Optional[int] = None,
     seed: int = 31,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Figure 14 (left): physical qubits vs relations and predicates."""
+    workers = resolve_workers(workers)
     samples = samples or bench_samples(2)
     full = bench_scale() == "full"
     if relation_counts is None:
@@ -105,30 +135,54 @@ def run_figure14_left(
             "relations for P=J (10 for P=3J)."
         ),
     )
-    for t in relation_counts:
-        j = t - 1
-        for multiple in predicate_multiples:
-            if multiple * j > t * (t - 1) // 2:
-                continue  # more predicates than relation pairs
-            graph = uniform_query(t, multiple * j, cardinality=10.0, seed=seed)
-            pipeline = JoinOrderQuantumPipeline(
-                graph, thresholds=[10.0], precision_exponent=0, prune_thresholds=False
-            )
-            mean, rate, logical = _embedding_stats(
-                pipeline, samples, seed + 101 * t + multiple
-            )
-            table.add_row(
-                relations=t,
-                **{
-                    "P/J": multiple,
-                    "logical qubits": logical,
-                    "mean physical qubits": (
-                        round(mean, 1) if mean is not None else "unreliable"
-                    ),
-                    "success rate": round(rate, 2),
-                },
-            )
+    points = [
+        {
+            "relations": t,
+            "predicate_multiple": multiple,
+            "samples": samples,
+            "instance_seed": seed,
+        }
+        for t in relation_counts
+        for multiple in predicate_multiples
+        # skip configurations with more predicates than relation pairs
+        if multiple * (t - 1) <= t * (t - 1) // 2
+    ]
+    results = run_grid(
+        points,
+        _figure14_left_point,
+        experiment="fig14-left",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table
+
+
+def _figure14_right_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Embedding stats for one (thresholds, ω) configuration."""
+    r = params["thresholds"]
+    thresholds = [10.0 * (2.0 ** k) for k in range(r)]
+    graph = uniform_query(
+        params["relations"], params["relations"] - 1, seed=params["instance_seed"]
+    )
+    pipeline = JoinOrderQuantumPipeline(
+        graph,
+        thresholds=thresholds,
+        precision_exponent=params["precision_exponent"],
+        prune_thresholds=False,
+    )
+    mean, rate, logical = _embedding_stats(pipeline, params["samples"], seed)
+    return {
+        "thresholds": r,
+        "omega": params["omega"],
+        "logical qubits": logical,
+        "mean physical qubits": (
+            round(mean, 1) if mean is not None else "unreliable"
+        ),
+        "success rate": round(rate, 2),
+    }
 
 
 def run_figure14_right(
@@ -137,6 +191,10 @@ def run_figure14_right(
     num_relations: Optional[int] = None,
     samples: Optional[int] = None,
     seed: int = 37,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Figure 14 (right): physical qubits vs thresholds and ω.
 
@@ -144,6 +202,7 @@ def run_figure14_right(
     the suite stays laptop-sized (``REPRO_BENCH_SCALE=full`` restores
     the paper's configuration).
     """
+    workers = resolve_workers(workers)
     samples = samples or bench_samples(2)
     if threshold_counts is None:
         threshold_counts = (1, 3, 5, 7) if bench_scale() == "full" else (1, 2)
@@ -168,28 +227,26 @@ def run_figure14_right(
         ),
     )
     exponents = {1.0: 0, 0.01: 2, 0.0001: 4}
-    for r in threshold_counts:
-        thresholds = [10.0 * (2.0 ** k) for k in range(r)]
-        for omega in omegas:
-            graph = uniform_query(num_relations, num_relations - 1, seed=seed)
-            pipeline = JoinOrderQuantumPipeline(
-                graph,
-                thresholds=thresholds,
-                precision_exponent=exponents[omega],
-                prune_thresholds=False,
-            )
-            mean, rate, logical = _embedding_stats(
-                pipeline, samples, seed + 13 * r + exponents[omega]
-            )
-            table.add_row(
-                thresholds=r,
-                omega=omega,
-                **{
-                    "logical qubits": logical,
-                    "mean physical qubits": (
-                        round(mean, 1) if mean is not None else "unreliable"
-                    ),
-                    "success rate": round(rate, 2),
-                },
-            )
+    points = [
+        {
+            "thresholds": r,
+            "omega": omega,
+            "precision_exponent": exponents[omega],
+            "relations": num_relations,
+            "samples": samples,
+            "instance_seed": seed,
+        }
+        for r in threshold_counts
+        for omega in omegas
+    ]
+    results = run_grid(
+        points,
+        _figure14_right_point,
+        experiment="fig14-right",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

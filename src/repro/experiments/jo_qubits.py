@@ -12,16 +12,39 @@ the model builder exactly in no-pruning mode):
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.analysis.qubit_counts import JoinOrderQubitBounds
 from repro.experiments.common import ExperimentTable
+from repro.harness import extend_table, resolve_workers, run_grid
+
+
+def _figure11_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Qubit bounds for one relation count, all predicate multiples."""
+    t = params["relations"]
+    j = t - 1
+    row: Dict[str, Any] = {"relations": t}
+    for multiple in (1, 2, 3):
+        bounds = JoinOrderQubitBounds(
+            num_relations=t,
+            num_predicates=multiple * j,
+            num_thresholds=1,
+            omega=1.0,
+        )
+        row[f"qubits P={multiple}J" if multiple > 1 else "qubits P=J"] = bounds.total
+    return row
 
 
 def run_figure11(
     relation_counts: Sequence[int] = tuple(range(6, 43, 4)),
+    seed: int = 0,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Figure 11: qubits vs number of relations and predicates."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Figure 11 - join ordering qubit scaling (R=1, ω=1, card 10)",
         columns=["relations", "qubits P=J", "qubits P=2J", "qubits P=3J"],
@@ -30,26 +53,47 @@ def run_figure11(
             "adds ~50% more qubits at T=42."
         ),
     )
-    for t in relation_counts:
-        j = t - 1
-        row = {"relations": t}
-        for multiple in (1, 2, 3):
-            bounds = JoinOrderQubitBounds(
-                num_relations=t,
-                num_predicates=multiple * j,
-                num_thresholds=1,
-                omega=1.0,
-            )
-            row[f"qubits P={multiple}J" if multiple > 1 else "qubits P=J"] = bounds.total
-        table.add_row(**row)
+    points = [{"relations": t} for t in relation_counts]
+    results = run_grid(
+        points,
+        _figure11_point,
+        experiment="fig11",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table
+
+
+def _figure12_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Qubit bounds for one threshold count, all precision factors."""
+    num_relations = params["relations"]
+    r = params["thresholds"]
+    row: Dict[str, Any] = {"thresholds": r}
+    for omega in (1.0, 0.01, 0.0001):
+        bounds = JoinOrderQubitBounds(
+            num_relations=num_relations,
+            num_predicates=num_relations - 1,
+            num_thresholds=r,
+            omega=omega,
+        )
+        row[f"qubits ω={omega:g}"] = bounds.total
+    return row
 
 
 def run_figure12(
     threshold_counts: Sequence[int] = tuple(range(2, 21, 2)),
     num_relations: int = 20,
+    seed: int = 0,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Figure 12: qubits vs threshold count and precision factor ω."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Figure 12 - qubit scaling vs thresholds and ω (T=20, P=J)",
         columns=["thresholds", "qubits ω=1", "qubits ω=0.01", "qubits ω=0.0001"],
@@ -58,16 +102,17 @@ def run_figure12(
             "20 thresholds ω=0.0001 needs more than twice the ω=1 qubits."
         ),
     )
-    p = num_relations - 1
-    for r in threshold_counts:
-        row = {"thresholds": r}
-        for omega in (1.0, 0.01, 0.0001):
-            bounds = JoinOrderQubitBounds(
-                num_relations=num_relations,
-                num_predicates=p,
-                num_thresholds=r,
-                omega=omega,
-            )
-            row[f"qubits ω={omega:g}"] = bounds.total
-        table.add_row(**row)
+    points = [
+        {"thresholds": r, "relations": num_relations} for r in threshold_counts
+    ]
+    results = run_grid(
+        points,
+        _figure12_point,
+        experiment="fig12",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

@@ -16,10 +16,11 @@ predicate variables do.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.analysis.depth import measure_qaoa_depth
 from repro.experiments.common import ExperimentTable
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.joinorder.generators import uniform_query
 from repro.joinorder.pipeline import JoinOrderQuantumPipeline
 
@@ -45,8 +46,37 @@ def build_instance(num_predicates: int, num_thresholds: int, precision_exponent:
     )
 
 
-def run_table4(measure_depths: bool = True, seed: Optional[int] = 7) -> ExperimentTable:
+def _table4_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Budget (and optionally QAOA depth) of one Table 4 instance."""
+    pipeline = build_instance(
+        params["predicates"], params["thresholds"], params["precision_exponent"]
+    )
+    report = pipeline.report()
+    depth: Any = "-"
+    if params["measure_depths"]:
+        measurement = measure_qaoa_depth(pipeline.bqm, None, samples=1, seed=seed)
+        depth = round(measurement.mean_transpiled_depth, 1)
+    return {
+        "instance": params["instance"],
+        "predicates": params["predicates"],
+        "thresholds": params["thresholds"],
+        "omega": report.omega,
+        "qubits": report.num_qubits,
+        "quadratic terms": report.num_quadratic_terms,
+        "qaoa depth": depth,
+    }
+
+
+def run_table4(
+    measure_depths: bool = True,
+    seed: int = 7,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExperimentTable:
     """Reproduce Table 4's rows."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Table 4 - three 30-qubit join-ordering instances",
         columns=[
@@ -63,19 +93,24 @@ def run_table4(measure_depths: bool = True, seed: Optional[int] = 7) -> Experime
             "depths 63 / 72 / 99 (optimal topology)."
         ),
     )
-    for label, p, r, exp in TABLE4_CONFIGS:
-        pipeline = build_instance(p, r, exp)
-        report = pipeline.report()
-        depth: object = "-"
-        if measure_depths:
-            measurement = measure_qaoa_depth(pipeline.bqm, None, samples=1, seed=seed)
-            depth = round(measurement.mean_transpiled_depth, 1)
-        table.add_row(
-            instance=label,
-            predicates=p,
-            thresholds=r,
-            omega=report.omega,
-            qubits=report.num_qubits,
-            **{"quadratic terms": report.num_quadratic_terms, "qaoa depth": depth},
-        )
+    points = [
+        {
+            "instance": label,
+            "predicates": p,
+            "thresholds": r,
+            "precision_exponent": exp,
+            "measure_depths": bool(measure_depths),
+        }
+        for label, p, r, exp in TABLE4_CONFIGS
+    ]
+    results = run_grid(
+        points,
+        _table4_point,
+        experiment="table4",
+        seed=seed if seed is not None else 7,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

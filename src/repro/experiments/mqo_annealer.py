@@ -15,13 +15,14 @@ ceiling falls as PPQ rises — the Sec. 5.3.1 observation.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.annealing.chimera import chimera_graph
 from repro.annealing.embedding import find_embedding
 from repro.experiments.common import ExperimentTable, bench_samples, bench_scale
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.mqo.generator import random_mqo_problem
 from repro.mqo.qubo import mqo_to_bqm
 
@@ -34,17 +35,50 @@ def _dwave_2x():
     return _CHIMERA_CACHE["c12"]
 
 
+def _capacity_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Embedding stats of one (plans, ppq) MQO instance on the 2X."""
+    plans, ppq = params["plans"], params["ppq"]
+    samples = params["samples"]
+    rng = np.random.default_rng(seed)
+    problem = random_mqo_problem(
+        plans // ppq, ppq, savings_density=0.15, seed=int(rng.integers(0, 2**31))
+    )
+    bqm = mqo_to_bqm(problem)
+    source = bqm.interaction_graph()
+    target = _dwave_2x()
+    physical = []
+    for _ in range(samples):
+        result = find_embedding(
+            source, target, tries=1, seed=int(rng.integers(0, 2**31))
+        )
+        if result is not None:
+            physical.append(result.num_physical_qubits)
+    return {
+        "plans": plans,
+        "ppq": ppq,
+        "quadratic terms": bqm.num_interactions,
+        "mean physical qubits": (
+            round(float(np.mean(physical)), 1) if physical else "unreliable"
+        ),
+        "success rate": round(len(physical) / samples, 2),
+    }
+
+
 def run_mqo_annealer_capacity(
     plan_counts: Optional[Sequence[int]] = None,
     ppq_values: Sequence[int] = (2, 4, 8),
     samples: Optional[int] = None,
     seed: int = 53,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Physical qubits / reliability of MQO embeddings on a D-Wave 2X."""
+    workers = resolve_workers(workers)
     samples = samples or bench_samples(2)
     if plan_counts is None:
         plan_counts = (16, 32, 48, 64) if bench_scale() == "full" else (16, 32)
-    target = _dwave_2x()
     table = ExperimentTable(
         title="MQO embedding capacity on the D-Wave 2X (Chimera C12)",
         columns=[
@@ -60,33 +94,20 @@ def run_mqo_annealer_capacity(
             "lowering the embeddable plan ceiling."
         ),
     )
-    rng = np.random.default_rng(seed)
-    for plans in plan_counts:
-        for ppq in ppq_values:
-            if plans % ppq:
-                continue
-            problem = random_mqo_problem(
-                plans // ppq, ppq, savings_density=0.15,
-                seed=int(rng.integers(0, 2**31)),
-            )
-            bqm = mqo_to_bqm(problem)
-            source = bqm.interaction_graph()
-            physical = []
-            for _ in range(samples):
-                result = find_embedding(
-                    source, target, tries=1, seed=int(rng.integers(0, 2**31))
-                )
-                if result is not None:
-                    physical.append(result.num_physical_qubits)
-            table.add_row(
-                plans=plans,
-                ppq=ppq,
-                **{
-                    "quadratic terms": bqm.num_interactions,
-                    "mean physical qubits": (
-                        round(float(np.mean(physical)), 1) if physical else "unreliable"
-                    ),
-                    "success rate": round(len(physical) / samples, 2),
-                },
-            )
+    points = [
+        {"plans": plans, "ppq": ppq, "samples": samples}
+        for plans in plan_counts
+        for ppq in ppq_values
+        if plans % ppq == 0
+    ]
+    results = run_grid(
+        points,
+        _capacity_point,
+        experiment="mqo-annealer",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

@@ -18,13 +18,14 @@ paper's qualitative findings, which these series reproduce:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.depth import measure_qaoa_depth, measure_vqe_depth
 from repro.experiments.common import ExperimentTable, bench_samples
 from repro.gate.topologies import CouplingMap, mumbai_coupling_map
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.mqo.generator import random_mqo_problem
 from repro.mqo.qubo import mqo_to_bqm
 
@@ -57,16 +58,49 @@ def _mean_depths(
     return float(np.mean(depths))
 
 
+def _figure8_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Mean QAOA depths for one (plans, ppq) grid point.
+
+    The optimal-topology and Mumbai measurements reuse the same seed so
+    both transpile the same random instances; the overhead column then
+    isolates the routing cost.
+    """
+    plans, ppq = params["plans"], params["ppq"]
+    queries = plans // ppq
+    instances = params["instances"]
+    optimal = _mean_depths(queries, ppq, None, "qaoa", instances, 1, seed)
+    routed = _mean_depths(
+        queries,
+        ppq,
+        mumbai_coupling_map(),
+        "qaoa",
+        instances,
+        params["transpilations"],
+        seed,
+    )
+    return {
+        "plans": plans,
+        "ppq": ppq,
+        "depth optimal": round(optimal, 1),
+        "depth mumbai": round(routed, 1),
+        "overhead %": round(100.0 * (routed - optimal) / optimal, 1),
+    }
+
+
 def run_figure8(
     ppq_values: Sequence[int] = (2, 4, 8),
     max_plans: int = 24,
     instances: Optional[int] = None,
     transpilations: int = 3,
     seed: int = 11,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Figure 8: QAOA depth vs plan count, PPQ and topology."""
+    workers = resolve_workers(workers)
     instances = instances if instances is not None else bench_samples(3)
-    mumbai = mumbai_coupling_map()
     table = ExperimentTable(
         title="Figure 8 - MQO QAOA circuit depths (mean)",
         columns=["plans", "ppq", "depth optimal", "depth mumbai", "overhead %"],
@@ -75,27 +109,57 @@ def run_figure8(
             "denser QUBOs (~116% at 4 PPQ, ~160% at 8 PPQ, 24 plans)."
         ),
     )
+    points = []
     for ppq in ppq_values:
         plans = ppq
         while plans <= max_plans:
-            queries = plans // ppq
-            optimal = _mean_depths(
-                queries, ppq, None, "qaoa", instances, 1, seed + plans
-            )
-            routed = _mean_depths(
-                queries, ppq, mumbai, "qaoa", instances, transpilations, seed + plans
-            )
-            table.add_row(
-                plans=plans,
-                ppq=ppq,
-                **{
-                    "depth optimal": round(optimal, 1),
-                    "depth mumbai": round(routed, 1),
-                    "overhead %": round(100.0 * (routed - optimal) / optimal, 1),
-                },
+            points.append(
+                {
+                    "plans": plans,
+                    "ppq": ppq,
+                    "instances": instances,
+                    "transpilations": transpilations,
+                }
             )
             plans += ppq if ppq >= 4 else 2 * ppq
+    results = run_grid(
+        points,
+        _figure8_point,
+        experiment="fig8",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table
+
+
+def _figure9_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """VQE and QAOA mean depths for one plan count."""
+    plans = params["plans"]
+    transpilations = params["transpilations"]
+    instances = params["instances"]
+    mumbai = mumbai_coupling_map()
+    row: Dict[str, Any] = {"plans": plans}
+    row["vqe optimal"] = round(
+        _mean_depths(plans // 4, 4, None, "vqe", 1, 1, seed), 1
+    )
+    row["vqe mumbai"] = round(
+        _mean_depths(plans // 4, 4, mumbai, "vqe", 1, transpilations, seed), 1
+    )
+    for ppq in (4, 8):
+        queries = plans // ppq
+        row[f"qaoa{ppq} optimal"] = round(
+            _mean_depths(queries, ppq, None, "qaoa", instances, 1, seed + ppq), 1
+        )
+        row[f"qaoa{ppq} mumbai"] = round(
+            _mean_depths(
+                queries, ppq, mumbai, "qaoa", instances, transpilations, seed + ppq
+            ),
+            1,
+        )
+    return row
 
 
 def run_figure9(
@@ -103,10 +167,14 @@ def run_figure9(
     instances: Optional[int] = None,
     transpilations: int = 3,
     seed: int = 13,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentTable:
     """Figure 9: VQE vs QAOA depths on both topologies."""
+    workers = resolve_workers(workers)
     instances = instances if instances is not None else bench_samples(3)
-    mumbai = mumbai_coupling_map()
     table = ExperimentTable(
         title="Figure 9 - MQO circuit depths, VQE vs QAOA (mean)",
         columns=[
@@ -123,24 +191,18 @@ def run_figure9(
             "VQE onto Mumbai costs ~10x depth (paper: 97 → ~970 at 24 plans)."
         ),
     )
-    for plans in range(8, max_plans + 1, 8):
-        row = {"plans": plans}
-        row["vqe optimal"] = round(
-            _mean_depths(plans // 4, 4, None, "vqe", 1, 1, seed), 1
-        )
-        row["vqe mumbai"] = round(
-            _mean_depths(plans // 4, 4, mumbai, "vqe", 1, transpilations, seed), 1
-        )
-        for ppq in (4, 8):
-            queries = plans // ppq
-            row[f"qaoa{ppq} optimal"] = round(
-                _mean_depths(queries, ppq, None, "qaoa", instances, 1, seed + ppq), 1
-            )
-            row[f"qaoa{ppq} mumbai"] = round(
-                _mean_depths(
-                    queries, ppq, mumbai, "qaoa", instances, transpilations, seed + ppq
-                ),
-                1,
-            )
-        table.add_row(**row)
+    points = [
+        {"plans": plans, "instances": instances, "transpilations": transpilations}
+        for plans in range(8, max_plans + 1, 8)
+    ]
+    results = run_grid(
+        points,
+        _figure9_point,
+        experiment="fig9",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

@@ -15,35 +15,37 @@ the depth-vs-fidelity trade-off that makes the paper fix p = 1.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.experiments.common import ExperimentTable
 from repro.gate.backend import fake_mumbai
 from repro.gate.noise import NoiseModel, sample_with_noise
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.mqo.generator import random_mqo_problem
 from repro.mqo.qubo import MqoQuboBuilder
-from repro.qubo import brute_force_minimum
 from repro.variational import QAOA, Cobyla
 from repro.variational.hamiltonian import IsingHamiltonian
 from repro.variational.minimum_eigen import MinimumEigenOptimizer
 
 
-def run_noise_study(
-    reps_values=(1, 2, 3),
-    shots: int = 512,
-    trajectories: int = 6,
-    seed: int = 17,
-) -> ExperimentTable:
-    """Success probability of QAOA under decoherence vs circuit depth."""
-    problem = random_mqo_problem(2, 2, seed=seed)
+def _noise_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Success probabilities of one QAOA depth (repetition count p).
+
+    The MQO instance and the QAOA optimization are seeded from the
+    shared ``instance_seed`` so every p solves the *same* problem; only
+    the noisy sampling uses the harness-derived per-point seed.
+    """
+    instance_seed = params["instance_seed"]
+    reps = params["p"]
+    shots = params["shots"]
+
+    problem = random_mqo_problem(2, 2, seed=instance_seed)
     builder = MqoQuboBuilder(problem)
     bqm = builder.build()
     hamiltonian = IsingHamiltonian.from_bqm(bqm)
-    ground_index, ground_energy = hamiltonian.ground_state()
-    exact = brute_force_minimum(bqm)
-    width = hamiltonian.num_qubits
+    ground_index, _ = hamiltonian.ground_state()
 
     properties = fake_mumbai().properties
     # amplified decoherence: the demo circuit is far shallower than a
@@ -56,6 +58,49 @@ def run_noise_study(
     )
     noise = NoiseModel(gate_error=2e-3, readout_error=0.01, properties=scaled)
 
+    solver = QAOA(optimizer=Cobyla(maxiter=150), reps=reps, seed=instance_seed)
+    result = MinimumEigenOptimizer(solver).solve(bqm)
+    circuit = result.optimal_circuit
+    depth = circuit.depth()
+
+    rng = np.random.default_rng(seed)
+    clean_counts = sample_with_noise(
+        circuit, NoiseModel(), shots=shots, trajectories=1,
+        seed=int(rng.integers(2**31)),
+    )
+    noisy_counts = sample_with_noise(
+        circuit, noise, shots=shots, trajectories=params["trajectories"],
+        seed=int(rng.integers(2**31)),
+    )
+
+    def success(counts) -> float:
+        hits = sum(c for b, c in counts.items() if int(b, 2) == ground_index)
+        return hits / max(sum(counts.values()), 1)
+
+    clean = success(clean_counts)
+    noisy = success(noisy_counts)
+    return {
+        "p": reps,
+        "depth": depth,
+        "p_decoherence": round(noise.decoherence_probability(depth), 3),
+        "success noiseless": round(clean, 3),
+        "success noisy": round(noisy, 3),
+        "retention": round(noisy / clean, 3) if clean > 0 else 0.0,
+    }
+
+
+def run_noise_study(
+    reps_values=(1, 2, 3),
+    shots: int = 512,
+    trajectories: int = 6,
+    seed: int = 17,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExperimentTable:
+    """Success probability of QAOA under decoherence vs circuit depth."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Noise study - QAOA success probability vs depth (Eq. 36)",
         columns=[
@@ -73,37 +118,23 @@ def run_noise_study(
             "reason to keep p = 1 on NISQ devices."
         ),
     )
-    rng = np.random.default_rng(seed)
-    for reps in reps_values:
-        solver = QAOA(optimizer=Cobyla(maxiter=150), reps=reps, seed=seed)
-        result = MinimumEigenOptimizer(solver).solve(bqm)
-        circuit = result.optimal_circuit
-        depth = circuit.depth()
-
-        clean_counts = sample_with_noise(
-            circuit, NoiseModel(), shots=shots, trajectories=1, seed=int(rng.integers(2**31))
-        )
-        noisy_counts = sample_with_noise(
-            circuit, noise, shots=shots, trajectories=trajectories,
-            seed=int(rng.integers(2**31)),
-        )
-
-        def success(counts) -> float:
-            hits = sum(
-                c for b, c in counts.items() if int(b, 2) == ground_index
-            )
-            return hits / max(sum(counts.values()), 1)
-
-        clean = success(clean_counts)
-        noisy = success(noisy_counts)
-        table.add_row(
-            p=reps,
-            depth=depth,
-            p_decoherence=round(noise.decoherence_probability(depth), 3),
-            **{
-                "success noiseless": round(clean, 3),
-                "success noisy": round(noisy, 3),
-                "retention": round(noisy / clean, 3) if clean > 0 else 0.0,
-            },
-        )
+    points = [
+        {
+            "p": reps,
+            "shots": shots,
+            "trajectories": trajectories,
+            "instance_seed": seed,
+        }
+        for reps in reps_values
+    ]
+    results = run_grid(
+        points,
+        _noise_point,
+        experiment="noise",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

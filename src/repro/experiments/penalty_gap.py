@@ -19,11 +19,12 @@ with ``A``, so the relative gap decays like ``1/A``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.experiments.common import ExperimentTable
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.joinorder.bilp import build_join_order_bilp
 from repro.joinorder.milp import JoinOrderMilp
 from repro.joinorder.query_graph import QueryGraph, Relation
@@ -44,20 +45,15 @@ def _spectrum(bqm) -> np.ndarray:
     return np.sort(np.concatenate(energies))
 
 
-def run_penalty_gap_study(
-    multipliers: Sequence[float] = (1.0, 4.0, 16.0, 64.0),
-    seed: Optional[int] = None,
-) -> ExperimentTable:
-    """Relative spectral gap vs penalty weight A.
+def _example_bilp():
+    """The predicate-free 3-relation instance (21 qubits, exact spectrum).
 
-    A predicate-free 3-relation instance keeps the exact spectrum
-    enumerable (21 qubits) on a laptop.  Heterogeneous cardinalities
-    (10, 10, 100) with threshold 100 make the *valid* states carry two
-    distinct objective values — orders starting with the two small
-    relations stay below the threshold, orders pulling the large
-    relation forward cross it — so the ground-state gap is an
-    objective-scale constant while the penalty only widens the
-    spectrum above it.
+    Heterogeneous cardinalities (10, 10, 100) with threshold 100 make
+    the *valid* states carry two distinct objective values — orders
+    starting with the two small relations stay below the threshold,
+    orders pulling the large relation forward cross it — so the
+    ground-state gap is an objective-scale constant while the penalty
+    only widens the spectrum above it.
     """
     graph = QueryGraph(
         relations=(Relation("A", 10), Relation("B", 10), Relation("C", 100)),
@@ -65,10 +61,40 @@ def run_penalty_gap_study(
     milp = JoinOrderMilp(
         graph=graph, thresholds=[100.0], prune_thresholds=True, precision_omega=1.0
     )
-    bilp = build_join_order_bilp(milp, precision_exponent=0)
+    return build_join_order_bilp(milp, precision_exponent=0)
+
+
+def _penalty_gap_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Spectrum statistics for one penalty multiplier."""
+    multiplier = params["multiplier"]
+    bilp = _example_bilp()
     s, b, c, order = bilp.to_matrices()
     base_a = penalty_weight(c, bilp.omega)
+    bqm = bilp_to_bqm(bilp, penalty_a=base_a * multiplier)
+    spectrum = _spectrum(bqm)
+    ground = float(spectrum[0])
+    distinct = spectrum[spectrum > ground + 1e-9]
+    gap = float(distinct[0] - ground) if len(distinct) else 0.0
+    width = float(spectrum[-1] - ground)
+    return {
+        "A / A_min": multiplier,
+        "ground energy": round(ground, 3),
+        "absolute gap": round(gap, 3),
+        "spectrum width": round(width, 1),
+        "relative gap": round(gap / width if width else 0.0, 8),
+    }
 
+
+def run_penalty_gap_study(
+    multipliers: Sequence[float] = (1.0, 4.0, 16.0, 64.0),
+    seed: int = 0,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExperimentTable:
+    """Relative spectral gap vs penalty weight A."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Extension - penalty weight vs spectral gap (Sec. 6.1.4)",
         columns=[
@@ -85,20 +111,15 @@ def run_penalty_gap_study(
             "after rescaling onto hardware coupling ranges — decays ~1/A."
         ),
     )
-    for multiplier in multipliers:
-        bqm = bilp_to_bqm(bilp, penalty_a=base_a * multiplier)
-        spectrum = _spectrum(bqm)
-        ground = float(spectrum[0])
-        distinct = spectrum[spectrum > ground + 1e-9]
-        gap = float(distinct[0] - ground) if len(distinct) else 0.0
-        width = float(spectrum[-1] - ground)
-        table.add_row(
-            **{
-                "A / A_min": multiplier,
-                "ground energy": round(ground, 3),
-                "absolute gap": round(gap, 3),
-                "spectrum width": round(width, 1),
-                "relative gap": round(gap / width if width else 0.0, 8),
-            }
-        )
+    points = [{"multiplier": float(m)} for m in multipliers]
+    results = run_grid(
+        points,
+        _penalty_gap_point,
+        experiment="penalty-gap",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

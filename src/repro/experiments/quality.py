@@ -9,9 +9,10 @@ the QUBO encodings are semantically correct end to end.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.experiments.common import ExperimentTable
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.joinorder.generators import chain_query, star_query
 from repro.joinorder.classical import (
     solve_dp_left_deep,
@@ -30,67 +31,157 @@ from repro.mqo.solvers import (
 )
 from repro.variational import QAOA, Cobyla, NumPyMinimumEigensolver
 
+_MQO_SOLVERS = (
+    "greedy (local)",
+    "genetic",
+    "simulated annealing",
+    "exact eigensolver",
+    "qaoa (p=1)",
+)
 
-def run_mqo_quality(seed: int = 41) -> ExperimentTable:
-    """MQO: all solver paths vs the exhaustive optimum."""
-    problem = random_mqo_problem(3, 3, seed=seed)
+
+def _mqo_quality_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One MQO solver path vs the exhaustive optimum.
+
+    Instance and solver seeds come from the shared ``instance_seed`` so
+    every solver attacks the identical problem (and rows match the
+    historical serial driver exactly).
+    """
+    instance_seed = params["instance_seed"]
+    problem = random_mqo_problem(3, 3, seed=instance_seed)
     optimum = solve_exhaustive(problem)
+    name = params["solver"]
+    if name == "greedy (local)":
+        solution = solve_greedy_local(problem)
+    elif name == "genetic":
+        solution = solve_genetic(problem, seed=instance_seed)
+    elif name == "simulated annealing":
+        solution = solve_with_annealer(problem, seed=instance_seed)
+    elif name == "exact eigensolver":
+        solution = solve_with_minimum_eigen(
+            problem, NumPyMinimumEigensolver(), max_qubits=16
+        )
+    else:  # qaoa (p=1)
+        solution = solve_with_minimum_eigen(
+            problem,
+            QAOA(optimizer=Cobyla(maxiter=150), seed=instance_seed),
+            max_qubits=16,
+        )
+    return {
+        "solver": name,
+        "cost": round(solution.cost, 2),
+        "optimal?": abs(solution.cost - optimum.cost) < 1e-6,
+    }
+
+
+def run_mqo_quality(
+    seed: int = 41,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExperimentTable:
+    """MQO: all solver paths vs the exhaustive optimum."""
+    workers = resolve_workers(workers)
+    optimum = solve_exhaustive(random_mqo_problem(3, 3, seed=seed))
     table = ExperimentTable(
         title="MQO solution quality (3 queries x 3 plans)",
         columns=["solver", "cost", "optimal?"],
         notes=f"Exhaustive optimum: {optimum.cost:.2f}.",
     )
-    solutions = {
-        "greedy (local)": solve_greedy_local(problem),
-        "genetic": solve_genetic(problem, seed=seed),
-        "simulated annealing": solve_with_annealer(problem, seed=seed),
-        "exact eigensolver": solve_with_minimum_eigen(
-            problem, NumPyMinimumEigensolver(), max_qubits=16
-        ),
-        "qaoa (p=1)": solve_with_minimum_eigen(
-            problem, QAOA(optimizer=Cobyla(maxiter=150), seed=seed), max_qubits=16
-        ),
-    }
-    for name, solution in solutions.items():
-        table.add_row(
-            solver=name,
-            cost=round(solution.cost, 2),
-            **{"optimal?": abs(solution.cost - optimum.cost) < 1e-6},
-        )
+    points = [
+        {"solver": name, "instance_seed": seed} for name in _MQO_SOLVERS
+    ]
+    results = run_grid(
+        points,
+        _mqo_quality_point,
+        experiment="quality-mqo",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table
 
 
-def run_join_order_quality(seed: int = 43) -> ExperimentTable:
+_JO_WORKLOADS = ("chain(5)", "star(5)")
+_JO_SOLVERS = (
+    "dp (optimal)",
+    "greedy",
+    "genetic",
+    "sim annealing (perm)",
+    "qubo + annealer",
+    "ikkbz (tree queries)",
+)
+
+
+def _jo_graph(workload: str, seed: int):
+    maker = chain_query if workload.startswith("chain") else star_query
+    return maker(5, seed=seed)
+
+
+def _jo_quality_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One (workload, solver) pair vs the DP optimum."""
+    instance_seed = params["instance_seed"]
+    graph = _jo_graph(params["workload"], instance_seed)
+    reference = solve_dp_left_deep(graph)
+    name = params["solver"]
+    if name == "dp (optimal)":
+        result = reference
+    elif name == "greedy":
+        result = solve_greedy(graph)
+    elif name == "genetic":
+        result = jo_genetic(graph, seed=instance_seed)
+    elif name == "sim annealing (perm)":
+        result = jo_sa(graph, seed=instance_seed)
+    elif name == "qubo + annealer":
+        pipeline = JoinOrderQuantumPipeline(graph, precision_exponent=0)
+        result = pipeline.solve_with_annealer(num_reads=100, seed=instance_seed)
+    else:  # ikkbz (tree queries)
+        from repro.joinorder.ikkbz import solve_ikkbz
+
+        result = solve_ikkbz(graph)
+    return {
+        "workload": params["workload"],
+        "solver": name,
+        "cost": round(result.cost, 1),
+        "ratio to DP": round(result.cost / reference.cost, 3),
+    }
+
+
+def run_join_order_quality(
+    seed: int = 43,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExperimentTable:
     """Join ordering: classical baselines + annealed QUBO vs DP."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Join-ordering solution quality",
         columns=["workload", "solver", "cost", "ratio to DP"],
     )
-    workloads = {
-        "chain(5)": chain_query(5, seed=seed),
-        "star(5)": star_query(5, seed=seed),
-    }
-    for label, graph in workloads.items():
-        reference = solve_dp_left_deep(graph)
-        pipeline = JoinOrderQuantumPipeline(graph, precision_exponent=0)
-        results = {
-            "dp (optimal)": reference,
-            "greedy": solve_greedy(graph),
-            "genetic": jo_genetic(graph, seed=seed),
-            "sim annealing (perm)": jo_sa(graph, seed=seed),
-            "qubo + annealer": pipeline.solve_with_annealer(
-                num_reads=100, seed=seed
-            ),
-        }
-        if graph.num_predicates == graph.num_joins and graph.is_connected():
-            from repro.joinorder.ikkbz import solve_ikkbz
-
-            results["ikkbz (tree queries)"] = solve_ikkbz(graph)
-        for name, result in results.items():
-            table.add_row(
-                workload=label,
-                solver=name,
-                cost=round(result.cost, 1),
-                **{"ratio to DP": round(result.cost / reference.cost, 3)},
+    points = []
+    for workload in _JO_WORKLOADS:
+        graph = _jo_graph(workload, seed)
+        for name in _JO_SOLVERS:
+            if name == "ikkbz (tree queries)" and not (
+                graph.num_predicates == graph.num_joins and graph.is_connected()
+            ):
+                continue
+            points.append(
+                {"workload": workload, "solver": name, "instance_seed": seed}
             )
+    results = run_grid(
+        points,
+        _jo_quality_point,
+        experiment="quality-join",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
     return table

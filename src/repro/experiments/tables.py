@@ -9,7 +9,10 @@
 
 from __future__ import annotations
 
+from typing import Any, Dict, Optional
+
 from repro.experiments.common import ExperimentTable
+from repro.harness import extend_table, resolve_workers, run_grid
 from repro.joinorder import cout_cost, solve_dp_left_deep
 from repro.joinorder.generators import paper_example_graph
 from repro.mqo import (
@@ -19,40 +22,86 @@ from repro.mqo import (
 )
 
 
-def run_tables_1_2() -> ExperimentTable:
-    """Reproduce the MQO example of Tables 1 and 2."""
+def _tables12_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One Tables 1/2 strategy: locally or globally optimal plans."""
     problem = paper_example_problem()
+    if params["strategy"] == "local":
+        solution = solve_greedy_local(problem)
+        label = "locally optimal (per query)"
+    else:
+        solution = solve_exhaustive(problem)
+        label = "globally optimal (MQO)"
+    return {
+        "strategy": label,
+        "selected plans": solution.selected_plans,
+        "total cost": solution.cost,
+    }
+
+
+def run_tables_1_2(
+    seed: int = 0,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExperimentTable:
+    """Reproduce the MQO example of Tables 1 and 2."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Tables 1/2 - MQO example (3 queries, 8 plans, 5 savings)",
         columns=["strategy", "selected plans", "total cost"],
         notes="Paper: locally optimal = plans (1,4,6) cost 26; "
         "global optimum = plans (2,4,8) cost 21.",
     )
-    greedy = solve_greedy_local(problem)
-    optimal = solve_exhaustive(problem)
-    table.add_row(
-        strategy="locally optimal (per query)",
-        **{"selected plans": greedy.selected_plans, "total cost": greedy.cost},
+    points = [{"strategy": "local"}, {"strategy": "global"}]
+    results = run_grid(
+        points,
+        _tables12_point,
+        experiment="tables12",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
     )
-    table.add_row(
-        strategy="globally optimal (MQO)",
-        **{"selected plans": optimal.selected_plans, "total cost": optimal.cost},
-    )
+    extend_table(table, results, workers)
     return table
 
 
-def run_table_3() -> ExperimentTable:
-    """Reproduce the join-order cost calculation of Table 3."""
+def _table3_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """C_out of one left-deep order of the R/S/T query."""
     graph = paper_example_graph()
+    order = tuple(params["order"])
+    return {"join order": " ⋈ ".join(order), "cost": cout_cost(graph, order)}
+
+
+def run_table_3(
+    seed: int = 0,
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> ExperimentTable:
+    """Reproduce the join-order cost calculation of Table 3."""
+    workers = resolve_workers(workers)
     table = ExperimentTable(
         title="Table 3 - C_out of each left-deep order for the R/S/T query",
         columns=["join order", "cost"],
         notes="Paper: (R⋈S)⋈T = 51,000; (R⋈T)⋈S = 60,000; (S⋈T)⋈R = 100,000.",
     )
-    for order in (("R", "S", "T"), ("R", "T", "S"), ("S", "T", "R")):
-        table.add_row(
-            **{"join order": " ⋈ ".join(order), "cost": cout_cost(graph, order)}
-        )
-    best = solve_dp_left_deep(graph)
-    table.notes += f"  DP optimum: {' ⋈ '.join(best.order)} = {best.cost:,.0f}."
+    points = [
+        {"order": list(order)}
+        for order in (("R", "S", "T"), ("R", "T", "S"), ("S", "T", "R"))
+    ]
+    results = run_grid(
+        points,
+        _table3_point,
+        experiment="table3",
+        seed=seed,
+        workers=workers,
+        cache=cache,
+        cache_dir=cache_dir,
+    )
+    extend_table(table, results, workers)
+    best = solve_dp_left_deep(paper_example_graph())
+    table.notes += f"\nDP optimum: {' ⋈ '.join(best.order)} = {best.cost:,.0f}."
     return table

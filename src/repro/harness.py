@@ -1,0 +1,376 @@
+"""Parallel experiment execution with deterministic seeding and an
+on-disk result cache.
+
+Every experiment driver in :mod:`repro.experiments` declares its sweep
+as a list of *grid points* — plain JSON-serializable parameter dicts —
+and hands them to :func:`run_grid` together with a module-level *point
+function* ``fn(params, seed) -> row | [rows] | None``.  The harness
+then provides three things the serial drivers lacked:
+
+**Fan-out.**  Points execute on a
+:class:`concurrent.futures.ProcessPoolExecutor` when ``workers > 1``
+(``workers=1`` stays serial and in-process).  Results are reassembled
+in input-point order, so the produced table never depends on
+completion order.  Point functions must be module-level (picklable);
+the :class:`_PointTask` wrapper keeps the submitted payload
+pickling-safe.
+
+**Deterministic seeding.**  Each point's seed is derived from the root
+seed, the experiment name and the canonical JSON of the point's
+parameters via SHA-256 (:func:`derive_seed`) — never from sequential
+RNG draws or ``hash()``.  Parallel and serial runs therefore produce
+bit-identical row lists, and the derivation is stable across processes
+and ``PYTHONHASHSEED`` values.
+
+**Caching.**  With ``cache=True`` each point's rows are persisted as
+JSON under ``results/.cache/<experiment>/<key>.json`` where ``key`` is
+a content hash of the experiment name, point parameters, derived seed
+and code version (:func:`grid_cache_key`).  Re-runs and partially
+completed sweeps resume instantly; corrupted or unreadable cache files
+are treated as misses and rewritten.  The version component defaults
+to a fingerprint of the package version plus the point function's
+module source, so editing a driver invalidates its cached points
+automatically.
+
+Environment knobs (used when the corresponding argument is ``None``):
+
+=====================  ================================================
+``REPRO_BENCH_WORKERS``  default worker count for :func:`run_grid`
+``REPRO_CACHE``          enable caching (``1/true/on``; default off)
+``REPRO_CACHE_DIR``      cache root (default ``results/.cache``)
+=====================  ================================================
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError
+from repro.serialization import to_jsonable
+
+__all__ = [
+    "GridPointResult",
+    "ResultCache",
+    "code_fingerprint",
+    "derive_seed",
+    "extend_table",
+    "grid_cache_key",
+    "harness_note",
+    "point_key",
+    "resolve_cache",
+    "resolve_workers",
+    "run_grid",
+]
+
+_CACHE_FORMAT = 1
+DEFAULT_CACHE_DIR = os.path.join("results", ".cache")
+
+#: A point function: ``fn(params, seed)`` returning one row dict, a
+#: list of row dicts, or ``None`` for "no row at this point".
+PointFn = Callable[[Dict[str, Any], int], Union[Dict[str, Any], List[Dict[str, Any]], None]]
+
+
+# ----------------------------------------------------------------------
+# Deterministic keys and seeds
+# ----------------------------------------------------------------------
+def point_key(params: Dict[str, Any]) -> str:
+    """Canonical JSON of a point's parameters (dict-order insensitive)."""
+    return json.dumps(to_jsonable(params), sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(root_seed: int, experiment: str, params: Dict[str, Any]) -> int:
+    """Per-point seed from root seed + experiment + point key.
+
+    SHA-256 based: stable across processes, interpreter runs and
+    ``PYTHONHASHSEED`` values, and independent of the order in which
+    points are executed — the property that makes parallel and serial
+    sweeps bit-identical.
+    """
+    material = f"{int(root_seed)}|{experiment}|{point_key(params)}"
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31)
+
+
+def grid_cache_key(
+    experiment: str, params: Dict[str, Any], seed: int, version: str
+) -> str:
+    """Content hash naming one point's cache entry."""
+    payload = json.dumps(
+        {
+            "experiment": str(experiment),
+            "params": to_jsonable(params),
+            "seed": int(seed),
+            "version": str(version),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def code_fingerprint(fn: Callable) -> str:
+    """Default ``version`` for the cache key.
+
+    Package version + source hashes of the point function's module and
+    of this module, so editing either invalidates the affected cache
+    entries without a manual version bump.
+    """
+    import repro
+
+    parts = [repro.__version__]
+    for name in sorted({getattr(fn, "__module__", "") or "", __name__}):
+        module = sys.modules.get(name)
+        if module is None:
+            continue
+        try:
+            source = inspect.getsource(module)
+        except (OSError, TypeError):
+            continue
+        parts.append(hashlib.sha256(source.encode("utf-8")).hexdigest())
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Configuration resolution (argument > environment > default)
+# ----------------------------------------------------------------------
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_BENCH_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get("REPRO_BENCH_WORKERS")
+        if raw is None:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"REPRO_BENCH_WORKERS must be an integer, got {raw!r}"
+            ) from exc
+    workers = int(workers)
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_cache(cache: Optional[bool] = None) -> bool:
+    """Cache enablement: explicit argument, else ``REPRO_CACHE``, else off."""
+    if cache is not None:
+        return bool(cache)
+    raw = os.environ.get("REPRO_CACHE")
+    if raw is None:
+        return False
+    return raw.strip().lower() in {"1", "true", "on", "yes"}
+
+
+def resolve_cache_dir(cache_dir: Optional[str] = None) -> str:
+    """Cache root: explicit argument, else ``REPRO_CACHE_DIR``, else default."""
+    return str(cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)
+
+
+# ----------------------------------------------------------------------
+# The on-disk cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed JSON store for grid-point results.
+
+    One file per point under ``<root>/<experiment>/<key>.json``.  Reads
+    never raise: any missing, unreadable, corrupted or wrong-format
+    file is a miss, and the next :meth:`put` overwrites it (writes are
+    atomic via a temp file + ``os.replace``).
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    def _path(self, experiment: str, key: str) -> Path:
+        slug = "".join(c if c.isalnum() or c in "-_." else "_" for c in experiment)
+        return self.root / (slug or "experiment") / f"{key}.json"
+
+    def get(self, experiment: str, key: str) -> Optional[Dict[str, Any]]:
+        path = self._path(experiment, key)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != _CACHE_FORMAT
+            or not isinstance(data.get("rows"), list)
+        ):
+            return None
+        return data
+
+    def put(
+        self,
+        experiment: str,
+        key: str,
+        rows: List[Dict[str, Any]],
+        seconds: float,
+        params: Dict[str, Any],
+        seed: int,
+    ) -> None:
+        path = self._path(experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": _CACHE_FORMAT,
+            "experiment": experiment,
+            "params": to_jsonable(params),
+            "seed": int(seed),
+            "rows": rows,
+            "seconds": float(seconds),
+        }
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GridPointResult:
+    """One executed (or cache-restored) grid point."""
+
+    params: Dict[str, Any]
+    seed: int
+    rows: List[Dict[str, Any]]
+    seconds: float
+    cached: bool
+    key: str
+
+
+@dataclass(frozen=True)
+class _PointTask:
+    """Pickling-safe unit of work shipped to a pool worker."""
+
+    fn: PointFn
+    params: Dict[str, Any]
+    seed: int
+
+
+def _run_task(task: _PointTask) -> tuple:
+    """Execute one point, normalizing its rows to plain JSON types.
+
+    The normalization matters for determinism: fresh rows must compare
+    equal to rows restored from the JSON cache, so numpy scalars and
+    tuples are coerced the same way on both paths.
+    """
+    start = time.perf_counter()
+    out = task.fn(task.params, task.seed)
+    seconds = time.perf_counter() - start
+    if out is None:
+        rows: List[Dict[str, Any]] = []
+    elif isinstance(out, dict):
+        rows = [out]
+    else:
+        rows = list(out)
+    return [to_jsonable(row) for row in rows], seconds
+
+
+def run_grid(
+    points: Iterable[Dict[str, Any]],
+    fn: PointFn,
+    *,
+    experiment: str,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+    version: Optional[str] = None,
+) -> List[GridPointResult]:
+    """Run ``fn`` over every grid point, in parallel when asked.
+
+    Results come back in input-point order regardless of completion
+    order, each with its derived seed, wall-clock seconds and cache
+    status.  See the module docstring for the seeding and caching
+    contract.
+    """
+    point_list = [dict(p) for p in points]
+    workers = resolve_workers(workers)
+    use_cache = resolve_cache(cache)
+    if version is None:
+        version = code_fingerprint(fn)
+    store = ResultCache(resolve_cache_dir(cache_dir)) if use_cache else None
+
+    results: List[Optional[GridPointResult]] = [None] * len(point_list)
+    pending: List[tuple] = []
+    for index, params in enumerate(point_list):
+        pseed = derive_seed(seed, experiment, params)
+        key = grid_cache_key(experiment, params, pseed, version)
+        if store is not None:
+            hit = store.get(experiment, key)
+            if hit is not None:
+                results[index] = GridPointResult(
+                    params=params,
+                    seed=pseed,
+                    rows=hit["rows"],
+                    seconds=float(hit.get("seconds", 0.0)),
+                    cached=True,
+                    key=key,
+                )
+                continue
+        pending.append((index, params, pseed, key))
+
+    def finish(index: int, params: Dict[str, Any], pseed: int, key: str,
+               rows: List[Dict[str, Any]], seconds: float) -> None:
+        if store is not None:
+            store.put(experiment, key, rows, seconds, params, pseed)
+        results[index] = GridPointResult(
+            params=params, seed=pseed, rows=rows, seconds=seconds,
+            cached=False, key=key,
+        )
+
+    if pending and workers > 1:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(_run_task, _PointTask(fn, item[1], item[2])): item
+                for item in pending
+            }
+            for future in as_completed(futures):
+                index, params, pseed, key = futures[future]
+                rows, seconds = future.result()
+                finish(index, params, pseed, key, rows, seconds)
+    else:
+        for index, params, pseed, key in pending:
+            rows, seconds = _run_task(_PointTask(fn, params, pseed))
+            finish(index, params, pseed, key, rows, seconds)
+
+    return [r for r in results if r is not None]
+
+
+# ----------------------------------------------------------------------
+# Table assembly
+# ----------------------------------------------------------------------
+def harness_note(results: Sequence[GridPointResult], workers: int) -> str:
+    """Human-readable execution summary (appended to table notes)."""
+    total = sum(r.seconds for r in results)
+    cached = sum(1 for r in results if r.cached)
+    note = (
+        f"[harness] {len(results)} points ({cached} cached) via "
+        f"{workers} worker(s); point wall-clock total {total:.2f}s"
+    )
+    fresh = [r.seconds for r in results if not r.cached]
+    if fresh:
+        note += f", mean {sum(fresh) / len(fresh):.2f}s, max {max(fresh):.2f}s"
+    return note + "."
+
+
+def extend_table(table, results: Sequence[GridPointResult], workers: int) -> None:
+    """Append every point's rows to ``table`` plus the timing note.
+
+    Row content is deterministic (identical for serial, parallel and
+    cached runs); only the timing note varies run to run.
+    """
+    for result in results:
+        for row in result.rows:
+            table.rows.append(dict(row))
+    note = harness_note(results, workers)
+    table.notes = f"{table.notes}\n{note}" if table.notes else note

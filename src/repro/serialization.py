@@ -168,6 +168,31 @@ def load(path: str) -> Serializable:
         return loads(handle.read())
 
 
+# ----------------------------------------------------------------------
+# Generic JSON coercion (shared with the experiment-result cache)
+# ----------------------------------------------------------------------
+def to_jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into plain JSON types.
+
+    Dict keys become strings, tuples/sets become lists (sets sorted for
+    stability), and numpy scalars/arrays are unwrapped via ``tolist``.
+    Anything else falls back to ``str``.  Round-tripping a value through
+    ``to_jsonable`` + JSON therefore yields an identical object, which
+    is what lets cached experiment rows compare equal to fresh ones.
+    """
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((to_jsonable(v) for v in value), key=repr)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "tolist"):  # numpy scalars and arrays
+        return to_jsonable(value.tolist())
+    return str(value)
+
+
 def _check(data: Dict[str, Any], kind: str) -> None:
     if data.get("kind") != kind:
         raise ProblemError(f"expected kind {kind!r}, got {data.get('kind')!r}")

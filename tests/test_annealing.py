@@ -210,6 +210,43 @@ class TestEmbedding:
         disconnected = EmbeddingResult(chains={0: (0, 1), 1: (4,)})
         assert not disconnected.is_valid(src, target)
 
+    def test_stable_across_hash_seeds(self):
+        """The same seed yields the same chains in any interpreter.
+
+        String-labelled sources (QUBO variable names) once iterated
+        through a plain ``set`` inside the improvement sweeps, so the
+        result silently depended on ``PYTHONHASHSEED`` — breaking the
+        harness guarantee that parallel workers reproduce serial rows.
+        The K8 instance is dense enough to force those sweeps.
+        """
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import networkx as nx\n"
+            "from repro.annealing import chimera_graph, find_embedding\n"
+            "src = nx.relabel_nodes(nx.complete_graph(8),"
+            " {i: f'var_{i}' for i in range(8)})\n"
+            "result = find_embedding(src, chimera_graph(3), seed=7)\n"
+            "print(sorted(result.chains.items()))\n"
+        )
+        outputs = set()
+        for hashseed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            outputs.add(
+                subprocess.run(
+                    [sys.executable, "-c", code],
+                    capture_output=True, text=True, env=env, check=True,
+                    cwd=os.path.dirname(
+                        os.path.dirname(os.path.abspath(__file__))
+                    ),
+                ).stdout
+            )
+        assert len(outputs) == 1
+
 
 class TestComposites:
     def _structured_sampler(self):

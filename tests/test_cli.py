@@ -27,8 +27,31 @@ class TestCommands:
         assert "unknown experiment" in capsys.readouterr().err
 
     def test_experiments_run_table3(self, capsys):
-        assert main(["experiments", "table3"]) == 0
+        assert main(["experiments", "table3", "--no-cache"]) == 0
         assert "51000" in capsys.readouterr().out.replace(",", "")
+
+    def test_experiments_workers_flag(self, capsys):
+        assert main(["experiments", "table3", "--workers", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "2 worker(s)" in out
+
+    def test_experiments_bad_workers_clean_error(self, capsys):
+        assert main(["experiments", "table3", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "workers must be >= 1" in err
+
+    def test_experiments_seed_flag(self, capsys):
+        assert main(["experiments", "table3", "--seed", "5", "--no-cache"]) == 0
+        assert "51000" in capsys.readouterr().out.replace(",", "")
+
+    def test_experiments_cache_roundtrip(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["experiments", "table3", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "(0 cached)" in first
+        assert main(["experiments", "table3", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "(3 cached)" in second
 
     def test_solve_mqo_greedy(self, capsys):
         assert main(["solve-mqo", "--solver", "greedy", "--seed", "3"]) == 0

@@ -29,6 +29,16 @@ class TestCommon:
         monkeypatch.delenv("REPRO_BENCH_SAMPLES")
         assert bench_samples(4) == 4
 
+    def test_bench_samples_non_integer_raises(self, monkeypatch):
+        from repro.exceptions import ConfigurationError
+
+        monkeypatch.setenv("REPRO_BENCH_SAMPLES", "twenty")
+        with pytest.raises(ConfigurationError, match="REPRO_BENCH_SAMPLES"):
+            bench_samples()
+        monkeypatch.setenv("REPRO_BENCH_SAMPLES", "2.5")
+        with pytest.raises(ConfigurationError):
+            bench_samples()
+
 
 class TestPaperTables:
     def test_tables_1_2(self):

@@ -1,0 +1,413 @@
+"""Tests for the parallel experiment harness (repro.harness):
+determinism across worker counts, cache behaviour, cache-key
+properties, and end-to-end coverage of every registered experiment."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.common import ExperimentTable
+from repro.harness import (
+    GridPointResult,
+    ResultCache,
+    derive_seed,
+    extend_table,
+    grid_cache_key,
+    harness_note,
+    point_key,
+    resolve_cache,
+    resolve_workers,
+    run_grid,
+)
+
+
+# ----------------------------------------------------------------------
+# Module-level point functions (must be picklable for the process pool)
+# ----------------------------------------------------------------------
+def _sa_mqo_point(params, seed):
+    """Stochastic point: simulated-annealing MQO solve."""
+    from repro.mqo.generator import random_mqo_problem
+    from repro.mqo.solvers import solve_with_annealer
+
+    problem = random_mqo_problem(params["queries"], params["ppq"], seed=seed)
+    solution = solve_with_annealer(problem, num_reads=30, seed=seed)
+    return {
+        "queries": params["queries"],
+        "ppq": params["ppq"],
+        "cost": solution.cost,
+        "plans": solution.selected_plans,
+        "seed": seed,
+    }
+
+
+def _logged_point(params, seed):
+    """Cheap point that appends one byte to a log file per execution."""
+    with open(params["log"], "a", encoding="utf-8") as handle:
+        handle.write("x")
+    return {"value": params["value"] * 2, "seed": seed}
+
+
+def _embedding_point(params, seed):
+    """A genuinely expensive point: minor-embed a join-ordering QUBO."""
+    from repro.experiments.jo_embedding import _figure14_left_point
+
+    return _figure14_left_point(params, seed)
+
+
+_SA_POINTS = [
+    {"queries": 2, "ppq": 2},
+    {"queries": 2, "ppq": 3},
+    {"queries": 3, "ppq": 2},
+    {"queries": 3, "ppq": 3},
+]
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self):
+        """workers=4 and workers=1 produce identical row lists for a
+        stochastic simulated-annealing MQO sweep."""
+        serial = run_grid(
+            _SA_POINTS, _sa_mqo_point, experiment="det", seed=7,
+            workers=1, cache=False,
+        )
+        parallel = run_grid(
+            _SA_POINTS, _sa_mqo_point, experiment="det", seed=7,
+            workers=4, cache=False,
+        )
+        assert [r.rows for r in serial] == [r.rows for r in parallel]
+        assert all(not r.cached for r in serial + parallel)
+
+    def test_point_order_preserved(self):
+        results = run_grid(
+            _SA_POINTS, _sa_mqo_point, experiment="det", seed=7,
+            workers=4, cache=False,
+        )
+        observed = [(r.params["queries"], r.params["ppq"]) for r in results]
+        assert observed == [(p["queries"], p["ppq"]) for p in _SA_POINTS]
+
+    def test_root_seed_changes_rows(self):
+        a = run_grid(
+            _SA_POINTS[:2], _sa_mqo_point, experiment="det", seed=7,
+            workers=1, cache=False,
+        )
+        b = run_grid(
+            _SA_POINTS[:2], _sa_mqo_point, experiment="det", seed=8,
+            workers=1, cache=False,
+        )
+        assert [r.seed for r in a] != [r.seed for r in b]
+
+
+class TestSeedDerivation:
+    def test_param_dict_order_irrelevant(self):
+        assert derive_seed(1, "e", {"a": 1, "b": 2}) == derive_seed(
+            1, "e", {"b": 2, "a": 1}
+        )
+
+    def test_distinct_inputs_distinct_seeds(self):
+        seeds = {
+            derive_seed(1, "e", {"a": 1}),
+            derive_seed(2, "e", {"a": 1}),
+            derive_seed(1, "f", {"a": 1}),
+            derive_seed(1, "e", {"a": 2}),
+            derive_seed(1, "e", {"b": 1}),
+        }
+        assert len(seeds) == 5
+
+    def test_seed_is_int31(self):
+        seed = derive_seed(123, "exp", {"x": "y"})
+        assert isinstance(seed, int)
+        assert 0 <= seed < 2**31
+
+
+class TestCacheKey:
+    def test_same_params_different_dict_order_hash_equal(self):
+        a = grid_cache_key("e", {"a": 1, "b": [1, 2], "c": "x"}, 5, "v1")
+        b = grid_cache_key("e", {"c": "x", "b": [1, 2], "a": 1}, 5, "v1")
+        assert a == b
+
+    def test_any_component_change_hashes_different(self):
+        base = grid_cache_key("e", {"a": 1}, 5, "v1")
+        assert grid_cache_key("e", {"a": 2}, 5, "v1") != base
+        assert grid_cache_key("e", {"a": 1, "b": 0}, 5, "v1") != base
+        assert grid_cache_key("e2", {"a": 1}, 5, "v1") != base
+        assert grid_cache_key("e", {"a": 1}, 6, "v1") != base
+        assert grid_cache_key("e", {"a": 1}, 5, "v2") != base
+
+    def test_tuple_and_list_params_hash_equal(self):
+        """to_jsonable canonicalization: (1, 2) and [1, 2] are one key."""
+        assert grid_cache_key("e", {"a": (1, 2)}, 5, "v") == grid_cache_key(
+            "e", {"a": [1, 2]}, 5, "v"
+        )
+
+    def test_stable_across_processes(self):
+        """Keys must not depend on PYTHONHASHSEED (no use of hash())."""
+        params = {"relations": 6, "samples": 2, "mix": ["a", 1, 2.5]}
+        local_key = grid_cache_key("fig14-left", params, 42, "v1")
+        local_seed = derive_seed(31, "fig14-left", params)
+        code = (
+            "import json, sys\n"
+            "from repro.harness import derive_seed, grid_cache_key\n"
+            f"params = {params!r}\n"
+            "print(grid_cache_key('fig14-left', params, 42, 'v1'))\n"
+            "print(derive_seed(31, 'fig14-left', params))\n"
+        )
+        for hashseed in ("0", "1", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hashseed
+            env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, check=True,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            ).stdout.split()
+            assert out[0] == local_key
+            assert int(out[1]) == local_seed
+
+
+class TestCache:
+    def _points(self, tmp_path, values=(1, 2)):
+        log = tmp_path / "calls.log"
+        return log, [{"value": v, "log": str(log)} for v in values]
+
+    def _calls(self, log):
+        return len(log.read_text(encoding="utf-8")) if log.exists() else 0
+
+    def test_hit_and_miss(self, tmp_path):
+        log, points = self._points(tmp_path)
+        cache_dir = tmp_path / "cache"
+        first = run_grid(
+            points, _logged_point, experiment="c", seed=1,
+            workers=1, cache=True, cache_dir=str(cache_dir),
+        )
+        assert self._calls(log) == 2
+        assert all(not r.cached for r in first)
+        second = run_grid(
+            points, _logged_point, experiment="c", seed=1,
+            workers=1, cache=True, cache_dir=str(cache_dir),
+        )
+        assert self._calls(log) == 2  # no recomputation
+        assert all(r.cached for r in second)
+        assert [r.rows for r in first] == [r.rows for r in second]
+
+    def test_new_point_is_a_miss(self, tmp_path):
+        log, points = self._points(tmp_path)
+        cache_dir = tmp_path / "cache"
+        run_grid(points, _logged_point, experiment="c", seed=1,
+                 workers=1, cache=True, cache_dir=str(cache_dir))
+        log2, more = self._points(tmp_path, values=(1, 2, 3))
+        results = run_grid(more, _logged_point, experiment="c", seed=1,
+                           workers=1, cache=True, cache_dir=str(cache_dir))
+        assert self._calls(log) == 3  # only the new point ran
+        assert [r.cached for r in results] == [True, True, False]
+
+    def test_invalidation_on_key_change(self, tmp_path):
+        log, points = self._points(tmp_path, values=(1,))
+        cache_dir = tmp_path / "cache"
+        base = dict(experiment="c", seed=1, workers=1, cache=True,
+                    cache_dir=str(cache_dir), version="v1")
+        run_grid(points, _logged_point, **base)
+        assert self._calls(log) == 1
+        # same key -> hit
+        run_grid(points, _logged_point, **base)
+        assert self._calls(log) == 1
+        # changed seed -> recompute
+        run_grid(points, _logged_point, **{**base, "seed": 2})
+        assert self._calls(log) == 2
+        # changed experiment name -> recompute
+        run_grid(points, _logged_point, **{**base, "experiment": "c2"})
+        assert self._calls(log) == 3
+        # changed code version -> recompute
+        run_grid(points, _logged_point, **{**base, "version": "v2"})
+        assert self._calls(log) == 4
+
+    def test_corrupted_cache_file_recovery(self, tmp_path):
+        log, points = self._points(tmp_path, values=(1,))
+        cache_dir = tmp_path / "cache"
+        base = dict(experiment="c", seed=1, workers=1, cache=True,
+                    cache_dir=str(cache_dir))
+        run_grid(points, _logged_point, **base)
+        assert self._calls(log) == 1
+        cache_files = list(cache_dir.rglob("*.json"))
+        assert len(cache_files) == 1
+        cache_files[0].write_text("{not json", encoding="utf-8")
+        results = run_grid(points, _logged_point, **base)
+        assert self._calls(log) == 2  # recomputed, not crashed
+        assert not results[0].cached
+        # and the file was repaired: next run hits
+        results = run_grid(points, _logged_point, **base)
+        assert self._calls(log) == 2
+        assert results[0].cached
+
+    def test_wrong_format_version_is_a_miss(self, tmp_path):
+        log, points = self._points(tmp_path, values=(1,))
+        cache_dir = tmp_path / "cache"
+        base = dict(experiment="c", seed=1, workers=1, cache=True,
+                    cache_dir=str(cache_dir))
+        run_grid(points, _logged_point, **base)
+        path = next(cache_dir.rglob("*.json"))
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["format"] = 999
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        run_grid(points, _logged_point, **base)
+        assert self._calls(log) == 2
+
+    def test_cached_rows_equal_fresh_rows(self, tmp_path):
+        """JSON round-tripping must not change row content."""
+        cache_dir = tmp_path / "cache"
+        fresh = run_grid(
+            _SA_POINTS[:2], _sa_mqo_point, experiment="rt", seed=3,
+            workers=1, cache=True, cache_dir=str(cache_dir),
+        )
+        cached = run_grid(
+            _SA_POINTS[:2], _sa_mqo_point, experiment="rt", seed=3,
+            workers=1, cache=True, cache_dir=str(cache_dir),
+        )
+        assert [r.rows for r in fresh] == [r.rows for r in cached]
+
+    def test_resolve_cache_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert resolve_cache(None) is False
+        assert resolve_cache(True) is True
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert resolve_cache(None) is True
+        assert resolve_cache(False) is False
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert resolve_cache(None) is False
+
+
+class TestResolveWorkers:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        assert resolve_workers(2) == 2  # explicit wins
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_workers(None)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+
+class TestTableAssembly:
+    def test_extend_table_appends_rows_and_note(self):
+        table = ExperimentTable("T", ["value", "seed"], notes="existing.")
+        results = run_grid(
+            [{"value": 1, "log": os.devnull}], _logged_point,
+            experiment="t", seed=1, workers=1, cache=False,
+        )
+        extend_table(table, results, workers=1)
+        assert len(table.rows) == 1
+        assert "existing." in table.notes
+        assert "[harness] 1 points (0 cached)" in table.notes
+
+    def test_harness_note_reports_cached_counts(self):
+        results = [
+            GridPointResult(params={}, seed=0, rows=[], seconds=1.0,
+                            cached=True, key="k1"),
+            GridPointResult(params={}, seed=0, rows=[], seconds=2.0,
+                            cached=False, key="k2"),
+        ]
+        note = harness_note(results, workers=4)
+        assert "2 points (1 cached)" in note
+        assert "4 worker(s)" in note
+
+    def test_point_key_canonical(self):
+        assert point_key({"b": 2, "a": 1}) == point_key({"a": 1, "b": 2})
+
+
+class TestFig14CacheSpeedup:
+    def test_second_run_is_5x_faster(self, tmp_path):
+        """Acceptance: a cached fig14-left re-run is >= 5x faster and
+        produces the identical table."""
+        from repro.experiments.jo_embedding import run_figure14_left
+
+        kwargs = dict(
+            relation_counts=(5,), predicate_multiples=(1, 2), samples=2,
+            workers=1, cache=True, cache_dir=str(tmp_path / "cache"),
+        )
+        start = time.perf_counter()
+        first = run_figure14_left(**kwargs)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        second = run_figure14_left(**kwargs)
+        warm = time.perf_counter() - start
+        assert first.rows == second.rows
+        assert "(2 cached)" in second.notes
+        assert warm * 5 <= cold, f"cold {cold:.3f}s vs warm {warm:.3f}s"
+
+
+class TestRegistryEndToEnd:
+    """Every registered experiment runs through the harness at the
+    smallest grid scale and yields a non-empty ExperimentTable."""
+
+    #: smallest-scale overrides so the full registry stays test-sized
+    SMALL = {
+        "fig8": dict(ppq_values=(2,), max_plans=4, instances=1, transpilations=1),
+        "fig9": dict(max_plans=8, instances=1, transpilations=1),
+        "fig11": dict(relation_counts=(6, 10)),
+        "fig12": dict(threshold_counts=(2, 4)),
+        "fig13-qaoa": dict(transpilations=1),
+        "fig13-vqe": dict(transpilations=1),
+        "fig14-left": dict(relation_counts=(4,), predicate_multiples=(1,), samples=1),
+        "fig14-right": dict(
+            threshold_counts=(1,), omegas=(1.0,), num_relations=4, samples=1
+        ),
+        "quality-mqo": dict(),
+        "quality-join": dict(),
+        "mqo-annealer": dict(plan_counts=(8,), ppq_values=(2,), samples=1),
+        "noise": dict(reps_values=(1,), shots=64, trajectories=2),
+        "jo-direct": dict(relation_counts=(4,), solve_up_to=4),
+        "penalty-gap": dict(multipliers=(1.0,)),
+    }
+
+    def _registry(self):
+        from repro.cli import _experiment_registry
+
+        return _experiment_registry()
+
+    def test_small_overrides_cover_only_known_names(self):
+        assert set(self.SMALL) <= set(self._registry())
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "tables12", "table3", "table4", "fig8", "fig9", "fig11", "fig12",
+            "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
+            "coherence", "quality-mqo", "quality-join", "mqo-annealer",
+            "noise", "jo-direct", "penalty-gap",
+        ],
+    )
+    def test_experiment_end_to_end(self, name, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SAMPLES", "1")
+        registry = self._registry()
+        assert name in registry, f"stale test: {name} not registered"
+        table = registry[name](
+            workers=1, cache=False, **self.SMALL.get(name, {})
+        )
+        assert isinstance(table, ExperimentTable)
+        assert len(table.rows) > 0
+        assert "[harness]" in table.notes
+        for row in table.rows:
+            assert isinstance(row, dict) and row
+
+    def test_registry_is_complete(self):
+        """The parametrized list above must track the registry."""
+        param_names = {
+            "tables12", "table3", "table4", "fig8", "fig9", "fig11", "fig12",
+            "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
+            "coherence", "quality-mqo", "quality-join", "mqo-annealer",
+            "noise", "jo-direct", "penalty-gap",
+        }
+        assert param_names == set(self._registry())
