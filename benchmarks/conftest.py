@@ -17,7 +17,6 @@ so two more knobs apply here:
   (leave unset when the point of the run is timing fresh work).
 """
 
-import os
 import pathlib
 
 import pytest

@@ -13,7 +13,6 @@ Figures 8/9/13.
 
 from __future__ import annotations
 
-import math
 
 from repro.exceptions import ProblemError
 from repro.gate.backend import Backend, BackendProperties

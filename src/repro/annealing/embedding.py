@@ -37,7 +37,6 @@ import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import dijkstra
 
-from repro.exceptions import EmbeddingError
 
 
 @dataclass

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.exceptions import SolverError
 from repro.annealing.sampleset import SampleSet
-from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+from repro.qubo.bqm import BinaryQuadraticModel
 
 _MAX_EXACT_VARIABLES = 22
 

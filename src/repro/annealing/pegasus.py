@@ -29,7 +29,7 @@ the advertised ``24m(m-1) - 8(m-1)`` qubits — 5640 for ``P16``.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 import networkx as nx
 

@@ -28,11 +28,28 @@ class SampleRecord:
     chain_break_fraction: float = 0.0
 
 
+def _record_sort_key(record: SampleRecord) -> tuple:
+    """Energy first, then the sample's sorted items lexicographically.
+
+    Energy ties are common (degenerate ground states, repeated reads),
+    and Python's stable sort would otherwise leave their order at the
+    mercy of sampler read order — making ``SampleSet.first`` depend on
+    irrelevant details like ``num_reads``.
+    """
+    items = sorted(record.sample.items(), key=lambda kv: str(kv[0]))
+    return (record.energy, [(str(k), v) for k, v in items])
+
+
 class SampleSet:
-    """An energy-sorted collection of samples."""
+    """An energy-sorted collection of samples.
+
+    Records are ordered by energy, ties broken by the lexicographically
+    smallest sample, so :attr:`first` is a deterministic function of the
+    records regardless of insertion order.
+    """
 
     def __init__(self, records: Sequence[SampleRecord], vartype: Vartype) -> None:
-        self._records: List[SampleRecord] = sorted(records, key=lambda r: r.energy)
+        self._records: List[SampleRecord] = sorted(records, key=_record_sort_key)
         self.vartype = vartype
 
     @classmethod
@@ -58,7 +75,7 @@ class SampleSet:
     # ------------------------------------------------------------------
     @property
     def first(self) -> SampleRecord:
-        """The lowest-energy record."""
+        """The lowest-energy record (ties: lexicographically smallest sample)."""
         if not self._records:
             raise SolverError("sample set is empty")
         return self._records[0]

@@ -9,7 +9,7 @@ vectors, so one sweep is ``n`` vectorised updates rather than
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 

@@ -5,6 +5,9 @@ Commands
 ``experiments``
     Run paper-reproduction experiment drivers by name (or ``all``)
     and print their tables.
+``solve``
+    Solve a generated problem with any solver from the unified
+    registry (``--solver list`` shows the catalog).
 ``solve-mqo``
     Generate a random MQO instance and solve it on the chosen path.
 ``solve-join``
@@ -30,6 +33,7 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.jo_direct import run_direct_vs_two_step
     from repro.experiments.jo_qubits import run_figure11, run_figure12
     from repro.experiments.jo_table4 import run_table4
+    from repro.experiments.hybrid_scaling import run_hybrid_scaling
     from repro.experiments.mqo_annealer import run_mqo_annealer_capacity
     from repro.experiments.mqo_depths import run_figure8, run_figure9
     from repro.experiments.noise_study import run_noise_study
@@ -56,6 +60,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         "noise": run_noise_study,
         "jo-direct": run_direct_vs_two_step,
         "penalty-gap": run_penalty_gap_study,
+        "hybrid-scaling": run_hybrid_scaling,
     }
 
 
@@ -82,6 +87,48 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         table = registry[name](**kwargs)
         print(table.format())
         print()
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.exceptions import SolverError
+    from repro.hybrid import make_solver, solver_catalog
+    from repro.mqo import random_mqo_problem
+    from repro.mqo.solvers import solve_with_solver
+
+    if args.solver == "list":
+        for row in solver_catalog():
+            limit = row["max_variables"]
+            print(
+                f"{row['name']:12} "
+                f"max_variables={limit if limit is not None else '-':<4} "
+                f"[{row['capabilities']}]"
+            )
+        return 0
+
+    options = {}
+    if args.solver == "hybrid" and args.sub_size is not None:
+        options["sub_size"] = args.sub_size
+    try:
+        solver = make_solver(args.solver, **options)
+    except SolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problem = random_mqo_problem(args.queries, args.ppq, seed=args.seed)
+    print(
+        f"instance: mqo, {problem.num_queries} queries x {args.ppq} plans "
+        f"({problem.num_plans} QUBO variables, {len(problem.savings)} savings)"
+    )
+    try:
+        solution = solve_with_solver(problem, solver, seed=args.seed)
+    except SolverError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{solution.method}: plans {solution.selected_plans} "
+        f"cost {solution.cost:g} valid={solution.valid}"
+    )
     return 0
 
 
@@ -218,6 +265,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache directory (default: REPRO_CACHE_DIR or results/.cache)",
     )
     experiments.set_defaults(func=_cmd_experiments)
+
+    solve = sub.add_parser(
+        "solve", help="solve a generated problem with a registry solver"
+    )
+    solve.add_argument(
+        "--problem", choices=("mqo",), default="mqo",
+        help="problem family to generate",
+    )
+    solve.add_argument("--queries", type=int, default=10)
+    solve.add_argument("--ppq", type=int, default=3)
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--solver", default="hybrid",
+        help="registry solver name, or 'list' to show the catalog",
+    )
+    solve.add_argument(
+        "--sub-size", type=int, default=None,
+        help="hybrid only: maximum subproblem size",
+    )
+    solve.set_defaults(func=_cmd_solve)
 
     mqo = sub.add_parser("solve-mqo", help="solve a random MQO instance")
     mqo.add_argument("--queries", type=int, default=3)

@@ -18,6 +18,7 @@ quality                solution-quality sanity checks (beyond paper scope)
 jo_direct              extension: direct vs two-step QUBO (Sec. 7)
 noise_study            extension: the coherence cliff observed (Eq. 36)
 mqo_annealer           extension: MQO capacity on the D-Wave 2X (Sec. 5.3.1)
+hybrid_scaling         extension: decomposing hybrid solver, 20–60 queries
 ====================  ==================================================
 
 Sample counts default to laptop-friendly values and scale up through

@@ -14,7 +14,7 @@ so the rendered column count equals ``circuit.depth()``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.gate.circuit import Instruction, QuantumCircuit
 from repro.gate.parameter import Parameter, ParameterExpression

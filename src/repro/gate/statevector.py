@@ -14,7 +14,7 @@ the amplitude of bitstring ``b_{n-1} ... b_1 b_0`` lives at index
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

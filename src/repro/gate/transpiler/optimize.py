@@ -21,7 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.gate.circuit import Instruction, QuantumCircuit
+from repro.gate.circuit import QuantumCircuit
 from repro.gate.gates import Gate
 from repro.gate.transpiler.basis import zsx_decompose_matrix
 

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.exceptions import TranspilerError
-from repro.gate.circuit import Instruction, QuantumCircuit
+from repro.gate.circuit import QuantumCircuit
 from repro.gate.gates import Gate
 from repro.gate.topologies import CouplingMap
 from repro.gate.transpiler.layout import Layout

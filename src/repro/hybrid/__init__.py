@@ -1,0 +1,57 @@
+"""Decomposition-based hybrid solving and the unified solver registry.
+
+Near-term quantum hardware holds only toy MQO/join-ordering instances
+(the paper's core conclusion); the hybrid literature it spawned
+([Trummer & Koch 2016] on D-Wave MQO, Fankhauser et al. 2021's hybrid
+quantum-classical MQO, qbsolv) decomposes large QUBOs into
+hardware-sized subproblems and iterates.  This package provides that
+layer for the reproduction:
+
+* :class:`~repro.hybrid.solver.DecomposingSolver` — qbsolv-style
+  decomposition loop (energy-impact block selection with a
+  graph-partition fallback, boundary clamping, exact or local-search
+  sub-solves, round-robin until converged);
+* :class:`~repro.hybrid.tabu.TabuSampler` — Ocean-compatible tabu
+  search, the default classical sub-solver;
+* :mod:`~repro.hybrid.registry` — every end-to-end solver path
+  (classical baselines, exact enumeration, annealing, gate-model
+  eigensolvers, hybrid) behind one ``Solver`` protocol keyed by name.
+"""
+
+from repro.hybrid.decomposer import (
+    clamp_subproblem,
+    component_weights,
+    flip_energy_gains,
+    pack_components,
+    select_by_energy_impact,
+    select_by_graph_partition,
+    strong_components,
+)
+from repro.hybrid.registry import (
+    Solver,
+    make_solver,
+    register_solver,
+    solver_catalog,
+    solver_names,
+)
+from repro.hybrid.solver import DecomposingSolver, SolveResult, greedy_descent
+from repro.hybrid.tabu import TabuSampler
+
+__all__ = [
+    "DecomposingSolver",
+    "SolveResult",
+    "Solver",
+    "TabuSampler",
+    "clamp_subproblem",
+    "component_weights",
+    "flip_energy_gains",
+    "greedy_descent",
+    "make_solver",
+    "pack_components",
+    "register_solver",
+    "select_by_energy_impact",
+    "select_by_graph_partition",
+    "solver_catalog",
+    "solver_names",
+    "strong_components",
+]

@@ -1,0 +1,232 @@
+"""Subproblem selection and boundary clamping for hybrid solvers.
+
+The qbsolv-style decomposition loop needs two primitives:
+
+* **variable selection** — which ``sub_size``-sized subsets of the
+  model's variables to re-optimize this round.  The primary strategy
+  ranks variables by *energy impact* (the energy change of flipping
+  the variable against the incumbent sample, most improving first) so
+  the blocks chase descent directions.  The fallback partitions the
+  interaction graph by *strong couplings*: variables joined by
+  penalty-scale quadratic terms (the one-plan-per-query cliques of the
+  MQO encoding, the successor chains of the join-ordering encoding)
+  form components that must move together — single flips across them
+  are always rejected — and components are packed into blocks by their
+  mutual coupling weight so the exact sub-solve can trade off the
+  terms that actually interact;
+* **clamping** — freezing every variable outside the selected block at
+  its incumbent value, which folds boundary couplings into the
+  subproblem's linear biases and offset
+  (:meth:`~repro.qubo.bqm.BinaryQuadraticModel.fix_variable`), so the
+  subproblem's energies equal full-model energies of the patched
+  incumbent.
+
+All orderings tie-break on ``str(variable)``, keeping the decomposition
+independent of dict insertion order and ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import SolverError
+from repro.qubo.bqm import BinaryQuadraticModel
+
+Variable = Hashable
+Sample = Mapping[Variable, int]
+
+
+def flip_energy_gains(
+    bqm: BinaryQuadraticModel, sample: Sample
+) -> Dict[Variable, float]:
+    """Energy change of flipping each variable against ``sample``.
+
+    Works in the model's native domain: binary variables toggle 0↔1,
+    spin variables negate.  Negative gain means the flip improves.
+    """
+    gains: Dict[Variable, float] = dict(bqm.linear)
+    for u, v, bias in bqm.interactions():
+        gains[u] += bias * sample[v]
+        gains[v] += bias * sample[u]
+    lo, hi = bqm.vartype.values
+    out: Dict[Variable, float] = {}
+    for v in bqm.variables:
+        flipped = lo + hi - sample[v]
+        out[v] = (flipped - sample[v]) * gains[v]
+    return out
+
+
+def select_by_energy_impact(
+    bqm: BinaryQuadraticModel, sample: Sample, sub_size: int
+) -> List[List[Variable]]:
+    """Blocks of ``sub_size`` variables, most-improving flips first.
+
+    Covers every variable exactly once, so iterating the returned
+    blocks is one full round-robin pass over the model.
+    """
+    if sub_size < 1:
+        raise SolverError("sub_size must be positive")
+    gains = flip_energy_gains(bqm, sample)
+    ranked = sorted(bqm.variables, key=lambda v: (gains[v], str(v)))
+    return [ranked[i : i + sub_size] for i in range(0, len(ranked), sub_size)]
+
+
+def strong_components(
+    bqm: BinaryQuadraticModel, ratio: float = 0.5
+) -> List[List[Variable]]:
+    """Connected components of the strong-coupling subgraph.
+
+    An edge is *strong* when ``|bias| >= ratio * max|bias|``; in
+    penalty-encoded QUBOs that keeps exactly the constraint couplings
+    (e.g. each query's one-plan clique) and drops the cost/savings
+    terms.  Models without quadratic terms yield singletons.
+    """
+    if not 0.0 < ratio <= 1.0:
+        raise SolverError("ratio must be in (0, 1]")
+    quadratic = bqm.quadratic
+    ordered = sorted(bqm.variables, key=str)
+    if not quadratic:
+        return [[v] for v in ordered]
+    peak = max(abs(b) for b in quadratic.values())
+    adjacency: Dict[Variable, List[Variable]] = {v: [] for v in bqm.variables}
+    for (u, v), bias in quadratic.items():
+        if abs(bias) >= ratio * peak:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    for v in adjacency:
+        adjacency[v].sort(key=str)
+
+    components: List[List[Variable]] = []
+    seen: set = set()
+    for root in ordered:
+        if root in seen:
+            continue
+        component: List[Variable] = []
+        queue = [root]
+        seen.add(root)
+        while queue:
+            v = queue.pop(0)
+            component.append(v)
+            for u in adjacency[v]:
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+        components.append(component)
+    return components
+
+
+def component_weights(
+    bqm: BinaryQuadraticModel, components: Sequence[Sequence[Variable]]
+) -> Dict[Tuple[int, int], float]:
+    """Total |coupling| between each pair of components."""
+    where: Dict[Variable, int] = {}
+    for index, component in enumerate(components):
+        for v in component:
+            where[v] = index
+    weights: Dict[Tuple[int, int], float] = {}
+    for (u, v), bias in bqm.quadratic.items():
+        i, j = where[u], where[v]
+        if i != j:
+            key = (min(i, j), max(i, j))
+            weights[key] = weights.get(key, 0.0) + abs(bias)
+    return weights
+
+
+def pack_components(
+    components: Sequence[Sequence[Variable]],
+    weights: Mapping[Tuple[int, int], float],
+    order: Sequence[int],
+    sub_size: int,
+) -> List[List[Variable]]:
+    """Pack components into ``sub_size``-bounded blocks by connectivity.
+
+    Each block is seeded with the next unused component in ``order``
+    and greedily grown with the unused component most strongly coupled
+    to it, so the variables a sub-solve can actually trade off end up
+    together.  Components larger than ``sub_size`` are chopped.
+    """
+    if sub_size < 1:
+        raise SolverError("sub_size must be positive")
+    split: List[List[Variable]] = []
+    split_order: List[int] = []
+    for index in order:
+        component = list(components[index])
+        if len(component) <= sub_size:
+            split_order.append(len(split))
+            split.append(component)
+        else:
+            for start in range(0, len(component), sub_size):
+                split_order.append(len(split))
+                split.append(component[start : start + sub_size])
+
+    used: set = set()
+    blocks: List[List[Variable]] = []
+    for seed_index in split_order:
+        if seed_index in used:
+            continue
+        block_indices = [seed_index]
+        used.add(seed_index)
+        size = len(split[seed_index])
+        while True:
+            best = None
+            best_weight = 0.0
+            for candidate in split_order:
+                if candidate in used or size + len(split[candidate]) > sub_size:
+                    continue
+                connection = sum(
+                    weights.get((min(candidate, member), max(candidate, member)), 0.0)
+                    for member in block_indices
+                )
+                if connection > best_weight:
+                    best, best_weight = candidate, connection
+            if best is None:
+                for candidate in split_order:
+                    if candidate not in used and size + len(split[candidate]) <= sub_size:
+                        best = candidate
+                        break
+            if best is None:
+                break
+            block_indices.append(best)
+            used.add(best)
+            size += len(split[best])
+        blocks.append([v for index in block_indices for v in split[index]])
+    return blocks
+
+
+def select_by_graph_partition(
+    bqm: BinaryQuadraticModel,
+    sub_size: int,
+    order: Optional[Sequence[int]] = None,
+    ratio: float = 0.5,
+) -> List[List[Variable]]:
+    """Strong-coupling partition of the variables into blocks.
+
+    ``order`` permutes the component seeding (the decomposing solver
+    passes a fresh shuffle each round so different components get
+    co-optimized); ``None`` keeps the deterministic sorted order.
+    """
+    components = strong_components(bqm, ratio=ratio)
+    weights = component_weights(bqm, components)
+    if order is None:
+        order = range(len(components))
+    return pack_components(components, weights, order, sub_size)
+
+
+def clamp_subproblem(
+    bqm: BinaryQuadraticModel, free: Sequence[Variable], sample: Sample
+) -> BinaryQuadraticModel:
+    """Restrict ``bqm`` to ``free``, fixing all other variables.
+
+    The returned model's energy over the free variables equals the full
+    model's energy of ``sample`` patched with the free assignment, so
+    sub-solver energies are directly comparable to the incumbent's.
+    """
+    free_set = set(free)
+    unknown = free_set - set(bqm.variables)
+    if unknown:
+        raise SolverError(f"free variables not in model: {sorted(map(str, unknown))}")
+    sub = bqm.copy()
+    for v in bqm.variables:
+        if v not in free_set:
+            sub.fix_variable(v, sample[v])
+    return sub

@@ -1,0 +1,379 @@
+"""Unified solver registry: every end-to-end QUBO path behind one protocol.
+
+The repository grew one solver entry point per subsystem — brute-force
+enumeration in :mod:`repro.qubo.exact`, annealing samplers in
+:mod:`repro.annealing`, gate-model eigensolvers in
+:mod:`repro.variational`, and now the hybrid decomposing solver.  This
+module puts them behind a single :class:`Solver` protocol —
+
+``name`` / ``capabilities`` / ``max_variables`` / ``solve(bqm, seed)``
+
+— so experiments can sweep solver names as grid dimensions through the
+harness, and the CLI can route ``--solver <name>`` without per-solver
+plumbing.  :func:`make_solver` instantiates by name with keyword
+options; :func:`register_solver` lets extensions add entries.
+
+Registered names
+----------------
+==============  ====================================================
+``greedy``      steepest single-flip descent (with seeded restarts)
+``genetic``     genetic algorithm over bitstrings
+``exact``       brute-force enumeration (alias: ``exhaustive``)
+``sa``          simulated annealing (:mod:`repro.annealing`)
+``tabu``        tabu search (:mod:`repro.hybrid.tabu`)
+``exact-eigen``  NumPy minimum eigensolver on the Ising Hamiltonian
+``vqe``         variational quantum eigensolver (statevector)
+``qaoa``        QAOA (statevector)
+``hybrid``      decomposing hybrid solver (:mod:`repro.hybrid.solver`)
+==============  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+try:  # Protocol is 3.8+; keep a soft fallback for exotic interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+from repro.exceptions import SolverError
+from repro.annealing.simulated_annealing import SimulatedAnnealingSampler
+from repro.hybrid.solver import DecomposingSolver, SolveResult, greedy_descent
+from repro.hybrid.tabu import TabuSampler
+from repro.qubo.bqm import BinaryQuadraticModel
+from repro.qubo.exact import brute_force_minimum
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """What every registry entry provides."""
+
+    name: str
+    capabilities: frozenset
+    max_variables: Optional[int]
+
+    def solve(
+        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+    ) -> SolveResult:  # pragma: no cover - protocol stub
+        ...
+
+
+def check_size(solver: "Solver", bqm: BinaryQuadraticModel) -> None:
+    """Raise when a model exceeds a solver's variable budget."""
+    limit = solver.max_variables
+    if limit is not None and bqm.num_variables > limit:
+        raise SolverError(
+            f"solver {solver.name!r} handles at most {limit} variables, "
+            f"model has {bqm.num_variables}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Classical baselines at the BQM level
+# ----------------------------------------------------------------------
+class GreedySolver:
+    """Steepest single-flip descent from seeded random restarts."""
+
+    name = "greedy"
+    capabilities = frozenset({"heuristic", "classical"})
+    max_variables: Optional[int] = None
+
+    def __init__(self, restarts: int = 8, seed: Optional[int] = None) -> None:
+        if restarts < 1:
+            raise SolverError("restarts must be positive")
+        self.restarts = restarts
+        self.seed = seed
+
+    def solve(
+        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+    ) -> SolveResult:
+        if bqm.num_variables == 0:
+            return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        lo, hi = bqm.vartype.values
+        variables = list(bqm.variables)
+        best_sample: Dict[Hashable, int] = {}
+        best_energy = float("inf")
+        for _ in range(self.restarts):
+            values = rng.choice((lo, hi), size=len(variables))
+            sample = greedy_descent(
+                bqm, {v: int(values[i]) for i, v in enumerate(variables)}
+            )
+            energy = bqm.energy(sample)
+            if energy < best_energy:
+                best_sample, best_energy = sample, energy
+        return SolveResult(sample=best_sample, energy=best_energy, solver=self.name)
+
+
+class GeneticSolver:
+    """Genetic algorithm over bitstrings with energy fitness.
+
+    The BQM-level analogue of the [Bayir et al. 2006] MQO baseline:
+    tournament selection, uniform crossover, per-bit mutation,
+    elitist merge.
+    """
+
+    name = "genetic"
+    capabilities = frozenset({"heuristic", "classical"})
+    max_variables: Optional[int] = None
+
+    def __init__(
+        self,
+        population_size: int = 40,
+        generations: int = 60,
+        mutation_rate: float = 0.02,
+        tournament: int = 3,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.population_size = population_size
+        self.generations = generations
+        self.mutation_rate = mutation_rate
+        self.tournament = tournament
+        self.seed = seed
+
+    def solve(
+        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+    ) -> SolveResult:
+        if bqm.num_variables == 0:
+            return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        variables = list(bqm.variables)
+        lo, hi = bqm.vartype.values
+        n = len(variables)
+
+        def energy_of(bits: np.ndarray) -> float:
+            return bqm.energy(
+                {v: int(bits[i]) for i, v in enumerate(variables)}
+            )
+
+        population = rng.choice((lo, hi), size=(self.population_size, n))
+        costs = np.array([energy_of(ind) for ind in population])
+        for _ in range(self.generations):
+            children = []
+            for _ in range(self.population_size):
+                picks = rng.integers(
+                    0, self.population_size, size=(2, self.tournament)
+                )
+                parents = [
+                    population[picks[i][np.argmin(costs[picks[i]])]]
+                    for i in range(2)
+                ]
+                mask = rng.random(n) < 0.5
+                child = np.where(mask, parents[0], parents[1])
+                mutate = rng.random(n) < self.mutation_rate
+                if mutate.any():
+                    child = child.copy()
+                    child[mutate] = rng.choice((lo, hi), size=n)[mutate]
+                children.append(child)
+            children = np.stack(children)
+            child_costs = np.array([energy_of(ind) for ind in children])
+            merged = np.concatenate([population, children])
+            merged_costs = np.concatenate([costs, child_costs])
+            order = np.argsort(merged_costs, kind="stable")[: self.population_size]
+            population, costs = merged[order], merged_costs[order]
+        best = population[int(np.argmin(costs))]
+        sample = {v: int(best[i]) for i, v in enumerate(variables)}
+        return SolveResult(
+            sample=sample, energy=float(costs.min()), solver=self.name
+        )
+
+
+class ExactSolver:
+    """Brute-force enumeration (the ``ExactQuboSolver`` path)."""
+
+    name = "exact"
+    capabilities = frozenset({"exact", "classical"})
+    max_variables: Optional[int] = 26
+
+    def solve(
+        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+    ) -> SolveResult:
+        check_size(self, bqm)
+        result = brute_force_minimum(bqm)
+        return SolveResult(
+            sample=dict(result.sample),
+            energy=float(result.energy),
+            solver=self.name,
+            info={"num_optima": len(result.all_optima)},
+        )
+
+
+class SamplerSolver:
+    """Adapter for Ocean-style ``sample(bqm, num_reads, seed)`` samplers."""
+
+    max_variables: Optional[int] = None
+
+    def __init__(
+        self,
+        sampler,
+        name: str,
+        capabilities: frozenset,
+        num_reads: int = 25,
+    ) -> None:
+        self.sampler = sampler
+        self.name = name
+        self.capabilities = capabilities
+        self.num_reads = num_reads
+
+    def solve(
+        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+    ) -> SolveResult:
+        if bqm.num_variables == 0:
+            return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
+        sample_set = self.sampler.sample(bqm, num_reads=self.num_reads, seed=seed)
+        best = sample_set.first
+        return SolveResult(
+            sample=dict(best.sample), energy=float(best.energy), solver=self.name
+        )
+
+
+class EigenSolver:
+    """Gate-model path: Ising Hamiltonian + a minimum eigensolver.
+
+    ``kind`` selects ``exact-eigen`` (NumPy diagonalization), ``vqe``
+    or ``qaoa``.  Statevector simulation is exponential in qubits, so
+    ``max_variables`` defaults to 20 (the paper's practical ceiling
+    sits at ~32, Sec. 6.3.4).
+    """
+
+    def __init__(
+        self,
+        kind: str = "exact-eigen",
+        max_variables: int = 20,
+        maxiter: int = 150,
+        reps: int = 1,
+    ) -> None:
+        if kind not in ("exact-eigen", "vqe", "qaoa"):
+            raise SolverError(f"unknown eigensolver kind {kind!r}")
+        self.kind = kind
+        self.name = kind
+        self.capabilities = frozenset(
+            {"gate-model"} | ({"exact"} if kind == "exact-eigen" else {"heuristic"})
+        )
+        self.max_variables = max_variables
+        self.maxiter = maxiter
+        self.reps = reps
+
+    def solve(
+        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+    ) -> SolveResult:
+        from repro.variational.minimum_eigen import (
+            MinimumEigenOptimizer,
+            NumPyMinimumEigensolver,
+        )
+
+        check_size(self, bqm)
+        if self.kind == "exact-eigen":
+            inner = NumPyMinimumEigensolver()
+        elif self.kind == "vqe":
+            from repro.variational.optimizers import Cobyla
+            from repro.variational.vqe import VQE
+
+            inner = VQE(
+                optimizer=Cobyla(maxiter=self.maxiter), reps=self.reps, seed=seed
+            )
+        else:
+            from repro.variational.optimizers import Cobyla
+            from repro.variational.qaoa import QAOA
+
+            inner = QAOA(
+                optimizer=Cobyla(maxiter=self.maxiter), reps=self.reps, seed=seed
+            )
+        optimizer = MinimumEigenOptimizer(inner, max_qubits=self.max_variables)
+        result = optimizer.solve(bqm)
+        # lowest-energy candidate first (covers solvers whose reported
+        # sample is not their lowest-energy measurement)
+        ranked = sorted(
+            [(result.sample, result.fval)] + list(result.candidates),
+            key=lambda item: item[1],
+        )
+        sample, energy = ranked[0]
+        return SolveResult(
+            sample=dict(sample), energy=float(energy), solver=self.name
+        )
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+_FACTORIES: Dict[str, Callable[..., Solver]] = {}
+
+
+def register_solver(
+    name: str, factory: Callable[..., Solver], replace: bool = False
+) -> None:
+    """Add a solver factory under ``name`` (error on collisions)."""
+    if name in _FACTORIES and not replace:
+        raise SolverError(f"solver {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def solver_names() -> Tuple[str, ...]:
+    """All registered names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_solver(name: str, **options) -> Solver:
+    """Instantiate a registered solver with keyword options."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {name!r}; registered: {', '.join(solver_names())}"
+        ) from None
+    return factory(**options)
+
+
+def solver_catalog() -> List[Dict[str, object]]:
+    """One descriptive row per registered solver (for CLI listings)."""
+    rows = []
+    for name in solver_names():
+        solver = make_solver(name)
+        rows.append(
+            {
+                "name": name,
+                "capabilities": ",".join(sorted(solver.capabilities)),
+                "max_variables": solver.max_variables,
+            }
+        )
+    return rows
+
+
+def _register_builtins() -> None:
+    register_solver("greedy", GreedySolver)
+    register_solver("genetic", GeneticSolver)
+    register_solver("exact", ExactSolver)
+    register_solver("exhaustive", ExactSolver)  # MQO-paper terminology
+    register_solver(
+        "sa",
+        lambda num_reads=25, **kw: SamplerSolver(
+            SimulatedAnnealingSampler(**kw),
+            name="sa",
+            capabilities=frozenset({"heuristic", "annealing"}),
+            num_reads=num_reads,
+        ),
+    )
+    register_solver(
+        "tabu",
+        lambda num_reads=10, **kw: SamplerSolver(
+            TabuSampler(**kw),
+            name="tabu",
+            capabilities=frozenset({"heuristic", "local-search"}),
+            num_reads=num_reads,
+        ),
+    )
+    register_solver(
+        "exact-eigen", lambda **kw: EigenSolver(kind="exact-eigen", **kw)
+    )
+    register_solver("vqe", lambda **kw: EigenSolver(kind="vqe", **kw))
+    register_solver("qaoa", lambda **kw: EigenSolver(kind="qaoa", **kw))
+    register_solver("hybrid", DecomposingSolver)
+
+
+_register_builtins()

@@ -13,7 +13,7 @@ and 14), and the worked examples from the paper:
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

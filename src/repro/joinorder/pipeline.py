@@ -13,7 +13,7 @@ and the number of quadratic QUBO terms (Sec. 6.3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 from repro.exceptions import SolverError
 from repro.annealing.simulated_annealing import SimulatedAnnealingSampler

@@ -8,8 +8,8 @@ join as cross products (selectivity 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
 
 from repro.exceptions import ProblemError
 

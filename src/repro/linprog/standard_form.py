@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.exceptions import ModelError
-from repro.linprog.model import Constraint, LinearModel, Sense, VarType
+from repro.linprog.model import Constraint, LinearModel, Sense
 
 
 def binary_slack_count(upper_bound: float, omega: float) -> int:

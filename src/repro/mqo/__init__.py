@@ -13,11 +13,13 @@ from repro.mqo.problem import MqoProblem, MqoSolution, Plan, Saving
 from repro.mqo.generator import random_mqo_problem, paper_example_problem
 from repro.mqo.qubo import MqoQuboBuilder, mqo_to_bqm
 from repro.mqo.solvers import (
+    repair_selection,
     solve_exhaustive,
     solve_greedy_local,
     solve_genetic,
     solve_with_annealer,
     solve_with_minimum_eigen,
+    solve_with_solver,
 )
 
 __all__ = [
@@ -29,9 +31,11 @@ __all__ = [
     "paper_example_problem",
     "MqoQuboBuilder",
     "mqo_to_bqm",
+    "repair_selection",
     "solve_exhaustive",
     "solve_greedy_local",
     "solve_genetic",
     "solve_with_annealer",
     "solve_with_minimum_eigen",
+    "solve_with_solver",
 ]

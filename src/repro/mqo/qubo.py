@@ -25,10 +25,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.mqo.problem import MqoProblem, MqoSolution
-from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+from repro.qubo.bqm import BinaryQuadraticModel
 from repro.qubo.expression import BinaryExpression, BinaryVariable, Constant
 
 

@@ -15,7 +15,9 @@ Quantum paths (via the QUBO of Sec. 5.1):
 * :func:`solve_with_minimum_eigen` — VQE/QAOA/exact eigensolver on a
   gate-model simulator;
 * :func:`solve_with_annealer` — simulated annealing (optionally
-  topology-restricted through the Ocean-style composites).
+  topology-restricted through the Ocean-style composites);
+* :func:`solve_with_solver` — any solver from the unified registry
+  (:mod:`repro.hybrid.registry`), with optional selection repair.
 """
 
 from __future__ import annotations
@@ -129,12 +131,62 @@ def solve_with_minimum_eigen(
     bqm = builder.build()
     optimizer = MinimumEigenOptimizer(solver, max_qubits=max_qubits)
     result = optimizer.solve(bqm)
-    # prefer the best *valid* candidate among all measured samples
-    for sample, _ in [(result.sample, result.fval)] + result.candidates:
+    # prefer the best *valid* candidate among all measured samples —
+    # candidates arrive in measurement order, so rank by energy first
+    # or a high-energy valid sample would shadow the optimum
+    ranked = sorted(
+        [(result.sample, result.fval)] + list(result.candidates),
+        key=lambda item: item[1],
+    )
+    for sample, _ in ranked:
         solution = builder.decode(sample, method=type(solver).__name__.lower())
         if solution.valid:
             return solution
     return builder.decode(result.sample, method=type(solver).__name__.lower())
+
+
+def repair_selection(problem: MqoProblem, selected) -> list:
+    """Project a (possibly invalid) selection onto one plan per query.
+
+    Queries with exactly one selected plan keep it; over-covered
+    queries keep their cheapest selected plan; uncovered queries get
+    their locally cheapest plan.  Valid selections pass through
+    unchanged.
+    """
+    selected_set = set(selected)
+    repaired = []
+    for plans in problem.plans_by_query().values():
+        hits = [p for p in plans if p.plan_id in selected_set]
+        pool = hits if hits else list(plans)
+        repaired.append(min(pool, key=lambda p: (p.cost, p.plan_id)).plan_id)
+    return repaired
+
+
+def solve_with_solver(
+    problem: MqoProblem,
+    solver,
+    seed: Optional[int] = None,
+    repair: bool = True,
+) -> MqoSolution:
+    """Solve via the QUBO + any registry :class:`~repro.hybrid.Solver`.
+
+    Routes the instance through ``solver.solve(bqm, seed=…)`` (hybrid,
+    tabu, sa, genetic, … — anything from
+    :func:`repro.hybrid.make_solver`) and decodes the best sample.
+    With ``repair=True`` (default) an invalid sample is projected back
+    to one plan per query via :func:`repair_selection` instead of
+    being returned invalid.
+    """
+    builder = MqoQuboBuilder(problem)
+    bqm = builder.build()
+    result = solver.solve(bqm, seed=seed)
+    solution = builder.decode(result.sample, method=result.solver)
+    if solution.valid or not repair:
+        return solution
+    repaired = repair_selection(problem, solution.selected_plans)
+    return MqoSolution.from_selection(
+        problem, repaired, method=f"{result.solver}+repair"
+    )
 
 
 def solve_with_annealer(

@@ -2,9 +2,7 @@
 idempotence, topology structure details, and model semantics that the
 per-module suites don't pin down."""
 
-import math
 
-import networkx as nx
 import numpy as np
 import pytest
 

@@ -5,7 +5,6 @@ import math
 import pytest
 
 from repro.analysis import (
-    DepthMeasurement,
     JoinOrderQubitBounds,
     binary_slack_bound,
     continuous_slack_bound,

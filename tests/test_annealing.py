@@ -2,10 +2,9 @@
 and composites."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
-from repro.exceptions import EmbeddingError, SolverError
+from repro.exceptions import SolverError
 from repro.annealing import (
     EmbeddingComposite,
     ExactSampler,
@@ -18,7 +17,6 @@ from repro.annealing import (
 )
 from repro.annealing.composites import default_chain_strength, embed_bqm, unembed_sample
 from repro.annealing.pegasus import pegasus_node_count
-from repro.annealing.sampleset import SampleRecord
 from repro.qubo import BinaryQuadraticModel, Vartype, brute_force_minimum
 
 
@@ -51,6 +49,27 @@ class TestSampleSet:
     def test_length_mismatch(self):
         with pytest.raises(SolverError):
             SampleSet.from_samples([{}], [1.0, 2.0], vartype=Vartype.BINARY)
+
+    def test_equal_energy_ties_break_lexicographically(self):
+        """`first` must not depend on insertion order: energy ties
+        resolve to the lexicographically smallest sample."""
+        low = {"a": 0, "b": 1}
+        high = {"a": 1, "b": 0}
+        forward = SampleSet.from_samples(
+            [high, low], [1.0, 1.0], vartype=Vartype.BINARY
+        )
+        backward = SampleSet.from_samples(
+            [low, high], [1.0, 1.0], vartype=Vartype.BINARY
+        )
+        assert forward.first.sample == low
+        assert backward.first.sample == low
+        assert [r.sample for r in forward] == [r.sample for r in backward]
+
+    def test_tie_break_only_within_equal_energy(self):
+        ss = SampleSet.from_samples(
+            [{"a": 0}, {"a": 1}], [2.0, 1.0], vartype=Vartype.BINARY
+        )
+        assert ss.first.sample == {"a": 1}  # energy still dominates
 
 
 class TestChimera:

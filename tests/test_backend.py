@@ -1,6 +1,5 @@
 """Tests for backends and calibration data."""
 
-import math
 
 import pytest
 

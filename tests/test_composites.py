@@ -1,0 +1,137 @@
+"""Direct tests for the embedding composites (repro.annealing.composites):
+embed/unembed round-trips, chain decoding on intact and broken chains,
+majority-vote resolution, and chain-break bookkeeping surfaced through
+the EmbeddingComposite sample sets."""
+
+import pytest
+
+from repro.exceptions import EmbeddingError
+from repro.annealing import (
+    EmbeddingComposite,
+    SimulatedAnnealingSampler,
+    StructureComposite,
+    chimera_graph,
+)
+from repro.annealing.composites import embed_bqm, unembed_sample
+from repro.annealing.embedding import EmbeddingResult, find_embedding
+from repro.qubo import BinaryQuadraticModel, Vartype, brute_force_minimum
+
+
+def _triangle_bqm(vartype=Vartype.SPIN):
+    return BinaryQuadraticModel(
+        {"a": 0.5, "b": -0.25, "c": 0.0},
+        {("a", "b"): -1.0, ("b", "c"): 1.5, ("a", "c"): -0.5},
+        offset=0.75,
+        vartype=vartype,
+    )
+
+
+class TestUnembedSample:
+    def test_intact_chains_decode_exactly(self):
+        embedding = EmbeddingResult(chains={"a": (0, 1, 2), "b": (3,)})
+        sample, broken = unembed_sample(
+            {0: -1, 1: -1, 2: -1, 3: 1}, embedding
+        )
+        assert sample == {"a": -1, "b": 1}
+        assert broken == 0.0
+
+    def test_majority_vote_on_broken_chain(self):
+        embedding = EmbeddingResult(chains={"a": (0, 1, 2), "b": (3, 4)})
+        # chain a disagrees 2-vs-1 -> majority +1; chain b intact
+        sample, broken = unembed_sample(
+            {0: 1, 1: 1, 2: -1, 3: -1, 4: -1}, embedding
+        )
+        assert sample == {"a": 1, "b": -1}
+        assert broken == pytest.approx(0.5)
+
+    def test_all_chains_broken(self):
+        embedding = EmbeddingResult(chains={"a": (0, 1), "b": (2, 3)})
+        sample, broken = unembed_sample(
+            {0: 1, 1: -1, 2: -1, 3: 1}, embedding
+        )
+        assert broken == pytest.approx(1.0)
+        # 50/50 ties resolve to +1 (total >= 0)
+        assert sample == {"a": 1, "b": 1}
+
+
+class TestEmbedBqmRoundTrip:
+    def test_energy_preserved_for_intact_chains(self):
+        """Embedded energy == logical energy whenever every chain
+        agrees — the offset compensation must cancel the ferromagnetic
+        chain couplers exactly."""
+        bqm = _triangle_bqm()
+        target = chimera_graph(2, 2, 4)
+        embedding = find_embedding(
+            bqm.interaction_graph(), target, seed=3
+        )
+        assert embedding is not None
+        embedded = embed_bqm(bqm, embedding, target, chain_strength=4.0)
+        for logical in (
+            {"a": 1, "b": 1, "c": 1},
+            {"a": -1, "b": 1, "c": -1},
+            {"a": -1, "b": -1, "c": -1},
+        ):
+            physical = {
+                q: logical[v]
+                for v, chain in embedding.chains.items()
+                for q in chain
+            }
+            # qubits outside the chains do not exist in the embedded model
+            assert embedded.energy(physical) == pytest.approx(
+                bqm.energy(logical)
+            )
+            decoded, broken = unembed_sample(physical, embedding)
+            assert decoded == logical
+            assert broken == 0.0
+
+
+class TestEmbeddingComposite:
+    def _composite(self, seed=9):
+        structured = StructureComposite(
+            SimulatedAnnealingSampler(num_sweeps=150, seed=5),
+            chimera_graph(2, 2, 4),
+        )
+        return EmbeddingComposite(structured, seed=seed)
+
+    def test_round_trip_finds_ground_state(self):
+        composite = self._composite()
+        bqm = _triangle_bqm()
+        ss = composite.sample(bqm, num_reads=20)
+        assert ss.vartype is Vartype.SPIN
+        assert set(ss.first.sample) == {"a", "b", "c"}
+        assert ss.first.energy == pytest.approx(
+            brute_force_minimum(bqm).energy
+        )
+
+    def test_binary_models_round_trip_in_binary(self):
+        composite = self._composite()
+        bqm = _triangle_bqm(vartype=Vartype.BINARY)
+        ss = composite.sample(bqm, num_reads=20)
+        assert ss.vartype is Vartype.BINARY
+        assert set(ss.first.sample.values()) <= {0, 1}
+        assert ss.first.energy == pytest.approx(
+            brute_force_minimum(bqm).energy
+        )
+        # energies are recomputed from decoded logical samples
+        assert ss.first.energy == pytest.approx(bqm.energy(ss.first.sample))
+
+    def test_chain_break_fraction_recorded(self):
+        composite = self._composite()
+        ss = composite.sample(_triangle_bqm(), num_reads=10)
+        assert len(ss) == 10
+        for record in ss:
+            assert 0.0 <= record.chain_break_fraction <= 1.0
+
+    def test_unembeddable_model_raises(self):
+        structured = StructureComposite(
+            SimulatedAnnealingSampler(num_sweeps=50, seed=5),
+            chimera_graph(1, 1, 2),  # K_{2,2}: 4 qubits only
+        )
+        composite = EmbeddingComposite(structured, tries=2, seed=1)
+        linear = {f"v{i}": 0.0 for i in range(9)}
+        quadratic = {
+            (f"v{i}", f"v{j}"): -1.0 for i in range(9) for j in range(i + 1, 9)
+        }
+        big = BinaryQuadraticModel(linear, quadratic, vartype=Vartype.SPIN)
+        with pytest.raises(EmbeddingError):
+            composite.sample(big)

@@ -28,7 +28,6 @@ from repro.joinorder.direct_qubo import (
 )
 from repro.joinorder.generators import (
     chain_query,
-    milp_example_graph,
     random_query,
     star_query,
 )

@@ -2,8 +2,6 @@
 must produce *typed* errors or graceful degradation, never silent
 wrong answers."""
 
-import networkx as nx
-import numpy as np
 import pytest
 
 from repro.exceptions import (

@@ -1,6 +1,5 @@
 """Tests for gates, parameters and the circuit container."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for coupling maps and device topologies."""
 
-import networkx as nx
 import pytest
 
 from repro.exceptions import TranspilerError

@@ -14,7 +14,6 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.common import ExperimentTable
 from repro.harness import (
     GridPointResult,
-    ResultCache,
     derive_seed,
     extend_table,
     grid_cache_key,
@@ -370,6 +369,7 @@ class TestRegistryEndToEnd:
         "noise": dict(reps_values=(1,), shots=64, trajectories=2),
         "jo-direct": dict(relation_counts=(4,), solve_up_to=4),
         "penalty-gap": dict(multipliers=(1.0,)),
+        "hybrid-scaling": dict(sizes=((4, 2), (6, 2)), sub_size=6),
     }
 
     def _registry(self):
@@ -386,7 +386,7 @@ class TestRegistryEndToEnd:
             "tables12", "table3", "table4", "fig8", "fig9", "fig11", "fig12",
             "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
             "coherence", "quality-mqo", "quality-join", "mqo-annealer",
-            "noise", "jo-direct", "penalty-gap",
+            "noise", "jo-direct", "penalty-gap", "hybrid-scaling",
         ],
     )
     def test_experiment_end_to_end(self, name, monkeypatch):
@@ -408,6 +408,6 @@ class TestRegistryEndToEnd:
             "tables12", "table3", "table4", "fig8", "fig9", "fig11", "fig12",
             "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
             "coherence", "quality-mqo", "quality-join", "mqo-annealer",
-            "noise", "jo-direct", "penalty-gap",
+            "noise", "jo-direct", "penalty-gap", "hybrid-scaling",
         }
         assert param_names == set(self._registry())

@@ -1,0 +1,388 @@
+"""Tests for the hybrid subsystem (repro.hybrid): tabu search,
+decomposition primitives, the unified solver registry, the qbsolv-style
+DecomposingSolver (including the 50-query acceptance instance), and the
+hybrid_scaling experiment through the harness."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.hybrid import (
+    DecomposingSolver,
+    SolveResult,
+    Solver,
+    TabuSampler,
+    clamp_subproblem,
+    flip_energy_gains,
+    greedy_descent,
+    make_solver,
+    pack_components,
+    register_solver,
+    select_by_energy_impact,
+    select_by_graph_partition,
+    solver_catalog,
+    solver_names,
+    strong_components,
+)
+from repro.hybrid.decomposer import component_weights
+from repro.hybrid.registry import _FACTORIES
+from repro.mqo.generator import random_mqo_problem
+from repro.mqo.qubo import MqoQuboBuilder
+from repro.mqo.solvers import solve_genetic
+from repro.qubo import BinaryQuadraticModel, Vartype, brute_force_minimum
+
+
+def _small_bqm():
+    """6-variable frustrated model with a unique brute-force optimum."""
+    return BinaryQuadraticModel(
+        {f"v{i}": 0.3 * (i - 2) for i in range(6)},
+        {
+            ("v0", "v1"): -1.0,
+            ("v1", "v2"): 1.2,
+            ("v2", "v3"): -0.8,
+            ("v3", "v4"): 0.6,
+            ("v4", "v5"): -1.4,
+            ("v0", "v5"): 0.9,
+        },
+        offset=0.25,
+    )
+
+
+def _mqo_bqm(queries=8, ppq=3, seed=17):
+    problem = random_mqo_problem(queries, ppq, seed=seed)
+    builder = MqoQuboBuilder(problem)
+    return problem, builder, builder.build()
+
+
+# ----------------------------------------------------------------------
+# TabuSampler
+# ----------------------------------------------------------------------
+class TestTabuSampler:
+    def test_finds_brute_force_optimum(self):
+        bqm = _small_bqm()
+        ss = TabuSampler(seed=1).sample(bqm, num_reads=5)
+        assert ss.first.energy == pytest.approx(brute_force_minimum(bqm).energy)
+        assert ss.vartype is bqm.vartype
+        assert len(ss) == 5
+
+    def test_deterministic_for_fixed_seed(self):
+        bqm = _small_bqm()
+        a = TabuSampler(seed=7).sample(bqm, num_reads=3)
+        b = TabuSampler(seed=7).sample(bqm, num_reads=3)
+        assert [r.sample for r in a] == [r.sample for r in b]
+        assert list(a.energies()) == list(b.energies())
+
+    def test_call_seed_overrides_default(self):
+        bqm = _small_bqm()
+        sampler = TabuSampler(seed=7)
+        a = sampler.sample(bqm, num_reads=3, seed=11)
+        b = TabuSampler().sample(bqm, num_reads=3, seed=11)
+        assert [r.sample for r in a] == [r.sample for r in b]
+
+    def test_spin_models_stay_spin(self):
+        bqm = BinaryQuadraticModel(
+            {"a": 1.0, "b": -0.5}, {("a", "b"): -2.0}, vartype=Vartype.SPIN
+        )
+        ss = TabuSampler(seed=0).sample(bqm, num_reads=4)
+        assert ss.vartype is Vartype.SPIN
+        assert set(ss.first.sample.values()) <= {-1, 1}
+        assert ss.first.energy == pytest.approx(brute_force_minimum(bqm).energy)
+
+    def test_warm_start_accepted(self):
+        bqm = _small_bqm()
+        exact = brute_force_minimum(bqm)
+        ss = TabuSampler(seed=2).sample(
+            bqm, num_reads=2, initial_states=[dict(exact.sample)]
+        )
+        assert ss.first.energy <= exact.energy + 1e-9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(SolverError):
+            TabuSampler(tenure=0)
+        with pytest.raises(SolverError):
+            TabuSampler().sample(_small_bqm(), num_reads=0)
+        with pytest.raises(SolverError):
+            TabuSampler().sample(
+                _small_bqm(), num_reads=1, initial_states=[{"alien": 1}]
+            )
+
+    def test_empty_model(self):
+        bqm = BinaryQuadraticModel({}, {}, offset=1.5)
+        ss = TabuSampler().sample(bqm, num_reads=1)
+        assert ss.first.energy == pytest.approx(1.5)
+
+
+# ----------------------------------------------------------------------
+# Decomposition primitives
+# ----------------------------------------------------------------------
+class TestDecomposer:
+    def test_flip_energy_gains_match_energy_differences(self):
+        bqm = _small_bqm()
+        sample = {v: (i % 2) for i, v in enumerate(sorted(bqm.variables))}
+        gains = flip_energy_gains(bqm, sample)
+        base = bqm.energy(sample)
+        for v in bqm.variables:
+            flipped = dict(sample)
+            flipped[v] = 1 - flipped[v]
+            assert gains[v] == pytest.approx(bqm.energy(flipped) - base)
+
+    def test_energy_impact_blocks_cover_all_variables(self):
+        bqm = _small_bqm()
+        sample = {v: 0 for v in bqm.variables}
+        blocks = select_by_energy_impact(bqm, sample, sub_size=4)
+        assert [len(b) for b in blocks] == [4, 2]
+        flat = [v for block in blocks for v in block]
+        assert sorted(flat, key=str) == sorted(bqm.variables, key=str)
+
+    def test_strong_components_recover_mqo_cliques(self):
+        """Penalty couplings of the MQO encoding dominate, so the
+        strong-coupling components are exactly the per-query cliques."""
+        problem, _, bqm = _mqo_bqm(queries=6, ppq=3)
+        components = strong_components(bqm)
+        assert len(components) == problem.num_queries
+        by_query = problem.plans_by_query()
+        expected = {
+            frozenset(f"x{p.plan_id}" for p in plans)
+            for plans in by_query.values()
+        }
+        assert {frozenset(c) for c in components} == expected
+
+    def test_pack_components_respects_sub_size(self):
+        _, _, bqm = _mqo_bqm(queries=10, ppq=3)
+        components = strong_components(bqm)
+        weights = component_weights(bqm, components)
+        blocks = pack_components(
+            components, weights, range(len(components)), sub_size=7
+        )
+        assert all(len(b) <= 7 for b in blocks)
+        flat = sorted(v for b in blocks for v in b)
+        assert flat == sorted(bqm.variables)
+
+    def test_pack_components_chops_oversized_components(self):
+        _, _, bqm = _mqo_bqm(queries=2, ppq=4)
+        components = strong_components(bqm)
+        weights = component_weights(bqm, components)
+        blocks = pack_components(
+            components, weights, range(len(components)), sub_size=3
+        )
+        assert all(len(b) <= 3 for b in blocks)
+        assert sorted(v for b in blocks for v in b) == sorted(bqm.variables)
+
+    def test_graph_partition_deterministic_without_order(self):
+        _, _, bqm = _mqo_bqm()
+        assert select_by_graph_partition(bqm, 6) == select_by_graph_partition(
+            bqm, 6
+        )
+
+    def test_clamp_subproblem_energy_identity(self):
+        """Sub-model energies equal full-model energies of the patched
+        incumbent — the property the decomposition loop relies on."""
+        bqm = _small_bqm()
+        incumbent = {v: 1 for v in bqm.variables}
+        free = ["v1", "v4"]
+        sub = clamp_subproblem(bqm, free, incumbent)
+        assert sorted(sub.variables) == free
+        for assignment in ({"v1": 0, "v4": 0}, {"v1": 1, "v4": 0},
+                           {"v1": 0, "v4": 1}, {"v1": 1, "v4": 1}):
+            patched = dict(incumbent)
+            patched.update(assignment)
+            assert sub.energy(assignment) == pytest.approx(bqm.energy(patched))
+
+    def test_clamp_rejects_unknown_variables(self):
+        bqm = _small_bqm()
+        with pytest.raises(SolverError):
+            clamp_subproblem(bqm, ["nope"], {v: 0 for v in bqm.variables})
+
+    def test_greedy_descent_reaches_single_flip_minimum(self):
+        bqm = _small_bqm()
+        sample = greedy_descent(bqm, {v: 0 for v in bqm.variables})
+        gains = flip_energy_gains(bqm, sample)
+        assert all(g >= -1e-9 for g in gains.values())
+
+
+# ----------------------------------------------------------------------
+# Solver registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_builtin_names(self):
+        names = solver_names()
+        for expected in ("greedy", "genetic", "exact", "exhaustive", "sa",
+                         "tabu", "exact-eigen", "vqe", "qaoa", "hybrid"):
+            assert expected in names
+
+    def test_all_entries_satisfy_protocol(self):
+        for name in solver_names():
+            solver = make_solver(name)
+            assert isinstance(solver, Solver)
+            assert isinstance(solver.capabilities, frozenset)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SolverError, match="unknown solver"):
+            make_solver("does-not-exist")
+
+    def test_registration_collision_and_replace(self):
+        class Dummy:
+            name = "dummy-test"
+            capabilities = frozenset({"test"})
+            max_variables = None
+
+            def solve(self, bqm, seed=None):
+                return SolveResult(sample={}, energy=0.0, solver=self.name)
+
+        register_solver("dummy-test", Dummy)
+        try:
+            with pytest.raises(SolverError, match="already registered"):
+                register_solver("dummy-test", Dummy)
+            register_solver("dummy-test", Dummy, replace=True)
+            assert isinstance(make_solver("dummy-test"), Dummy)
+        finally:
+            _FACTORIES.pop("dummy-test", None)
+
+    def test_size_limited_solver_rejects_big_models(self):
+        _, _, bqm = _mqo_bqm(queries=10, ppq=3)  # 30 vars
+        with pytest.raises(SolverError, match="at most"):
+            make_solver("exact-eigen").solve(bqm)
+
+    def test_catalog_lists_every_solver(self):
+        catalog = solver_catalog()
+        assert {row["name"] for row in catalog} == set(solver_names())
+        hybrid_row = next(r for r in catalog if r["name"] == "hybrid")
+        assert hybrid_row["max_variables"] is None
+        assert "decomposition" in hybrid_row["capabilities"]
+
+    def test_registry_solvers_agree_on_small_model(self):
+        bqm = _small_bqm()
+        reference = brute_force_minimum(bqm).energy
+        for name in ("greedy", "genetic", "exact", "sa", "tabu", "hybrid"):
+            result = make_solver(name).solve(bqm, seed=5)
+            assert result.energy == pytest.approx(reference), name
+            assert result.energy == pytest.approx(bqm.energy(result.sample))
+
+
+# ----------------------------------------------------------------------
+# DecomposingSolver
+# ----------------------------------------------------------------------
+class TestDecomposingSolver:
+    def test_small_model_solved_exactly_without_decomposition(self):
+        bqm = _small_bqm()
+        result = DecomposingSolver(sub_size=8).solve(bqm, seed=0)
+        assert result.info["decomposed"] is False
+        assert result.energy == pytest.approx(brute_force_minimum(bqm).energy)
+
+    def test_empty_model(self):
+        bqm = BinaryQuadraticModel({}, {}, offset=2.0)
+        result = DecomposingSolver().solve(bqm)
+        assert result.sample == {} and result.energy == pytest.approx(2.0)
+
+    def test_decomposed_solve_reaches_exact_optimum(self):
+        """On a mid-size instance still in brute-force reach for the
+        subproblems, decomposition must recover the global optimum."""
+        _, builder, bqm = _mqo_bqm(queries=8, ppq=3)  # 24 variables
+        from repro.mqo.solvers import solve_exhaustive
+
+        result = DecomposingSolver(sub_size=9, restarts=2).solve(bqm, seed=3)
+        assert result.info["decomposed"] is True
+        solution = builder.decode(result.sample, method="hybrid")
+        assert solution.valid
+        reference = solve_exhaustive(builder.problem)
+        assert solution.cost == pytest.approx(reference.cost)
+
+    def test_sa_subsolver_drops_in(self):
+        from repro.annealing.simulated_annealing import (
+            SimulatedAnnealingSampler,
+        )
+
+        _, builder, bqm = _mqo_bqm(queries=8, ppq=3)
+        solver = DecomposingSolver(
+            sub_size=9, exact_limit=2, restarts=2,
+            subsolver=SimulatedAnnealingSampler(num_sweeps=150),
+        )
+        result = solver.solve(bqm, seed=3)
+        assert builder.decode(result.sample, method="hybrid").valid
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            DecomposingSolver(sub_size=1)
+        with pytest.raises(SolverError):
+            DecomposingSolver(exact_limit=27)
+        with pytest.raises(SolverError):
+            DecomposingSolver(restarts=0)
+        with pytest.raises(SolverError):
+            DecomposingSolver(perturb_fraction=0.0)
+
+    def test_acceptance_50_queries_beats_genetic_deterministically(self):
+        """The PR acceptance instance: 50 queries x 3 plans (150 QUBO
+        variables, beyond exact enumeration and the statevector), valid
+        solution, cost <= the genetic baseline on the same seed, and
+        identical output for identical seeds."""
+        problem = random_mqo_problem(50, 3, seed=123)
+        builder = MqoQuboBuilder(problem)
+        bqm = builder.build()
+        assert bqm.num_variables >= 150
+
+        genetic = solve_genetic(problem, seed=123)
+        first = DecomposingSolver(sub_size=16, restarts=2).solve(bqm, seed=123)
+        second = DecomposingSolver(sub_size=16, restarts=2).solve(bqm, seed=123)
+        assert first.sample == second.sample
+        assert first.energy == pytest.approx(second.energy)
+
+        solution = builder.decode(first.sample, method="hybrid")
+        assert solution.valid
+        assert solution.cost <= genetic.cost + 1e-9
+        assert first.info["decomposed"] is True
+        assert first.info["subproblems"] > 0
+
+
+# ----------------------------------------------------------------------
+# hybrid_scaling experiment through the harness
+# ----------------------------------------------------------------------
+class TestHybridScalingExperiment:
+    def test_run_grid_with_cache_hits_on_rerun(self, tmp_path):
+        from repro.experiments.hybrid_scaling import run_hybrid_scaling
+
+        kwargs = dict(
+            sizes=((4, 2), (6, 2)), sub_size=6, workers=1,
+            cache=True, cache_dir=str(tmp_path / "cache"),
+        )
+        first = run_hybrid_scaling(**kwargs)
+        second = run_hybrid_scaling(**kwargs)
+        assert first.rows == second.rows
+        assert "(0 cached)" in first.notes
+        assert "(2 cached)" in second.notes
+        for row in first.rows:
+            assert row["hybrid valid?"] is True
+            assert row["vs genetic"] <= 1e-9
+
+    def test_registered_in_cli(self):
+        from repro.cli import _experiment_registry
+
+        assert "hybrid-scaling" in _experiment_registry()
+
+
+# ----------------------------------------------------------------------
+# CLI solve subcommand
+# ----------------------------------------------------------------------
+class TestSolveCommand:
+    def test_solver_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["solve", "--solver", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out and "genetic" in out
+
+    def test_hybrid_solve_runs(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "solve", "--problem", "mqo", "--solver", "hybrid",
+            "--queries", "8", "--ppq", "2", "--seed", "3",
+            "--sub-size", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "valid=True" in out
+
+    def test_unknown_solver_is_an_error(self, capsys):
+        from repro.cli import main
+
+        assert main(["solve", "--solver", "bogus"]) == 2
+        assert "unknown solver" in capsys.readouterr().err

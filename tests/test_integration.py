@@ -10,7 +10,6 @@ from repro.annealing import (
     pegasus_graph,
 )
 from repro.joinorder import JoinOrderQuantumPipeline, solve_dp_left_deep
-from repro.joinorder.generators import milp_example_graph
 from repro.mqo import (
     MqoQuboBuilder,
     paper_example_problem,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.exceptions import SolverError
 from repro.joinorder import solve_dp_left_deep
-from repro.joinorder.bushy import BushyResult, left_deep_penalty, solve_dp_bushy
+from repro.joinorder.bushy import left_deep_penalty, solve_dp_bushy
 from repro.joinorder.generators import (
     chain_query,
     clique_query,

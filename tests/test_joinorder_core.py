@@ -1,6 +1,5 @@
 """Tests for query graphs, the cost model and classical algorithms."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the MILP → BILP → QUBO pipeline (paper Sec. 6.1)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -14,7 +13,7 @@ from repro.joinorder import (
     solve_dp_left_deep,
 )
 from repro.joinorder.bilp import build_join_order_bilp
-from repro.joinorder.generators import milp_example_graph, uniform_query
+from repro.joinorder.generators import uniform_query
 from repro.linprog import BranchAndBoundSolver
 from repro.qubo import brute_force_minimum
 

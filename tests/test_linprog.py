@@ -3,7 +3,6 @@ branch-and-bound solver."""
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.exceptions import InfeasibleError, ModelError, VariableError

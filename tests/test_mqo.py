@@ -11,7 +11,6 @@ from repro.mqo import (
     Plan,
     Saving,
     mqo_to_bqm,
-    paper_example_problem,
     random_mqo_problem,
     solve_exhaustive,
     solve_genetic,
@@ -188,3 +187,101 @@ class TestSolvers:
             assert annealed.cost == pytest.approx(reference.cost)
             assert genetic.cost == pytest.approx(reference.cost)
             assert solve_greedy_local(problem).cost >= reference.cost - 1e-9
+
+
+class _RiggedEigenSolver:
+    """Stub eigensolver: ``best_bits`` is a valid but expensive
+    selection while ``counts`` contains the cheap optimum — the shape
+    of a noisy variational run whose reported state is not its best
+    measurement."""
+
+    def __init__(self, best_selection, counted_selection):
+        self.best_selection = set(best_selection)
+        self.counted_selection = set(counted_selection)
+
+    def compute_minimum_eigenvalue(self, hamiltonian):
+        import numpy as np
+
+        from repro.gate.circuit import QuantumCircuit
+        from repro.variational.vqe import VariationalResult
+
+        n = hamiltonian.num_qubits
+        best_bits = None
+        counts = {}
+        for index in range(2**n):
+            bits = {q: (index >> q) & 1 for q in range(n)}
+            sample = hamiltonian.bits_to_sample(bits, Vartype.BINARY)
+            selected = {
+                int(name[1:]) for name, value in sample.items() if value
+            }
+            if selected == self.best_selection:
+                best_bits = dict(bits)
+            if selected == self.counted_selection:
+                bitstring = "".join(str(bits[n - 1 - pos]) for pos in range(n))
+                counts[bitstring] = 64
+        assert best_bits is not None and counts
+        return VariationalResult(
+            eigenvalue=0.0,
+            optimal_parameters=np.array([]),
+            optimal_circuit=QuantumCircuit(n, "rigged"),
+            counts=counts,
+            best_bits=best_bits,
+            best_energy=0.0,
+        )
+
+
+class TestMinimumEigenCandidateRanking:
+    def _problem(self):
+        return MqoProblem(
+            plans=(
+                Plan(0, 0, 1.0),
+                Plan(1, 0, 10.0),
+                Plan(2, 1, 1.0),
+                Plan(3, 1, 10.0),
+            ),
+            savings=(),
+        )
+
+    def test_valid_candidates_ranked_by_energy(self):
+        """Regression: a valid-but-expensive reported sample must not
+        shadow a cheaper valid measurement among the candidates."""
+        problem = self._problem()
+        rigged = _RiggedEigenSolver(
+            best_selection=(1, 3), counted_selection=(0, 2)
+        )
+        solution = solve_with_minimum_eigen(problem, rigged)
+        assert solution.valid
+        assert solution.selected_plans == (0, 2)
+        assert solution.cost == pytest.approx(2.0)
+
+
+class TestSolveWithSolver:
+    def test_repair_selection_fills_and_prunes(self):
+        problem = MqoProblem(
+            plans=(
+                Plan(0, 0, 5.0),
+                Plan(1, 0, 2.0),
+                Plan(2, 1, 1.0),
+                Plan(3, 1, 4.0),
+            ),
+            savings=(),
+        )
+        from repro.mqo import repair_selection
+
+        # over-covered query 0 keeps its cheapest hit, uncovered
+        # query 1 gets its locally cheapest plan
+        repaired = repair_selection(problem, [0, 1])
+        assert sorted(repaired) == [1, 2]
+        assert problem.is_valid_selection(repaired)
+        # valid selections pass through unchanged
+        assert sorted(repair_selection(problem, [0, 3])) == [0, 3]
+
+    def test_registry_solver_end_to_end(self):
+        from repro.hybrid import make_solver
+        from repro.mqo import solve_with_solver
+
+        problem = random_mqo_problem(3, 3, seed=11)
+        reference = solve_exhaustive(problem)
+        solution = solve_with_solver(problem, make_solver("tabu"), seed=11)
+        assert solution.valid
+        assert solution.cost == pytest.approx(reference.cost)

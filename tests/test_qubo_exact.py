@@ -1,6 +1,5 @@
 """Tests for the brute-force QUBO solver."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import SolverError

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import ModelError
-from repro.qubo import BinaryExpression, BinaryVariable, Constant
+from repro.qubo import BinaryVariable, Constant
 
 
 class TestAlgebra:

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.exceptions import ProblemError
-from repro.joinorder.generators import paper_example_graph, random_query
-from repro.mqo.generator import paper_example_problem, random_mqo_problem
+from repro.joinorder.generators import random_query
+from repro.mqo.generator import random_mqo_problem
 from repro.qubo import BinaryQuadraticModel, Vartype
 from repro.serialization import (
     bqm_from_dict,
