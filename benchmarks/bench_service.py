@@ -1,0 +1,125 @@
+"""Standalone service benchmark: requests/sec and latency percentiles.
+
+Runs the deadline-aware optimization service over a deterministic mixed
+MQO + join-ordering workload (the same generator behind
+``python -m repro serve-bench``) at several worker counts, and writes
+the measurements to ``BENCH_service.json`` at the repository root so
+successive PRs can track serving throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --requests 64 --workers 1,4,8 --deadline-ms 200 --seed 7
+
+This is intentionally *not* a pytest-benchmark module: serving
+throughput is a whole-system number (thread pool + caches + chain
+execution), not a microbenchmark of one driver function.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service import BatchScheduler, OptimizationService, synthetic_requests  # noqa: E402
+
+
+def run_once(requests, workers: int, seed: int) -> dict:
+    """Serve the workload once with a fresh service; return measurements."""
+    service = OptimizationService(seed=seed)
+    start = time.perf_counter()
+    with BatchScheduler(service, workers=workers) as scheduler:
+        results = scheduler.run(requests)
+    wall_s = time.perf_counter() - start
+
+    stats = service.stats()
+    latency = stats["histograms"].get("latency_ms", {"count": 0})
+    served_by = {
+        key.split(".", 1)[1]: value
+        for key, value in stats["counters"].items()
+        if key.startswith("served_by.")
+    }
+    return {
+        "workers": workers,
+        "wall_s": round(wall_s, 4),
+        "requests_per_s": round(len(requests) / wall_s, 2),
+        "latency_ms": {
+            "p50": latency.get("p50"),
+            "p95": latency.get("p95"),
+            "max": latency.get("max"),
+        },
+        "served_by": served_by,
+        "deadline_exceeded": stats["counters"].get("deadline_exceeded", 0),
+        "valid": sum(1 for r in results if r.valid),
+        "invalid": sum(1 for r in results if not r.valid),
+        "result_cache_hit_rate": round(stats["cache"]["results"]["hit_rate"], 4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--workers", default="1,2,4", help="comma-separated counts")
+    parser.add_argument("--deadline-ms", type=float, default=200.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--mqo-fraction", type=float, default=0.5)
+    parser.add_argument("--duplicates", type=float, default=0.25)
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_service.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    requests = synthetic_requests(
+        args.requests,
+        seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        mqo_fraction=args.mqo_fraction,
+        duplicate_fraction=args.duplicates,
+    )
+    print(
+        f"workload: {len(requests)} requests, deadline {args.deadline_ms:g} ms, "
+        f"seed {args.seed}"
+    )
+
+    runs = []
+    for workers in (int(w) for w in args.workers.split(",") if w.strip()):
+        measurement = run_once(requests, workers, args.seed)
+        runs.append(measurement)
+        latency = measurement["latency_ms"]
+        print(
+            f"workers={workers}: {measurement['requests_per_s']:.1f} req/s, "
+            f"p50={latency['p50']:.1f} ms, p95={latency['p95']:.1f} ms, "
+            f"{measurement['valid']}/{len(requests)} valid, "
+            f"cache hit rate {measurement['result_cache_hit_rate']:.0%}"
+        )
+
+    report = {
+        "benchmark": "service",
+        "config": {
+            "requests": args.requests,
+            "deadline_ms": args.deadline_ms,
+            "seed": args.seed,
+            "mqo_fraction": args.mqo_fraction,
+            "duplicate_fraction": args.duplicates,
+        },
+        "python": platform.python_version(),
+        "runs": runs,
+    }
+    pathlib.Path(args.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    return 0 if all(r["invalid"] == 0 for r in runs) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

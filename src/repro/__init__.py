@@ -30,6 +30,12 @@ query-optimization studies on top:
 ``repro.analysis``
     Qubit-count formulas (Sec. 6.3.1), circuit-depth studies and the
     coherence-time thresholds (Eqs. 37/55).
+``repro.hybrid``
+    Qbsolv-style decomposing solver and the unified solver registry
+    spanning classical, annealing and gate-model paths.
+``repro.service``
+    Deadline-aware optimization serving: fallback chains over the
+    solver registry, admission control, caches and metrics.
 ``repro.experiments``
     One module per paper table/figure, reproducing its rows/series.
 """

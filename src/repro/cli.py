@@ -12,6 +12,12 @@ Commands
     Generate a random MQO instance and solve it on the chosen path.
 ``solve-join``
     Generate a query graph and solve the join ordering problem.
+``optimize``
+    Serve a single optimization request (from a JSON file or generator
+    parameters) through the deadline-aware service.
+``serve-bench``
+    Drive the optimization service with a synthetic request workload
+    and print a metrics snapshot.
 ``info``
     Show the package's system inventory and reproduction targets.
 """
@@ -23,7 +29,7 @@ import sys
 from typing import Callable, Dict
 
 from repro import __version__
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SolverError
 
 
 def _experiment_registry() -> Dict[str, Callable]:
@@ -218,6 +224,198 @@ def _cmd_solve_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_service_stats(stats: Dict) -> None:
+    counters = stats.get("counters", {})
+    histograms = stats.get("histograms", {})
+    cache = stats.get("cache", {})
+    total = counters.get("requests_total", 0)
+    ok = counters.get("requests_ok", 0)
+    rejected = counters.get("requests_rejected", 0)
+    print("--- service metrics ---")
+    print(f"requests: {total} total, {ok} ok, {rejected} rejected")
+    latency = histograms.get("latency_ms", {})
+    if latency.get("count"):
+        print(
+            f"latency ms: p50 {latency['p50']:.1f} p95 {latency['p95']:.1f} "
+            f"max {latency['max']:.1f} (mean {latency['mean']:.1f})"
+        )
+    stages = {
+        name.split(".", 1)[1]: value
+        for name, value in counters.items()
+        if name.startswith("served_by.")
+    }
+    if stages:
+        print(
+            "served by: "
+            + " ".join(f"{stage}={count}" for stage, count in sorted(stages.items()))
+        )
+    print(f"deadline exceeded: {counters.get('deadline_exceeded', 0)}")
+    results_cache = cache.get("results", {})
+    compiled_cache = cache.get("compiled", {})
+    if results_cache:
+        print(
+            f"cache: result hits {results_cache['hits']}/"
+            f"{results_cache['hits'] + results_cache['misses']} "
+            f"({100.0 * results_cache['hit_rate']:.1f}%), "
+            f"compile hits {compiled_cache.get('hits', 0)}"
+        )
+
+
+def _format_plan(result) -> str:
+    if result.kind == "mqo":
+        return f"plans {result.plan.get('selected_plans')}"
+    return " >> ".join(result.plan.get("order", ())) or "(no order)"
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro import serialization
+    from repro.exceptions import ProblemError
+    from repro.joinorder import chain_query, clique_query, cycle_query, star_query
+    from repro.joinorder.query_graph import QueryGraph
+    from repro.mqo import random_mqo_problem
+    from repro.mqo.problem import MqoProblem
+    from repro.service import OptimizationRequest, OptimizationService, parse_policy
+
+    policy = parse_policy(args.policy) if args.policy else None
+    mode = args.mode.replace("-", "_")
+
+    if args.input is not None:
+        payload = serialization.load(args.input)
+        if isinstance(payload, OptimizationRequest):
+            request = payload
+        elif isinstance(payload, MqoProblem):
+            request = OptimizationRequest(
+                request_id="cli", kind="mqo", problem=payload,
+                deadline_ms=args.deadline_ms, seed=args.seed, policy=policy, mode=mode,
+            )
+        elif isinstance(payload, QueryGraph):
+            request = OptimizationRequest(
+                request_id="cli", kind="join_order", problem=payload,
+                deadline_ms=args.deadline_ms, seed=args.seed, policy=policy, mode=mode,
+            )
+        else:
+            print(
+                f"error: {args.input} holds a {type(payload).__name__}, "
+                "expected a request, MQO problem or query graph",
+                file=sys.stderr,
+            )
+            return 2
+    elif args.problem == "mqo":
+        problem = random_mqo_problem(args.queries, args.ppq, seed=args.seed)
+        request = OptimizationRequest(
+            request_id="cli", kind="mqo", problem=problem,
+            deadline_ms=args.deadline_ms, seed=args.seed, policy=policy, mode=mode,
+        )
+    else:
+        makers = {
+            "chain": chain_query, "star": star_query,
+            "cycle": cycle_query, "clique": clique_query,
+        }
+        graph = makers[args.shape](args.relations, seed=args.seed)
+        request = OptimizationRequest(
+            request_id="cli", kind="join_order", problem=graph,
+            deadline_ms=args.deadline_ms, seed=args.seed, policy=policy, mode=mode,
+        )
+
+    service = OptimizationService(seed=args.seed if args.seed is not None else 0)
+    try:
+        result = service.optimize(request)
+    except ProblemError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{result.request_id}: kind={result.kind} served_by={result.served_by} "
+        f"{_format_plan(result)} cost={result.cost:g} valid={result.valid} "
+        f"deadline_exceeded={result.deadline_exceeded} "
+        f"elapsed={result.elapsed_ms:.1f}ms"
+    )
+    for entry in result.stage_trace:
+        energy = "-" if entry.get("energy") is None else f"{entry['energy']:.3f}"
+        print(
+            f"  stage {entry['stage']}: {1000.0 * entry['seconds']:.1f}ms "
+            f"energy={energy} valid={entry['valid']}"
+        )
+    if args.output is not None:
+        serialization.save(result, args.output)
+        print(f"result written to {args.output}")
+    _print_service_stats(service.stats())
+    return 0 if result.valid else 1
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import serialization
+    from repro.service import (
+        BatchScheduler,
+        OptimizationService,
+        make_adapter,
+        parse_policy,
+        result_to_dict,
+        synthetic_requests,
+    )
+
+    policy = parse_policy(args.policy) if args.policy else None
+    requests = synthetic_requests(
+        args.requests,
+        seed=args.seed,
+        deadline_ms=args.deadline_ms,
+        mqo_fraction=args.mqo_fraction,
+        duplicate_fraction=args.duplicates,
+        policy=policy,
+        mode=args.mode.replace("-", "_"),
+    )
+    service = OptimizationService(seed=args.seed)
+    import time as _time
+
+    start = _time.perf_counter()
+    with BatchScheduler(
+        service, workers=args.workers, queue_limit=args.queue_limit
+    ) as scheduler:
+        results = scheduler.run(requests)
+    wall = _time.perf_counter() - start
+
+    invalid = 0
+    for request, result in zip(requests, results):
+        if result.status == "rejected":
+            print(f"{result.request_id}: REJECTED ({result.reject_reason})")
+            continue
+        ok = result.valid and make_adapter(request.kind, request.problem).validate(
+            result.plan
+        )
+        invalid += 0 if ok else 1
+        print(
+            f"{result.request_id}: kind={result.kind} served_by={result.served_by} "
+            f"{_format_plan(result)} cost={result.cost:g} valid={ok} "
+            f"cache={'hit' if result.cache_hit else 'miss'} "
+            f"deadline_exceeded={result.deadline_exceeded}"
+        )
+    served = sum(1 for r in results if r.status == "ok")
+    print()
+    print(f"throughput: {served / wall:.1f} req/s ({served} served in {wall:.2f}s wall)")
+    _print_service_stats(service.stats())
+    if args.json_out is not None:
+        payload = {
+            "config": {
+                "requests": args.requests, "workers": args.workers,
+                "deadline_ms": args.deadline_ms, "seed": args.seed,
+            },
+            "wall_seconds": wall,
+            "throughput_rps": served / wall if wall > 0 else None,
+            "results": [
+                serialization.to_jsonable(result_to_dict(r)) for r in results
+            ],
+            "stats": serialization.to_jsonable(service.stats()),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2)
+        print(f"bench results written to {args.json_out}")
+    if invalid:
+        print(f"error: {invalid} response(s) failed validity checks", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_info(_: argparse.Namespace) -> int:
     import repro
 
@@ -309,6 +507,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     join.set_defaults(func=_cmd_solve_join)
 
+    optimize = sub.add_parser(
+        "optimize",
+        help="serve one optimization request through the deadline-aware service",
+    )
+    optimize.add_argument(
+        "--input", default=None,
+        help="JSON file holding an optimization_request, mqo_problem or query_graph",
+    )
+    optimize.add_argument(
+        "--problem", choices=("mqo", "join"), default="mqo",
+        help="generated problem family when --input is not given",
+    )
+    optimize.add_argument("--queries", type=int, default=8)
+    optimize.add_argument("--ppq", type=int, default=3)
+    optimize.add_argument(
+        "--shape", choices=("chain", "star", "cycle", "clique"), default="chain"
+    )
+    optimize.add_argument("--relations", type=int, default=6)
+    optimize.add_argument("--deadline-ms", type=float, default=200.0)
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument(
+        "--policy", default=None,
+        help="comma-separated fallback chain (default: hybrid,tabu,sa,greedy)",
+    )
+    optimize.add_argument(
+        "--mode", choices=("first-valid", "exhaust"), default="first-valid",
+        help="stop at the first valid stage, or run every stage that fits",
+    )
+    optimize.add_argument(
+        "--output", default=None, help="write the optimization_result JSON here"
+    )
+    optimize.set_defaults(func=_cmd_optimize)
+
+    bench = sub.add_parser(
+        "serve-bench",
+        help="drive the optimization service with a synthetic workload",
+    )
+    bench.add_argument("--requests", type=int, default=32)
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="scheduler worker threads (default: REPRO_BENCH_WORKERS or 1)",
+    )
+    bench.add_argument("--deadline-ms", type=float, default=200.0)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--mqo-fraction", type=float, default=0.5)
+    bench.add_argument(
+        "--duplicates", type=float, default=0.25,
+        help="fraction of requests repeating an earlier problem (cache exercise)",
+    )
+    bench.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="admission control: max in-flight requests before rejection",
+    )
+    bench.add_argument("--policy", default=None)
+    bench.add_argument(
+        "--mode", choices=("first-valid", "exhaust"), default="first-valid"
+    )
+    bench.add_argument(
+        "--json-out", default=None, help="dump results + metrics JSON here"
+    )
+    bench.set_defaults(func=_cmd_serve_bench)
+
     info = sub.add_parser("info", help="package overview")
     info.set_defaults(func=_cmd_info)
     return parser
@@ -320,7 +580,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ConfigurationError as exc:
+    except (ConfigurationError, SolverError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

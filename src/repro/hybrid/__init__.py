@@ -33,6 +33,8 @@ from repro.hybrid.registry import (
     register_solver,
     solver_catalog,
     solver_names,
+    supports_time_budget,
+    valid_options,
 )
 from repro.hybrid.solver import DecomposingSolver, SolveResult, greedy_descent
 from repro.hybrid.tabu import TabuSampler
@@ -54,4 +56,6 @@ __all__ = [
     "solver_catalog",
     "solver_names",
     "strong_components",
+    "supports_time_budget",
+    "valid_options",
 ]

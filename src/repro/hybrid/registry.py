@@ -11,7 +11,14 @@ module puts them behind a single :class:`Solver` protocol —
 — so experiments can sweep solver names as grid dimensions through the
 harness, and the CLI can route ``--solver <name>`` without per-solver
 plumbing.  :func:`make_solver` instantiates by name with keyword
-options; :func:`register_solver` lets extensions add entries.
+options (unknown option names raise
+:class:`~repro.exceptions.ConfigurationError` listing the valid ones);
+:func:`register_solver` lets extensions add entries.
+
+Solvers whose ``solve`` accepts a ``time_budget`` keyword (seconds)
+stop cooperatively once the budget is spent and return the best sample
+found so far — the contract the service layer's deadline-aware
+fallback chains rely on (probe with :func:`supports_time_budget`).
 
 Registered names
 ----------------
@@ -30,6 +37,8 @@ Registered names
 
 from __future__ import annotations
 
+import inspect
+import time
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
@@ -42,7 +51,7 @@ except ImportError:  # pragma: no cover
     def runtime_checkable(cls):  # type: ignore[misc]
         return cls
 
-from repro.exceptions import SolverError
+from repro.exceptions import ConfigurationError, SolverError
 from repro.annealing.simulated_annealing import SimulatedAnnealingSampler
 from repro.hybrid.solver import DecomposingSolver, SolveResult, greedy_descent
 from repro.hybrid.tabu import TabuSampler
@@ -62,6 +71,26 @@ class Solver(Protocol):
         self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
     ) -> SolveResult:  # pragma: no cover - protocol stub
         ...
+
+
+def supports_time_budget(solver: "Solver") -> bool:
+    """Does ``solver.solve`` accept a ``time_budget`` keyword?"""
+    try:
+        signature = inspect.signature(solver.solve)
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "time_budget" in signature.parameters
+
+
+def _budget_deadline(time_budget: Optional[float]) -> Optional[float]:
+    """Monotonic-clock deadline for a cooperative time budget."""
+    if time_budget is None:
+        return None
+    return time.monotonic() + max(0.0, float(time_budget))
+
+
+def _budget_spent(deadline: Optional[float]) -> bool:
+    return deadline is not None and time.monotonic() >= deadline
 
 
 def check_size(solver: "Solver", bqm: BinaryQuadraticModel) -> None:
@@ -91,16 +120,22 @@ class GreedySolver:
         self.seed = seed
 
     def solve(
-        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+        self,
+        bqm: BinaryQuadraticModel,
+        seed: Optional[int] = None,
+        time_budget: Optional[float] = None,
     ) -> SolveResult:
         if bqm.num_variables == 0:
             return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
+        deadline = _budget_deadline(time_budget)
         rng = np.random.default_rng(self.seed if seed is None else seed)
         lo, hi = bqm.vartype.values
         variables = list(bqm.variables)
         best_sample: Dict[Hashable, int] = {}
         best_energy = float("inf")
-        for _ in range(self.restarts):
+        for restart in range(self.restarts):
+            if restart > 0 and _budget_spent(deadline):
+                break
             values = rng.choice((lo, hi), size=len(variables))
             sample = greedy_descent(
                 bqm, {v: int(values[i]) for i, v in enumerate(variables)}
@@ -138,10 +173,14 @@ class GeneticSolver:
         self.seed = seed
 
     def solve(
-        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+        self,
+        bqm: BinaryQuadraticModel,
+        seed: Optional[int] = None,
+        time_budget: Optional[float] = None,
     ) -> SolveResult:
         if bqm.num_variables == 0:
             return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
+        deadline = _budget_deadline(time_budget)
         rng = np.random.default_rng(self.seed if seed is None else seed)
         variables = list(bqm.variables)
         lo, hi = bqm.vartype.values
@@ -155,6 +194,8 @@ class GeneticSolver:
         population = rng.choice((lo, hi), size=(self.population_size, n))
         costs = np.array([energy_of(ind) for ind in population])
         for _ in range(self.generations):
+            if _budget_spent(deadline):
+                break
             children = []
             for _ in range(self.population_size):
                 picks = rng.integers(
@@ -222,14 +263,39 @@ class SamplerSolver:
         self.num_reads = num_reads
 
     def solve(
-        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+        self,
+        bqm: BinaryQuadraticModel,
+        seed: Optional[int] = None,
+        time_budget: Optional[float] = None,
     ) -> SolveResult:
         if bqm.num_variables == 0:
             return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
-        sample_set = self.sampler.sample(bqm, num_reads=self.num_reads, seed=seed)
-        best = sample_set.first
+        if time_budget is None:
+            sample_set = self.sampler.sample(bqm, num_reads=self.num_reads, seed=seed)
+            best = sample_set.first
+            return SolveResult(
+                sample=dict(best.sample), energy=float(best.energy), solver=self.name
+            )
+        # budgeted path: issue reads one at a time (per-read seeds drawn
+        # up front so the k-reads-completed outcome is seed-deterministic)
+        # and stop once the budget is spent; the first read always runs.
+        deadline = _budget_deadline(time_budget)
+        rng = np.random.default_rng(seed)
+        read_seeds = [int(s) for s in rng.integers(0, 2**31, size=self.num_reads)]
+        best = None
+        reads_done = 0
+        for read_seed in read_seeds:
+            record = self.sampler.sample(bqm, num_reads=1, seed=read_seed).first
+            reads_done += 1
+            if best is None or record.energy < best.energy - 1e-12:
+                best = record
+            if _budget_spent(deadline):
+                break
         return SolveResult(
-            sample=dict(best.sample), energy=float(best.energy), solver=self.name
+            sample=dict(best.sample),
+            energy=float(best.energy),
+            solver=self.name,
+            info={"reads": reads_done, "budgeted": True},
         )
 
 
@@ -319,15 +385,48 @@ def solver_names() -> Tuple[str, ...]:
     return tuple(sorted(_FACTORIES))
 
 
-def make_solver(name: str, **options) -> Solver:
-    """Instantiate a registered solver with keyword options."""
+def valid_options(name: str) -> Optional[Tuple[str, ...]]:
+    """Option names a solver's factory accepts.
+
+    ``None`` means the factory takes ``**kwargs`` (or is uninspectable)
+    and therefore opts out of validation.
+    """
     try:
         factory = _FACTORIES[name]
     except KeyError:
         raise SolverError(
             f"unknown solver {name!r}; registered: {', '.join(solver_names())}"
         ) from None
-    return factory(**options)
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - C-level factories
+        return None
+    names = []
+    for parameter in signature.parameters.values():
+        if parameter.kind == inspect.Parameter.VAR_KEYWORD:
+            return None
+        if parameter.kind == inspect.Parameter.VAR_POSITIONAL:
+            continue
+        names.append(parameter.name)
+    return tuple(names)
+
+
+def make_solver(name: str, **options) -> Solver:
+    """Instantiate a registered solver with keyword options.
+
+    Unknown option names raise :class:`ConfigurationError` listing the
+    valid ones, so a typo surfaces as a configuration problem instead
+    of a bare ``TypeError`` from some inner constructor.
+    """
+    accepted = valid_options(name)
+    if accepted is not None:
+        unknown = sorted(set(options) - set(accepted))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown option(s) {', '.join(unknown)} for solver {name!r}; "
+                f"valid options: {', '.join(accepted) if accepted else '(none)'}"
+            )
+    return _FACTORIES[name](**options)
 
 
 def solver_catalog() -> List[Dict[str, object]]:
@@ -345,34 +444,69 @@ def solver_catalog() -> List[Dict[str, object]]:
     return rows
 
 
+# Factories carry explicit keyword signatures (no ``**kwargs``) so
+# :func:`make_solver` can validate option names against them.
+def _make_sa(
+    num_reads: int = 25,
+    num_sweeps: int = 200,
+    beta_range=None,
+    seed: Optional[int] = None,
+    greedy_postprocess: bool = True,
+) -> SamplerSolver:
+    return SamplerSolver(
+        SimulatedAnnealingSampler(
+            num_sweeps=num_sweeps,
+            beta_range=beta_range,
+            seed=seed,
+            greedy_postprocess=greedy_postprocess,
+        ),
+        name="sa",
+        capabilities=frozenset({"heuristic", "annealing"}),
+        num_reads=num_reads,
+    )
+
+
+def _make_tabu(
+    num_reads: int = 10,
+    tenure: Optional[int] = None,
+    max_iter: Optional[int] = None,
+    stall_limit: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> SamplerSolver:
+    return SamplerSolver(
+        TabuSampler(tenure=tenure, max_iter=max_iter, stall_limit=stall_limit, seed=seed),
+        name="tabu",
+        capabilities=frozenset({"heuristic", "local-search"}),
+        num_reads=num_reads,
+    )
+
+
+def _make_exact_eigen(
+    max_variables: int = 20, maxiter: int = 150, reps: int = 1
+) -> EigenSolver:
+    return EigenSolver(
+        kind="exact-eigen", max_variables=max_variables, maxiter=maxiter, reps=reps
+    )
+
+
+def _make_vqe(max_variables: int = 20, maxiter: int = 150, reps: int = 1) -> EigenSolver:
+    return EigenSolver(kind="vqe", max_variables=max_variables, maxiter=maxiter, reps=reps)
+
+
+def _make_qaoa(max_variables: int = 20, maxiter: int = 150, reps: int = 1) -> EigenSolver:
+    return EigenSolver(kind="qaoa", max_variables=max_variables, maxiter=maxiter, reps=reps)
+
+
 def _register_builtins() -> None:
     register_solver("greedy", GreedySolver)
     register_solver("genetic", GeneticSolver)
     register_solver("exact", ExactSolver)
     register_solver("exhaustive", ExactSolver)  # MQO-paper terminology
-    register_solver(
-        "sa",
-        lambda num_reads=25, **kw: SamplerSolver(
-            SimulatedAnnealingSampler(**kw),
-            name="sa",
-            capabilities=frozenset({"heuristic", "annealing"}),
-            num_reads=num_reads,
-        ),
-    )
-    register_solver(
-        "tabu",
-        lambda num_reads=10, **kw: SamplerSolver(
-            TabuSampler(**kw),
-            name="tabu",
-            capabilities=frozenset({"heuristic", "local-search"}),
-            num_reads=num_reads,
-        ),
-    )
-    register_solver(
-        "exact-eigen", lambda **kw: EigenSolver(kind="exact-eigen", **kw)
-    )
-    register_solver("vqe", lambda **kw: EigenSolver(kind="vqe", **kw))
-    register_solver("qaoa", lambda **kw: EigenSolver(kind="qaoa", **kw))
+    register_solver("sa", _make_sa)
+    register_solver("tabu", _make_tabu)
+    register_solver("exact-eigen", _make_exact_eigen)
+    register_solver("vqe", _make_vqe)
+    register_solver("qaoa", _make_qaoa)
     register_solver("hybrid", DecomposingSolver)
 
 

@@ -33,6 +33,7 @@ tie-breaks on ``str(var)``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
@@ -144,11 +145,25 @@ class DecomposingSolver:
 
     # ------------------------------------------------------------------
     def solve(
-        self, bqm: BinaryQuadraticModel, seed: Optional[int] = None
+        self,
+        bqm: BinaryQuadraticModel,
+        seed: Optional[int] = None,
+        time_budget: Optional[float] = None,
     ) -> SolveResult:
-        """Minimize ``bqm``; deterministic for a fixed seed."""
+        """Minimize ``bqm``; deterministic for a fixed seed.
+
+        ``time_budget`` (seconds) makes the run cooperative: the budget
+        is checked between restarts and between decomposition rounds,
+        and the best incumbent found so far is returned once it is
+        spent.  The first restart's first round always runs, so a valid
+        sample comes back even under a zero budget.
+        """
         if bqm.num_variables == 0:
             return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
+        deadline = (
+            None if time_budget is None
+            else time.monotonic() + max(0.0, float(time_budget))
+        )
         rng = np.random.default_rng(self.seed if seed is None else seed)
 
         if bqm.num_variables <= self.sub_size:
@@ -166,12 +181,14 @@ class DecomposingSolver:
         total_rounds = 0
         total_subproblems = 0
         for restart in range(self.restarts):
+            if restart > 0 and deadline is not None and time.monotonic() >= deadline:
+                break
             if restart == 0 or restart % 2 == 0:
                 sample = self._initial_sample(bqm, rng)
             else:
                 sample = self._perturb(bqm, best_sample, rng)
             sample, energy, rounds, subproblems = self._refine(
-                bqm, sample, components, weights, rng
+                bqm, sample, components, weights, rng, deadline=deadline
             )
             total_rounds += rounds
             total_subproblems += subproblems
@@ -199,6 +216,7 @@ class DecomposingSolver:
         components: List[List[Hashable]],
         weights: Dict[tuple, float],
         rng: np.random.Generator,
+        deadline: Optional[float] = None,
     ) -> tuple:
         """Decomposition rounds until ``stall_rounds`` rounds stop paying.
 
@@ -213,6 +231,8 @@ class DecomposingSolver:
         subproblems = 0
         stall = 0
         while rounds < self.max_rounds and stall < self.stall_rounds:
+            if rounds > 0 and deadline is not None and time.monotonic() >= deadline:
+                break
             rounds += 1
             if rounds == 1:
                 blocks = select_by_energy_impact(bqm, sample, self.sub_size)

@@ -5,18 +5,23 @@ machines, and archive the exact inputs behind experiment results:
 
 * MQO problems (queries, plans, savings),
 * join-ordering query graphs (relations, predicates),
-* binary quadratic models (linear/quadratic/offset/vartype).
+* binary quadratic models (linear/quadratic/offset/vartype),
+* sample sets (records with energies and multiplicities).
 
 Formats are versioned dictionaries; unknown versions are rejected so
-future format changes fail loudly instead of misparsing.
+future format changes fail loudly instead of misparsing.  Other
+packages can plug their own payload kinds into :func:`dumps` /
+:func:`loads` via :func:`register_serializer` (the service layer's
+request/response models do this).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Union
+from typing import Any, Callable, Dict, Union
 
 from repro.exceptions import ProblemError
+from repro.annealing.sampleset import SampleRecord, SampleSet
 from repro.joinorder.query_graph import Predicate, QueryGraph, Relation
 from repro.mqo.problem import MqoProblem, Plan, Saving
 from repro.qubo.bqm import BinaryQuadraticModel, Vartype
@@ -123,20 +128,77 @@ def bqm_from_dict(data: Dict[str, Any]) -> BinaryQuadraticModel:
 
 
 # ----------------------------------------------------------------------
+# Sample sets
+# ----------------------------------------------------------------------
+def sampleset_to_dict(sample_set: SampleSet) -> Dict[str, Any]:
+    """Sample set → plain dictionary (variable names coerced to strings)."""
+    return {
+        "format": _FORMAT,
+        "kind": "sample_set",
+        "vartype": sample_set.vartype.name,
+        "records": [
+            {
+                "sample": {str(v): int(value) for v, value in r.sample.items()},
+                "energy": r.energy,
+                "num_occurrences": r.num_occurrences,
+                "chain_break_fraction": r.chain_break_fraction,
+            }
+            for r in sample_set.records
+        ],
+    }
+
+
+def sampleset_from_dict(data: Dict[str, Any]) -> SampleSet:
+    """Dictionary → sample set (records re-sorted on construction)."""
+    _check(data, "sample_set")
+    records = [
+        SampleRecord(
+            sample={str(v): int(value) for v, value in r["sample"].items()},
+            energy=float(r["energy"]),
+            num_occurrences=int(r.get("num_occurrences", 1)),
+            chain_break_fraction=float(r.get("chain_break_fraction", 0.0)),
+        )
+        for r in data["records"]
+    ]
+    return SampleSet(records, Vartype[data["vartype"]])
+
+
+# ----------------------------------------------------------------------
 # JSON front ends
 # ----------------------------------------------------------------------
 _SERIALIZERS = {
     MqoProblem: mqo_to_dict,
     QueryGraph: query_graph_to_dict,
     BinaryQuadraticModel: bqm_to_dict,
+    SampleSet: sampleset_to_dict,
 }
 _DESERIALIZERS = {
     "mqo_problem": mqo_from_dict,
     "query_graph": query_graph_from_dict,
     "bqm": bqm_from_dict,
+    "sample_set": sampleset_from_dict,
 }
 
-Serializable = Union[MqoProblem, QueryGraph, BinaryQuadraticModel]
+Serializable = Union[MqoProblem, QueryGraph, BinaryQuadraticModel, SampleSet]
+
+
+def register_serializer(
+    cls: type,
+    kind: str,
+    to_dict: Callable[[Any], Dict[str, Any]],
+    from_dict: Callable[[Dict[str, Any]], Any],
+    replace: bool = False,
+) -> None:
+    """Plug a new payload kind into :func:`dumps` / :func:`loads`.
+
+    ``to_dict`` must emit a dictionary carrying ``format`` and ``kind``
+    keys (see the built-in serializers); ``from_dict`` is dispatched on
+    that ``kind``.  Collisions raise unless ``replace`` is set.
+    """
+    if not replace and (cls in _SERIALIZERS or kind in _DESERIALIZERS):
+        raise ProblemError(f"serializer for {cls.__name__}/{kind!r} already registered")
+    _SERIALIZERS[cls] = to_dict
+    _DESERIALIZERS[kind] = from_dict
 
 
 def dumps(obj: Serializable, indent: int = 2) -> str:

@@ -1,0 +1,100 @@
+"""Thread-safe LRU caches for compiled problems and served results.
+
+Two sections, both keyed by content hashes (the harness's
+fingerprinting approach — SHA-256 over canonical JSON):
+
+* **compiled** — problem fingerprint → problem adapter holding the
+  built QUBO, so repeated requests for the same instance skip QUBO
+  construction entirely;
+* **results** — (fingerprint, solve seed, policy) → the served plan,
+  so an identical request is answered from memory.  Because solve
+  seeds derive from problem content (see
+  :meth:`repro.service.core.OptimizationService.optimize`), a result
+  restored from this cache is bit-identical to what the fallback chain
+  would recompute — reuse never changes plans or stage assignments,
+  which keeps concurrent runs reproducible.  Results that were
+  deadline-truncated are not stored, so only deterministic outcomes
+  propagate.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+__all__ = ["CompilationCache"]
+
+
+class _LruSection:
+    """One bounded LRU map (not thread-safe on its own)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self.entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            self.hits += 1
+            return self.entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        self.entries[key] = value
+        self.entries.move_to_end(key)
+        while len(self.entries) > self.capacity:
+            self.entries.popitem(last=False)
+
+    def stats(self) -> Dict[str, float]:
+        lookups = self.hits + self.misses
+        return {
+            "size": len(self.entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }
+
+
+class CompilationCache:
+    """Compiled-problem and served-result cache behind one lock."""
+
+    def __init__(self, compiled_capacity: int = 256, result_capacity: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._compiled = _LruSection(compiled_capacity)
+        self._results = _LruSection(result_capacity)
+
+    # -- compiled adapters ---------------------------------------------
+    def get_compiled(self, fingerprint: str) -> Optional[Any]:
+        with self._lock:
+            return self._compiled.get(fingerprint)
+
+    def put_compiled(self, fingerprint: str, adapter: Any) -> None:
+        with self._lock:
+            self._compiled.put(fingerprint, adapter)
+
+    # -- served results ------------------------------------------------
+    def get_result(self, key: str) -> Optional[Any]:
+        with self._lock:
+            return self._results.get(key)
+
+    def put_result(self, key: str, outcome: Any) -> None:
+        with self._lock:
+            self._results.put(key, outcome)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {
+                "compiled": self._compiled.stats(),
+                "results": self._results.stats(),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._compiled.entries.clear()
+            self._results.entries.clear()

@@ -1,0 +1,208 @@
+"""The optimization service: deadline-aware serving with fallback chains.
+
+:class:`OptimizationService` is embeddable and thread-safe: any number
+of threads may call :meth:`~OptimizationService.optimize` concurrently
+against shared caches and metrics.  :class:`BatchScheduler` adds a
+worker pool with admission control on top — a bounded in-flight count,
+rejecting excess requests with a reason instead of queueing unboundedly.
+
+Determinism contract: a request's solve seed is derived (harness
+SHA-256 scheme) from the root seed, the problem's content fingerprint,
+and the policy — *not* from request ids or arrival order.  Two requests
+carrying the same problem therefore produce identical plans and stage
+assignments whether they run serially, concurrently, or get served
+from the result cache, and a rerun of a whole workload with the same
+root seed reproduces it plan-for-plan (as long as every stage reached
+completes within its deadline slice).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from threading import Lock
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import derive_seed, resolve_workers
+from repro.service.cache import CompilationCache
+from repro.service.chain import StageSpec, default_policy, policy_key, run_chain
+from repro.service.metrics import Metrics
+from repro.service.problems import make_adapter
+from repro.service.request import OptimizationRequest, OptimizationResult
+
+__all__ = ["BatchScheduler", "OptimizationService"]
+
+
+class OptimizationService:
+    """Serve MQO / join-ordering requests under per-request deadlines."""
+
+    def __init__(
+        self,
+        policy: Optional[Sequence[StageSpec]] = None,
+        seed: int = 0,
+        compiled_capacity: int = 256,
+        result_capacity: int = 1024,
+    ) -> None:
+        self.policy: Tuple[StageSpec, ...] = (
+            tuple(policy) if policy is not None else default_policy()
+        )
+        self.seed = int(seed)
+        self.cache = CompilationCache(compiled_capacity, result_capacity)
+        self.metrics = Metrics()
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def optimize(self, request: OptimizationRequest) -> OptimizationResult:
+        """Serve one request: best-effort plan within its deadline."""
+        start = time.perf_counter()
+        self.metrics.incr("requests_total")
+        self.metrics.incr(f"requests_kind.{request.kind}")
+
+        policy = request.policy if request.policy is not None else self.policy
+        pkey = policy_key(policy, request.mode)
+        adapter = self._compiled_adapter(request)
+        root_seed = self.seed if request.seed is None else int(request.seed)
+        solve_seed = derive_seed(
+            root_seed,
+            "repro.service",
+            {"fingerprint": adapter.fingerprint, "policy": pkey},
+        )
+        result_key = f"{adapter.fingerprint}|{solve_seed}|{pkey}"
+
+        cached = self.cache.get_result(result_key) if request.deadline_ms > 0 else None
+        if cached is not None:
+            self.metrics.incr("cache.result_hits")
+            result = self._finish(request, cached, start, cache_hit=True)
+            return result
+        self.metrics.incr("cache.result_misses")
+
+        outcome = run_chain(
+            adapter,
+            policy,
+            deadline_s=request.deadline_ms / 1000.0,
+            seed=solve_seed,
+            mode=request.mode,
+        )
+        if not outcome.deadline_exceeded:
+            # only deterministic (untruncated) outcomes may be reused
+            self.cache.put_result(result_key, outcome)
+        for entry in outcome.stage_trace:
+            self.metrics.observe(f"stage_seconds.{entry['stage']}", entry["seconds"])
+        return self._finish(request, outcome, start, cache_hit=False)
+
+    def reject(self, request: OptimizationRequest, reason: str) -> OptimizationResult:
+        """Admission-control rejection (also counted in the metrics)."""
+        self.metrics.incr("requests_total")
+        self.metrics.incr("requests_rejected")
+        return OptimizationResult(
+            request_id=request.request_id,
+            kind=request.kind,
+            status="rejected",
+            reject_reason=reason,
+        )
+
+    def stats(self) -> Dict:
+        """Metrics + cache snapshot for dashboards and the CLI."""
+        snapshot = self.metrics.snapshot()
+        snapshot["cache"] = self.cache.stats()
+        snapshot["uptime_seconds"] = time.perf_counter() - self._started
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def _compiled_adapter(self, request: OptimizationRequest):
+        probe = make_adapter(request.kind, request.problem)
+        cached = self.cache.get_compiled(probe.fingerprint)
+        if cached is not None:
+            self.metrics.incr("cache.compile_hits")
+            return cached
+        self.metrics.incr("cache.compile_misses")
+        probe.bqm()  # compile eagerly so the cached adapter is immutable
+        self.cache.put_compiled(probe.fingerprint, probe)
+        return probe
+
+    def _finish(
+        self, request: OptimizationRequest, outcome, start: float, cache_hit: bool
+    ) -> OptimizationResult:
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.metrics.incr("requests_ok")
+        self.metrics.incr(f"served_by.{outcome.served_by}")
+        if outcome.deadline_exceeded:
+            self.metrics.incr("deadline_exceeded")
+        self.metrics.observe("latency_ms", elapsed_ms)
+        return OptimizationResult(
+            request_id=request.request_id,
+            kind=request.kind,
+            status="ok",
+            plan=dict(outcome.plan),
+            cost=outcome.cost,
+            energy=outcome.energy,
+            valid=outcome.valid,
+            served_by=outcome.served_by,
+            deadline_exceeded=outcome.deadline_exceeded,
+            cache_hit=cache_hit,
+            elapsed_ms=elapsed_ms,
+            stage_trace=outcome.stage_trace,
+        )
+
+
+class BatchScheduler:
+    """Run many in-flight requests on a worker pool with admission control.
+
+    ``queue_limit`` bounds the number of admitted-but-unfinished
+    requests; beyond it, :meth:`submit` resolves immediately to a
+    ``rejected`` result naming the saturation reason.  Worker count
+    resolves through the harness convention (explicit argument, then
+    ``REPRO_BENCH_WORKERS``, then 1).
+    """
+
+    def __init__(
+        self,
+        service: OptimizationService,
+        workers: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        self.workers = resolve_workers(workers)
+        self.queue_limit = queue_limit
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-service"
+        )
+        self._lock = Lock()
+        self._in_flight = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: OptimizationRequest) -> "Future[OptimizationResult]":
+        """Admit (or reject) one request; returns a future result."""
+        with self._lock:
+            if self.queue_limit is not None and self._in_flight >= self.queue_limit:
+                reason = (
+                    f"queue saturated: {self._in_flight} request(s) in flight "
+                    f"(limit {self.queue_limit})"
+                )
+                future: "Future[OptimizationResult]" = Future()
+                future.set_result(self.service.reject(request, reason))
+                return future
+            self._in_flight += 1
+        return self._pool.submit(self._run, request)
+
+    def run(self, requests: Sequence[OptimizationRequest]) -> List[OptimizationResult]:
+        """Submit a whole workload; results come back in request order."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    def _run(self, request: OptimizationRequest) -> OptimizationResult:
+        try:
+            return self.service.optimize(request)
+        finally:
+            with self._lock:
+                self._in_flight -= 1

@@ -1,0 +1,103 @@
+"""Lightweight in-process metrics for the optimization service.
+
+Counters and latency histograms behind one lock, cheap enough to sit
+on the request hot path.  :meth:`Metrics.snapshot` returns a plain
+nested dictionary (JSON-ready via :func:`repro.serialization.to_jsonable`)
+so the CLI can dump a stats block after a run and tests can assert on
+exact counter values.
+
+Percentiles use the nearest-rank method on the recorded values; the
+per-histogram sample buffer is capped (default 65536 observations) to
+bound memory on long-lived services — far above anything the bench
+driver produces, so snapshots in this repo are exact.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional
+
+__all__ = ["Histogram", "Metrics", "percentile"]
+
+_DEFAULT_CAPACITY = 65536
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not values:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+class Histogram:
+    """A bounded reservoir of observations with summary statistics."""
+
+    def __init__(self, capacity: int = _DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self._values: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max: Optional[float] = None
+        self._min: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._total += value
+        self._max = value if self._max is None else max(self._max, value)
+        self._min = value if self._min is None else min(self._min, value)
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+
+    def snapshot(self) -> Dict[str, float]:
+        if self._count == 0:
+            return {"count": 0}
+        return {
+            "count": self._count,
+            "mean": self._total / self._count,
+            "min": self._min,
+            "max": self._max,
+            "p50": percentile(self._values, 50.0),
+            "p95": percentile(self._values, 95.0),
+            "p99": percentile(self._values, 99.0),
+        }
+
+
+class Metrics:
+    """Thread-safe named counters and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.record(value)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All counters and histogram summaries, sorted by name."""
+        with self._lock:
+            return {
+                "counters": {k: self._counters[k] for k in sorted(self._counters)},
+                "histograms": {
+                    k: self._histograms[k].snapshot()
+                    for k in sorted(self._histograms)
+                },
+            }

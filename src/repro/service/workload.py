@@ -1,0 +1,74 @@
+"""Deterministic synthetic request workloads for the service bench.
+
+A workload is a pure function of its arguments: problem shapes, seeds
+and the duplicate pattern all derive from one root seed, so
+``serve-bench`` reruns are reproducible end to end.  A configurable
+fraction of requests repeats an earlier problem instance verbatim
+(fresh request id, same content), which is what exercises the service's
+compilation and result caches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.joinorder.generators import chain_query, cycle_query, star_query
+from repro.mqo.generator import random_mqo_problem
+from repro.service.chain import StageSpec
+from repro.service.request import KIND_JOIN_ORDER, KIND_MQO, OptimizationRequest
+
+__all__ = ["synthetic_requests"]
+
+_JOIN_SHAPES = (chain_query, star_query, cycle_query)
+
+
+def synthetic_requests(
+    count: int,
+    seed: int = 0,
+    deadline_ms: float = 200.0,
+    mqo_fraction: float = 0.5,
+    duplicate_fraction: float = 0.25,
+    queries_range: Tuple[int, int] = (4, 8),
+    plans_per_query_range: Tuple[int, int] = (2, 3),
+    relations_range: Tuple[int, int] = (4, 7),
+    policy: Optional[Sequence[StageSpec]] = None,
+    mode: str = "first_valid",
+) -> List[OptimizationRequest]:
+    """A mixed MQO + join-ordering workload of ``count`` requests."""
+    rng = np.random.default_rng(seed)
+    policy = None if policy is None else tuple(policy)
+    requests: List[OptimizationRequest] = []
+    for index in range(count):
+        if requests and float(rng.random()) < duplicate_fraction:
+            # repeat an earlier problem verbatim under a fresh id
+            earlier = requests[int(rng.integers(0, len(requests)))]
+            requests.append(earlier.with_id(f"req-{index:04d}"))
+            continue
+        if float(rng.random()) < mqo_fraction:
+            kind = KIND_MQO
+            problem = random_mqo_problem(
+                int(rng.integers(queries_range[0], queries_range[1] + 1)),
+                int(rng.integers(plans_per_query_range[0], plans_per_query_range[1] + 1)),
+                seed=int(rng.integers(0, 2**31)),
+            )
+        else:
+            kind = KIND_JOIN_ORDER
+            maker = _JOIN_SHAPES[int(rng.integers(0, len(_JOIN_SHAPES)))]
+            problem = maker(
+                int(rng.integers(relations_range[0], relations_range[1] + 1)),
+                seed=int(rng.integers(0, 2**31)),
+            )
+        requests.append(
+            OptimizationRequest(
+                request_id=f"req-{index:04d}",
+                kind=kind,
+                problem=problem,
+                deadline_ms=deadline_ms,
+                seed=seed,
+                policy=policy,
+                mode=mode,
+            )
+        )
+    return requests

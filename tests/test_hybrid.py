@@ -386,3 +386,81 @@ class TestSolveCommand:
 
         assert main(["solve", "--solver", "bogus"]) == 2
         assert "unknown solver" in capsys.readouterr().err
+
+
+class TestSolverOptionValidation:
+    def test_unknown_option_raises_with_valid_list(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_solver("sa", num_readz=5)
+        message = str(excinfo.value)
+        assert "num_readz" in message
+        assert "num_reads" in message  # lists the valid options
+
+    def test_unknown_option_names_all_offenders(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_solver("tabu", bogus=1, also_bogus=2)
+        message = str(excinfo.value)
+        assert "bogus" in message and "also_bogus" in message
+
+    def test_valid_options_catalog(self):
+        from repro.hybrid import valid_options
+
+        assert "num_reads" in valid_options("sa")
+        assert "tenure" in valid_options("tabu")
+        assert "sub_size" in valid_options("hybrid")
+
+    def test_var_keyword_factory_opts_out(self):
+        from repro.hybrid import valid_options
+
+        def permissive_factory(**kwargs):
+            return make_solver("greedy")
+
+        register_solver("permissive", permissive_factory, replace=True)
+        try:
+            assert valid_options("permissive") is None
+            make_solver("permissive", anything_goes=True)  # no raise
+        finally:
+            _FACTORIES.pop("permissive", None)
+
+    def test_known_options_still_accepted(self):
+        solver = make_solver("sa", num_reads=3, num_sweeps=50, seed=1)
+        bqm = MqoQuboBuilder(random_mqo_problem(3, 2, seed=0)).build()
+        result = solver.solve(bqm)
+        assert result.energy == pytest.approx(result.energy)
+
+
+class TestTimeBudgetedSolve:
+    def _bqm(self):
+        return MqoQuboBuilder(random_mqo_problem(6, 3, seed=4)).build()
+
+    def test_supports_time_budget_probe(self):
+        from repro.hybrid import supports_time_budget
+
+        assert supports_time_budget(make_solver("sa"))
+        assert supports_time_budget(make_solver("greedy"))
+        assert supports_time_budget(make_solver("hybrid"))
+
+    def test_budgeted_solve_deterministic(self):
+        bqm = self._bqm()
+        first = make_solver("sa", num_reads=4).solve(bqm, seed=7, time_budget=10.0)
+        second = make_solver("sa", num_reads=4).solve(bqm, seed=7, time_budget=10.0)
+        assert first.sample == second.sample
+        assert first.energy == second.energy
+
+    def test_tiny_budget_still_returns_a_sample(self):
+        bqm = self._bqm()
+        result = make_solver("greedy", restarts=50).solve(
+            bqm, seed=1, time_budget=1e-9
+        )
+        assert set(result.sample) == set(bqm.variables)
+
+    def test_hybrid_accepts_budget(self):
+        bqm = self._bqm()
+        result = make_solver("hybrid", sub_size=8, max_rounds=2).solve(
+            bqm, seed=3, time_budget=30.0
+        )
+        assert set(result.sample) == set(bqm.variables)

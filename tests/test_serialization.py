@@ -82,3 +82,81 @@ class TestFrontEnds:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ProblemError):
             loads('{"kind": "martian", "format": 1}')
+
+
+class TestSampleSetRoundTrip:
+    def _sample_set(self):
+        from repro.annealing.sampleset import SampleSet
+        from repro.qubo import Vartype
+
+        return SampleSet.from_samples(
+            samples=[{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 0}],
+            energies=[-2.0, 1.5, -2.0],
+            vartype=Vartype.BINARY,
+            num_occurrences=[3, 1, 2],
+            chain_break_fractions=[0.0, 0.25, 0.0],
+        )
+
+    def test_round_trip(self):
+        from repro.serialization import sampleset_from_dict, sampleset_to_dict
+
+        sample_set = self._sample_set()
+        restored = sampleset_from_dict(sampleset_to_dict(sample_set))
+        assert restored.vartype is sample_set.vartype
+        assert len(restored.records) == len(sample_set.records)
+        for ours, theirs in zip(sample_set.records, restored.records):
+            assert theirs.sample == ours.sample
+            assert theirs.energy == ours.energy
+            assert theirs.num_occurrences == ours.num_occurrences
+            assert theirs.chain_break_fraction == ours.chain_break_fraction
+
+    def test_dumps_loads_dispatch(self):
+        from repro.annealing.sampleset import SampleSet
+
+        restored = loads(dumps(self._sample_set()))
+        assert isinstance(restored, SampleSet)
+        assert restored.first.energy == -2.0
+
+    def test_spin_vartype_preserved(self):
+        from repro.annealing.sampleset import SampleSet
+        from repro.serialization import sampleset_from_dict, sampleset_to_dict
+
+        spin = SampleSet.from_samples(
+            [{"s": -1}], [0.5], vartype=Vartype.SPIN
+        )
+        assert sampleset_from_dict(sampleset_to_dict(spin)).vartype is Vartype.SPIN
+
+    def test_kind_mismatch(self):
+        from repro.serialization import sampleset_from_dict, sampleset_to_dict
+
+        data = sampleset_to_dict(self._sample_set())
+        data["kind"] = "mqo_problem"
+        with pytest.raises(ProblemError):
+            sampleset_from_dict(data)
+
+
+class TestRegisterSerializer:
+    def test_custom_type_round_trips(self):
+        from repro.serialization import register_serializer
+
+        class Marker:
+            def __init__(self, label):
+                self.label = label
+
+        register_serializer(
+            Marker,
+            "test_marker",
+            to_dict=lambda m: {"format": 1, "kind": "test_marker", "label": m.label},
+            from_dict=lambda d: Marker(d["label"]),
+            replace=True,
+        )
+        restored = loads(dumps(Marker("hello")))
+        assert isinstance(restored, Marker)
+        assert restored.label == "hello"
+
+    def test_collision_rejected_without_replace(self):
+        from repro.mqo.problem import MqoProblem
+        from repro.serialization import mqo_from_dict, mqo_to_dict, register_serializer
+
+        with pytest.raises(ProblemError):
+            register_serializer(MqoProblem, "mqo_problem", mqo_to_dict, mqo_from_dict)

@@ -1,0 +1,390 @@
+"""Tests for the deadline-aware optimization service."""
+
+import time
+
+import pytest
+
+from repro import serialization
+from repro.exceptions import ConfigurationError, ProblemError
+from repro.hybrid.registry import register_solver
+from repro.hybrid.solver import SolveResult
+from repro.joinorder.generators import chain_query, star_query
+from repro.mqo.generator import random_mqo_problem
+from repro.service import (
+    BatchScheduler,
+    OptimizationRequest,
+    OptimizationService,
+    StageSpec,
+    default_policy,
+    make_adapter,
+    parse_policy,
+    synthetic_requests,
+)
+from repro.service.chain import FALLBACK_STAGE, policy_key, run_chain
+from repro.service.metrics import Histogram, Metrics, percentile
+from repro.service.problems import JoinOrderAdapter, MqoAdapter
+
+
+@pytest.fixture
+def mqo_problem():
+    return random_mqo_problem(5, 3, seed=11)
+
+
+@pytest.fixture
+def join_graph():
+    return star_query(5, seed=11)
+
+
+def mqo_request(problem, **kwargs):
+    defaults = dict(request_id="r1", kind="mqo", problem=problem, deadline_ms=500.0)
+    defaults.update(kwargs)
+    return OptimizationRequest(**defaults)
+
+
+class SleepySolver:
+    """Test double: sleeps, then answers via greedy descent (valid MQO)."""
+
+    name = "sleepy"
+    capabilities = frozenset({"test"})
+    max_variables = None
+
+    def __init__(self, delay: float = 0.03) -> None:
+        self.delay = delay
+
+    def solve(self, bqm, seed=None):
+        from repro.hybrid import make_solver
+
+        time.sleep(self.delay)
+        result = make_solver("greedy", restarts=4).solve(bqm, seed=seed)
+        return SolveResult(sample=result.sample, energy=result.energy, solver=self.name)
+
+
+register_solver("sleepy", SleepySolver, replace=True)
+
+
+# ----------------------------------------------------------------------
+# Request / result models
+# ----------------------------------------------------------------------
+class TestRequestModel:
+    def test_kind_payload_mismatch(self, mqo_problem):
+        with pytest.raises(ProblemError):
+            OptimizationRequest(request_id="x", kind="join_order", problem=mqo_problem)
+
+    def test_unknown_kind(self, mqo_problem):
+        with pytest.raises(ProblemError):
+            OptimizationRequest(request_id="x", kind="sql", problem=mqo_problem)
+
+    def test_unknown_mode(self, mqo_problem):
+        with pytest.raises(ProblemError):
+            mqo_request(mqo_problem, mode="fastest")
+
+    def test_request_json_round_trip(self, mqo_problem):
+        request = mqo_request(
+            mqo_problem,
+            seed=3,
+            policy=parse_policy("tabu,greedy"),
+            mode="exhaust",
+        )
+        restored = serialization.loads(serialization.dumps(request))
+        assert restored == request
+
+    def test_join_request_round_trip(self, join_graph):
+        request = OptimizationRequest(
+            request_id="j1", kind="join_order", problem=join_graph
+        )
+        restored = serialization.loads(serialization.dumps(request))
+        assert restored == request
+
+    def test_result_json_round_trip(self, mqo_problem):
+        result = OptimizationService(seed=0).optimize(mqo_request(mqo_problem))
+        restored = serialization.loads(serialization.dumps(result))
+        assert restored.plan == result.plan
+        assert restored.served_by == result.served_by
+        assert restored.cost == result.cost
+        assert restored.stage_trace == result.stage_trace
+
+
+class TestPolicyParsing:
+    def test_parse_names(self):
+        policy = parse_policy("tabu, greedy")
+        assert [s.solver for s in policy] == ["tabu", "greedy"]
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_policy("")
+
+    def test_default_policy_order(self):
+        assert [s.solver for s in default_policy()] == ["hybrid", "tabu", "sa", "greedy"]
+
+    def test_stage_weight_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            StageSpec("greedy", weight=0.0)
+
+    def test_policy_key_distinguishes_mode(self):
+        policy = default_policy()
+        assert policy_key(policy, "first_valid") != policy_key(policy, "exhaust")
+
+
+# ----------------------------------------------------------------------
+# Fallback-chain semantics
+# ----------------------------------------------------------------------
+class TestChain:
+    def test_first_valid_stops_early(self, mqo_problem):
+        adapter = MqoAdapter(mqo_problem)
+        outcome = run_chain(
+            adapter, parse_policy("greedy,tabu"), deadline_s=5.0, seed=1
+        )
+        assert outcome.valid
+        assert outcome.served_by == "greedy"
+        assert [e["stage"] for e in outcome.stage_trace] == ["greedy"]
+
+    def test_exhaust_keeps_best_stage(self, mqo_problem):
+        adapter = MqoAdapter(mqo_problem)
+        outcome = run_chain(
+            adapter, parse_policy("greedy,tabu"), deadline_s=5.0, seed=1, mode="exhaust"
+        )
+        assert outcome.valid
+        assert [e["stage"] for e in outcome.stage_trace] == ["greedy", "tabu"]
+        best = min(
+            (e for e in outcome.stage_trace if e["valid"]),
+            key=lambda e: e["cost"],
+        )
+        assert outcome.cost == best["cost"]
+
+    def test_chain_deterministic(self, join_graph):
+        adapter = JoinOrderAdapter(join_graph)
+        first = run_chain(adapter, default_policy(), deadline_s=5.0, seed=9)
+        second = run_chain(
+            JoinOrderAdapter(join_graph), default_policy(), deadline_s=5.0, seed=9
+        )
+        assert first.plan == second.plan
+        assert first.served_by == second.served_by
+
+    def test_invalid_stage_falls_through(self, join_graph):
+        # a single greedy descent on the permutation QUBO rarely lands
+        # on a valid permutation; the chain must degrade to the
+        # guaranteed classical fallback instead of failing
+        adapter = JoinOrderAdapter(join_graph)
+        outcome = run_chain(
+            adapter,
+            (StageSpec("greedy", (("restarts", 1),)),),
+            deadline_s=5.0,
+            seed=2,
+        )
+        assert outcome.valid
+        assert adapter.validate(outcome.plan)
+
+
+class TestDeadlineSemantics:
+    def test_mid_chain_expiry_returns_best_so_far(self, mqo_problem):
+        # stage 1 (sleepy) overruns the deadline but produces a valid
+        # answer; stage 2 must be skipped and the flag set
+        request = mqo_request(
+            mqo_problem,
+            deadline_ms=10.0,
+            policy=parse_policy("sleepy,tabu"),
+            mode="exhaust",
+        )
+        result = OptimizationService(seed=0).optimize(request)
+        assert result.status == "ok"
+        assert result.valid
+        assert result.served_by == "sleepy"
+        assert result.deadline_exceeded
+        assert [e["stage"] for e in result.stage_trace] == ["sleepy"]
+
+    def test_zero_deadline_serves_fallback(self, mqo_problem):
+        result = OptimizationService(seed=0).optimize(
+            mqo_request(mqo_problem, deadline_ms=0.0)
+        )
+        assert result.status == "ok"
+        assert result.valid
+        assert result.served_by == FALLBACK_STAGE
+        assert result.deadline_exceeded
+        assert mqo_problem.is_valid_selection(result.plan["selected_plans"])
+
+    def test_negative_deadline_serves_fallback(self, join_graph):
+        request = OptimizationRequest(
+            request_id="j", kind="join_order", problem=join_graph, deadline_ms=-5.0
+        )
+        result = OptimizationService(seed=0).optimize(request)
+        assert result.valid
+        assert result.served_by == FALLBACK_STAGE
+        assert make_adapter("join_order", join_graph).validate(result.plan)
+
+    def test_ample_deadline_not_flagged(self, mqo_problem):
+        result = OptimizationService(seed=0).optimize(
+            mqo_request(mqo_problem, deadline_ms=10_000.0)
+        )
+        assert not result.deadline_exceeded
+
+
+# ----------------------------------------------------------------------
+# Service: caching, determinism, metrics
+# ----------------------------------------------------------------------
+class TestService:
+    def test_result_cache_replays_identical_answer(self, mqo_problem):
+        service = OptimizationService(seed=0)
+        first = service.optimize(mqo_request(mqo_problem))
+        second = service.optimize(mqo_request(mqo_problem, request_id="r2"))
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.plan == first.plan
+        assert second.served_by == first.served_by
+        assert service.metrics.counter("cache.result_hits") == 1
+
+    def test_compilation_cache_reused_across_policies(self, mqo_problem):
+        service = OptimizationService(seed=0)
+        service.optimize(mqo_request(mqo_problem, policy=parse_policy("greedy")))
+        service.optimize(
+            mqo_request(mqo_problem, request_id="r2", policy=parse_policy("tabu"))
+        )
+        assert service.metrics.counter("cache.compile_hits") == 1
+        # different policy → different result key → no result-cache hit
+        assert service.metrics.counter("cache.result_hits") == 0
+
+    def test_truncated_results_not_cached(self, mqo_problem):
+        service = OptimizationService(seed=0)
+        service.optimize(mqo_request(mqo_problem, deadline_ms=0.0))
+        assert service.cache.stats()["results"]["size"] == 0
+
+    def test_identical_problems_share_plans_regardless_of_id(self, join_graph):
+        service = OptimizationService(seed=3)
+        a = service.optimize(
+            OptimizationRequest(request_id="a", kind="join_order", problem=join_graph)
+        )
+        fresh = OptimizationService(seed=3)
+        b = fresh.optimize(
+            OptimizationRequest(request_id="b", kind="join_order", problem=join_graph)
+        )
+        assert a.plan == b.plan
+        assert a.served_by == b.served_by
+
+    def test_metrics_snapshot_shape(self, mqo_problem):
+        service = OptimizationService(seed=0)
+        service.optimize(mqo_request(mqo_problem))
+        stats = service.stats()
+        assert stats["counters"]["requests_total"] == 1
+        assert stats["counters"]["requests_ok"] == 1
+        assert stats["histograms"]["latency_ms"]["count"] == 1
+        assert "compiled" in stats["cache"] and "results" in stats["cache"]
+
+
+class TestScheduler:
+    def test_batch_matches_serial(self):
+        requests = synthetic_requests(10, seed=5, deadline_ms=2000.0)
+        parallel_service = OptimizationService(seed=5)
+        with BatchScheduler(parallel_service, workers=4) as scheduler:
+            parallel = scheduler.run(requests)
+        serial_service = OptimizationService(seed=5)
+        serial = [serial_service.optimize(r) for r in requests]
+        assert [r.plan for r in parallel] == [r.plan for r in serial]
+        assert [r.served_by for r in parallel] == [r.served_by for r in serial]
+
+    def test_admission_control_rejects_with_reason(self, mqo_problem):
+        service = OptimizationService(seed=0)
+        requests = [
+            mqo_request(
+                mqo_problem,
+                request_id=f"r{i}",
+                policy=parse_policy("sleepy"),
+                seed=i,  # distinct seeds: no result-cache shortcuts
+            )
+            for i in range(5)
+        ]
+        with BatchScheduler(service, workers=1, queue_limit=2) as scheduler:
+            results = scheduler.run(requests)
+        rejected = [r for r in results if r.status == "rejected"]
+        assert rejected, "saturated queue should reject"
+        assert "limit 2" in rejected[0].reject_reason
+        assert service.metrics.counter("requests_rejected") == len(rejected)
+        served = [r for r in results if r.status == "ok"]
+        assert all(r.valid for r in served)
+
+    def test_no_limit_serves_everything(self):
+        requests = synthetic_requests(6, seed=1, deadline_ms=2000.0)
+        with BatchScheduler(OptimizationService(seed=1), workers=2) as scheduler:
+            results = scheduler.run(requests)
+        assert all(r.status == "ok" and r.valid for r in results)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        first = synthetic_requests(12, seed=9)
+        second = synthetic_requests(12, seed=9)
+        assert [r.problem for r in first] == [r.problem for r in second]
+        assert [r.kind for r in first] == [r.kind for r in second]
+
+    def test_duplicates_repeat_content(self):
+        requests = synthetic_requests(40, seed=2, duplicate_fraction=0.5)
+        ids = [r.request_id for r in requests]
+        assert len(set(ids)) == len(ids), "request ids stay unique"
+        problems = [r.problem for r in requests]
+        assert any(
+            problems[i] == problems[j]
+            for i in range(len(problems))
+            for j in range(i + 1, len(problems))
+        )
+
+    def test_mix_respects_fraction_bounds(self):
+        only_mqo = synthetic_requests(8, seed=3, mqo_fraction=1.0, duplicate_fraction=0.0)
+        assert {r.kind for r in only_mqo} == {"mqo"}
+        only_join = synthetic_requests(8, seed=3, mqo_fraction=0.0, duplicate_fraction=0.0)
+        assert {r.kind for r in only_join} == {"join_order"}
+
+
+# ----------------------------------------------------------------------
+# Metrics primitives
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50.0) == 50.0
+        assert percentile(values, 95.0) == 95.0
+        assert percentile(values, 100.0) == 100.0
+
+    def test_histogram_snapshot(self):
+        histogram = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            histogram.record(v)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["mean"] == 2.5
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+
+    def test_empty_histogram(self):
+        assert Histogram().snapshot() == {"count": 0}
+
+    def test_counters(self):
+        metrics = Metrics()
+        metrics.incr("a")
+        metrics.incr("a", 2)
+        assert metrics.counter("a") == 3
+        assert metrics.counter("missing") == 0
+
+
+# ----------------------------------------------------------------------
+# Adapters
+# ----------------------------------------------------------------------
+class TestAdapters:
+    def test_mqo_fingerprint_is_content_hash(self):
+        p1 = random_mqo_problem(4, 2, seed=1)
+        p2 = random_mqo_problem(4, 2, seed=1)
+        p3 = random_mqo_problem(4, 2, seed=2)
+        assert MqoAdapter(p1).fingerprint == MqoAdapter(p2).fingerprint
+        assert MqoAdapter(p1).fingerprint != MqoAdapter(p3).fingerprint
+
+    def test_join_adapter_decode_rejects_broken_onehots(self):
+        adapter = JoinOrderAdapter(chain_query(4, seed=0))
+        plan, cost, valid = adapter.decode({})  # all-zero sample
+        assert not valid
+        assert cost == float("inf")
+
+    def test_fallbacks_always_valid(self, mqo_problem, join_graph):
+        plan, cost = MqoAdapter(mqo_problem).fallback(0)
+        assert mqo_problem.is_valid_selection(plan["selected_plans"])
+        jplan, jcost = JoinOrderAdapter(join_graph).fallback(0)
+        assert JoinOrderAdapter(join_graph).validate(jplan)
+
+    def test_unknown_kind_rejected(self, mqo_problem):
+        with pytest.raises(ProblemError):
+            make_adapter("sql", mqo_problem)
