@@ -18,6 +18,10 @@ Commands
 ``serve-bench``
     Drive the optimization service with a synthetic request workload
     and print a metrics snapshot.
+``verify``
+    Run the cross-solver differential verification sweep: every
+    registry solver plus the service fallback chain against exact
+    oracles, with the encoding-invariant catalog.
 ``info``
     Show the package's system inventory and reproduction targets.
 """
@@ -416,6 +420,46 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from repro.verify import run_verification
+
+    if args.cache_dir is not None:
+        # the oracle cache resolves its directory from the environment
+        # inside harness worker processes; flags must win over it
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+    solvers = None
+    if args.solver:
+        solvers = [s for s in (p.strip() for p in args.solver.split(",")) if s]
+
+    report = run_verification(
+        suite=args.suite,
+        solvers=solvers,
+        seed=args.seed,
+        workers=args.workers,
+        inject=args.inject,
+        oracle_cache=not args.no_cache,
+        include_chain=not args.no_chain,
+        include_gate=not args.no_gate,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    if not report.ok:
+        first = report.first_violation()
+        print(
+            f"error: {len(report.violations)} verification violation(s); "
+            f"first: invariant '{first.get('invariant')}' violated by "
+            f"{first.get('subject')}: {first.get('message')}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_info(_: argparse.Namespace) -> int:
     import repro
 
@@ -568,6 +612,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", default=None, help="dump results + metrics JSON here"
     )
     bench.set_defaults(func=_cmd_serve_bench)
+
+    verify = sub.add_parser(
+        "verify",
+        help="differential verification: all solvers vs exact oracles",
+    )
+    verify.add_argument(
+        "--suite", choices=("quick", "full"), default="quick",
+        help="corpus size: quick (CI smoke) or full",
+    )
+    verify.add_argument(
+        "--solver", default=None,
+        help="comma-separated registry solver subset (default: all)",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel worker processes (default: REPRO_BENCH_WORKERS or 1); "
+        "the report is identical for any worker count",
+    )
+    verify.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic JSON report instead of the table",
+    )
+    verify.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute oracle ground truths, ignoring results/.cache",
+    )
+    verify.add_argument(
+        "--cache-dir", default=None,
+        help="oracle-cache directory (default: REPRO_CACHE_DIR or results/.cache)",
+    )
+    verify.add_argument(
+        "--no-chain", action="store_true",
+        help="skip the service fallback-chain points",
+    )
+    verify.add_argument(
+        "--no-gate", action="store_true",
+        help="skip the transpiled-circuit equivalence points",
+    )
+    verify.add_argument(
+        "--inject", choices=("none", "offset", "ising", "decode", "energy"),
+        default="none",
+        help="plant a known bug to prove the harness catches it "
+        "(must exit non-zero)",
+    )
+    verify.set_defaults(func=_cmd_verify)
 
     info = sub.add_parser("info", help="package overview")
     info.set_defaults(func=_cmd_info)

@@ -59,3 +59,10 @@ class ConfigurationError(ReproError):
     """A runtime configuration knob (environment variable, CLI flag,
     harness parameter) holds an invalid value — e.g. a non-integer
     ``REPRO_BENCH_SAMPLES`` or a worker count below one."""
+
+
+class VerificationError(ReproError):
+    """The differential-verification harness (:mod:`repro.verify`)
+    detected an invariant violation — a solver disagreeing with the
+    exact oracle, an encoding that fails its round-trip, or a decoded
+    plan inconsistent with its raw bitstring."""

@@ -1,0 +1,143 @@
+"""The seeded instance corpus the differential sweep runs over.
+
+A :class:`Case` is a *description* — problem kind plus generator
+parameters — not a built instance, so cases are picklable and cheap to
+ship to harness worker processes; :func:`build_case` reconstructs the
+actual problem, QUBO builder, compiled BQM and service adapter on
+demand (deterministically: the instance seed is part of the params).
+
+Two suites:
+
+* ``quick`` — five small instances (4–16 QUBO variables), all within
+  the energy oracle's brute-force range; sized for CI smoke runs.
+* ``full`` — the quick cases plus larger MQO instances and join graphs
+  up to 7 relations (49-variable direct QUBOs, beyond brute force but
+  still within the exhaustive-permutation domain oracle).
+
+Instance seeds derive from the root seed and the case's shape via the
+harness SHA-256 scheme, so two sweeps with the same root seed verify
+byte-identical instances regardless of worker count or case order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.harness import derive_seed
+
+__all__ = ["BuiltCase", "Case", "SUITES", "build_case", "build_corpus"]
+
+SUITES: Tuple[str, ...] = ("quick", "full")
+
+#: (queries, plans-per-query) per suite
+_MQO_SHAPES = {
+    "quick": ((2, 2), (3, 3), (4, 3)),
+    "full": ((2, 2), (3, 3), (4, 3), (4, 4), (5, 3)),
+}
+
+#: (shape, relations) per suite
+_JOIN_SHAPES = {
+    "quick": (("chain", 3), ("star", 4)),
+    "full": (("chain", 3), ("star", 4), ("cycle", 4), ("chain", 5), ("star", 7)),
+}
+
+
+@dataclass(frozen=True)
+class Case:
+    """One corpus entry: a reconstructible problem description."""
+
+    case_id: str
+    kind: str  # "mqo" | "join_order"
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class BuiltCase:
+    """A case materialized into live objects."""
+
+    case: Case
+    problem: Any  # MqoProblem | QueryGraph
+    builder: Any  # MqoQuboBuilder | DirectJoinOrderQubo
+    bqm: Any
+    adapter: Any  # service problem adapter (decode/validate/fallback)
+
+
+def build_case(case: Case) -> BuiltCase:
+    """Materialize a case description (deterministic in its params)."""
+    from repro.service.problems import make_adapter
+
+    if case.kind == "mqo":
+        from repro.mqo.generator import random_mqo_problem
+        from repro.mqo.qubo import MqoQuboBuilder
+
+        problem = random_mqo_problem(
+            case.params["queries"],
+            case.params["ppq"],
+            seed=case.params["seed"],
+        )
+        builder = MqoQuboBuilder(problem)
+        bqm = builder.build()
+        adapter = make_adapter("mqo", problem)
+    elif case.kind == "join_order":
+        from repro.joinorder.direct_qubo import DirectJoinOrderQubo
+        from repro.joinorder.generators import (
+            chain_query,
+            clique_query,
+            cycle_query,
+            star_query,
+        )
+
+        makers = {
+            "chain": chain_query,
+            "star": star_query,
+            "cycle": cycle_query,
+            "clique": clique_query,
+        }
+        graph = makers[case.params["shape"]](
+            case.params["relations"], seed=case.params["seed"]
+        )
+        problem = graph
+        builder = DirectJoinOrderQubo(graph)
+        bqm = builder.build()
+        adapter = make_adapter("join_order", graph)
+    else:
+        raise ConfigurationError(f"unknown case kind {case.kind!r}")
+    return BuiltCase(
+        case=case, problem=problem, builder=builder, bqm=bqm, adapter=adapter
+    )
+
+
+def build_corpus(suite: str = "quick", seed: int = 0) -> List[Case]:
+    """The ordered case list of a suite for a given root seed."""
+    if suite not in SUITES:
+        raise ConfigurationError(
+            f"unknown suite {suite!r}; expected one of {', '.join(SUITES)}"
+        )
+    cases: List[Case] = []
+    for queries, ppq in _MQO_SHAPES[suite]:
+        shape = {"kind": "mqo", "queries": queries, "ppq": ppq}
+        instance_seed = derive_seed(seed, "repro.verify.corpus", shape)
+        cases.append(
+            Case(
+                case_id=f"mqo-{queries}x{ppq}",
+                kind="mqo",
+                params={"queries": queries, "ppq": ppq, "seed": instance_seed},
+            )
+        )
+    for shape_name, relations in _JOIN_SHAPES[suite]:
+        shape = {"kind": "join_order", "shape": shape_name, "relations": relations}
+        instance_seed = derive_seed(seed, "repro.verify.corpus", shape)
+        cases.append(
+            Case(
+                case_id=f"join-{shape_name}-{relations}",
+                kind="join_order",
+                params={
+                    "shape": shape_name,
+                    "relations": relations,
+                    "seed": instance_seed,
+                },
+            )
+        )
+    return cases

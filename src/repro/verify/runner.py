@@ -1,0 +1,538 @@
+"""The differential sweep: every registry solver (and the service
+fallback chain) against the oracle, over the seeded corpus.
+
+Execution goes through :func:`repro.harness.run_grid`, so sweeps fan
+out over processes with the same deterministic per-point seeding as
+the experiment drivers: rows are bit-identical for any ``--workers``
+value, which is what makes ``--json`` output diffable across runs.
+
+Four point types share one grid:
+
+``solver``      one registry solver on one case — compares the
+                reported energy against the recomputed sample energy,
+                the oracle ground energy (lower bound; equality for
+                ``exact``-capability solvers) and the domain-optimum
+                cost (lower bound on any valid decoded plan)
+``chain``       the service fallback chain (``repro.service.chain``)
+                on one case under an ample deadline — the chain must
+                return a valid plan and respect the same cost bound
+``invariants``  the per-case invariant catalog: encoding round-trips,
+                ``fix_variable`` conservation, decoded-plan ↔ raw-
+                bitstring consistency, and embedding-chain validity of
+                the case's interaction graph on a Chimera target
+``gate``        transpiled-circuit statevector equivalence on random
+                circuits, both all-to-all and line topologies
+
+The ``inject`` parameter plants one of four known bugs (an offset
+shift, a mis-scaled Ising coupling, a shifted decoded cost, or a
+misreported solver energy) so the harness can prove it catches each —
+``python -m repro verify --inject offset`` must exit non-zero.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.harness import run_grid
+from repro.verify.corpus import Case, build_case, build_corpus
+from repro.verify.invariants import (
+    Violation,
+    check_embedding_validity,
+    check_fix_variable_conservation,
+    check_ising_round_trip,
+    check_join_decode_consistency,
+    check_matrix_energy,
+    check_mqo_decode_consistency,
+    check_qubo_round_trip,
+    check_transpile_equivalence,
+    random_assignments,
+    random_circuit,
+)
+from repro.verify.oracle import DEFAULT_ENERGY_LIMIT, compute_oracle
+from repro.verify.report import VerificationReport, summarize
+
+__all__ = [
+    "INJECTABLE_BUGS",
+    "run_verification",
+    "sweep_solver_names",
+]
+
+_EXPERIMENT = "verify_differential"
+_ENERGY_ATOL = 1e-6
+_CHAIN_DEADLINE_S = 60.0
+
+#: bugs the harness can plant in itself to prove it catches them
+INJECTABLE_BUGS = ("none", "offset", "ising", "decode", "energy")
+
+#: registry aliases to drop from the default sweep (same object twice)
+_ALIASES = {"exhaustive"}
+
+#: tighter variable caps than the solvers' own limits, keeping the
+#: statevector solvers off cases where simulation would dominate the
+#: sweep's wall-clock (2^n amplitudes per energy evaluation); ``exact``
+#: is capped at the oracle's brute-force range, where its optimality
+#: claim can actually be checked
+_SWEEP_LIMITS = {"vqe": 10, "qaoa": 10, "exact-eigen": 16, "exact": 20}
+
+
+def sweep_solver_names() -> List[str]:
+    """Registry solvers included in a default sweep (aliases deduped)."""
+    from repro.hybrid.registry import solver_names
+
+    return [name for name in solver_names() if name not in _ALIASES]
+
+
+def _case_variables(params: Dict[str, Any]) -> int:
+    """QUBO size of a case from its parameters alone (no build)."""
+    if "queries" in params:
+        return int(params["queries"]) * int(params["ppq"])
+    return int(params["relations"]) ** 2
+
+
+def _case_from_params(params: Dict[str, Any]) -> Case:
+    return Case(
+        case_id=params["case_id"],
+        kind=params["kind"],
+        params=dict(params["case"]),
+    )
+
+
+def _oracle_record(params: Dict[str, Any]) -> Dict[str, Any]:
+    return compute_oracle(
+        _case_from_params(params),
+        energy_limit=int(params["energy_limit"]),
+        cache=bool(params["oracle_cache"]),
+    )
+
+
+def _energy_checks(
+    solver_name: str,
+    capabilities,
+    reported_energy: float,
+    sample_energy: Optional[float],
+    oracle: Dict[str, Any],
+) -> List[Violation]:
+    """Reported-energy consistency + oracle energy bounds."""
+    violations: List[Violation] = []
+    if sample_energy is not None and abs(reported_energy - sample_energy) > _ENERGY_ATOL:
+        violations.append(
+            Violation(
+                invariant="reported-energy-consistency",
+                subject=solver_name,
+                message=(
+                    f"solver reported energy {reported_energy:.9g} but its "
+                    f"sample evaluates to {sample_energy:.9g}"
+                ),
+                details={"reported": reported_energy, "recomputed": sample_energy},
+            )
+        )
+    oracle_energy = oracle.get("energy")
+    if oracle_energy is not None:
+        energy = sample_energy if sample_energy is not None else reported_energy
+        if energy < oracle_energy - _ENERGY_ATOL:
+            violations.append(
+                Violation(
+                    invariant="oracle-energy-lower-bound",
+                    subject=solver_name,
+                    message=(
+                        f"energy {energy:.9g} undercuts the exact ground "
+                        f"energy {oracle_energy:.9g} — the encoding the solver "
+                        "saw differs from the oracle's"
+                    ),
+                    details={"energy": energy, "oracle_energy": oracle_energy},
+                )
+            )
+        if "exact" in capabilities and energy > oracle_energy + _ENERGY_ATOL:
+            violations.append(
+                Violation(
+                    invariant="exact-solver-optimality",
+                    subject=solver_name,
+                    message=(
+                        f"exact solver returned energy {energy:.9g} above the "
+                        f"ground energy {oracle_energy:.9g}"
+                    ),
+                    details={"energy": energy, "oracle_energy": oracle_energy},
+                )
+            )
+    return violations
+
+
+def _cost_checks(
+    subject: str, valid: bool, cost: Optional[float], oracle: Dict[str, Any]
+) -> List[Violation]:
+    """No valid plan may cost less than the domain optimum."""
+    oracle_cost = oracle.get("cost")
+    if not valid or cost is None or oracle_cost is None:
+        return []
+    if cost < oracle_cost - _ENERGY_ATOL:
+        return [
+            Violation(
+                invariant="oracle-cost-lower-bound",
+                subject=subject,
+                message=(
+                    f"valid plan costs {cost:.9g}, below the exhaustive "
+                    f"optimum {oracle_cost:.9g}"
+                ),
+                details={"cost": cost, "oracle_cost": oracle_cost},
+            )
+        ]
+    return []
+
+
+def _solver_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Run one registry solver on one case and compare against oracle."""
+    from repro.hybrid.registry import make_solver
+
+    built = build_case(_case_from_params(params))
+    oracle = _oracle_record(params)
+    inject = params["inject"]
+    bqm = built.bqm
+    if inject == "offset":
+        bqm = bqm.copy()
+        bqm.offset -= 1.0
+
+    solver = make_solver(params["solver"])
+    result = solver.solve(bqm, seed=seed)
+    reported_energy = float(result.energy)
+    if inject == "energy":
+        reported_energy -= 0.5
+    sample_energy = float(bqm.energy(result.sample)) if result.sample else None
+
+    violations = list(oracle.get("violations", ()))
+    violations += [
+        v.to_dict()
+        for v in _energy_checks(
+            params["solver"],
+            solver.capabilities,
+            reported_energy,
+            sample_energy,
+            oracle,
+        )
+    ]
+    plan, cost, valid = built.adapter.decode(dict(result.sample))
+    if valid and not built.adapter.validate(plan):
+        violations.append(
+            Violation(
+                invariant="decode-validate-agreement",
+                subject=params["solver"],
+                message="decode reported a valid plan that validate() rejects",
+                details={"plan": plan},
+            ).to_dict()
+        )
+    violations += [
+        v.to_dict() for v in _cost_checks(params["solver"], valid, cost, oracle)
+    ]
+
+    oracle_energy = oracle.get("energy")
+    oracle_cost = oracle.get("cost")
+    return {
+        "type": "solver",
+        "case_id": params["case_id"],
+        "solver": params["solver"],
+        "num_variables": bqm.num_variables,
+        "energy": sample_energy if sample_energy is not None else reported_energy,
+        "oracle_energy": oracle_energy,
+        "energy_gap": (
+            None
+            if oracle_energy is None or sample_energy is None
+            else sample_energy - oracle_energy
+        ),
+        "valid": bool(valid),
+        "cost": None if not valid else float(cost),
+        "oracle_cost": oracle_cost,
+        "cost_gap_rel": (
+            (float(cost) - oracle_cost) / oracle_cost
+            if valid and oracle_cost
+            else None
+        ),
+        "violations": violations,
+    }
+
+
+def _chain_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Run the service fallback chain on one case under ample deadline."""
+    from repro.service.chain import default_policy, run_chain
+
+    built = build_case(_case_from_params(params))
+    oracle = _oracle_record(params)
+    if params["inject"] == "offset":
+        # corrupt the compiled model the chain solves (same hook as the
+        # solver points: adapter.bqm() is compiled lazily and cached)
+        bqm = built.adapter.bqm().copy()
+        bqm.offset -= 1.0
+        built.adapter._bqm = bqm
+
+    outcome = run_chain(
+        built.adapter,
+        default_policy(),
+        deadline_s=_CHAIN_DEADLINE_S,
+        seed=seed,
+        mode="first_valid",
+    )
+    violations = list(oracle.get("violations", ()))
+    if not outcome.valid:
+        violations.append(
+            Violation(
+                invariant="chain-valid-guarantee",
+                subject="chain",
+                message="the fallback chain returned an invalid plan",
+                details={"served_by": outcome.served_by},
+            ).to_dict()
+        )
+    elif not built.adapter.validate(outcome.plan):
+        violations.append(
+            Violation(
+                invariant="chain-plan-validity",
+                subject="chain",
+                message="the chain's plan fails the adapter's validate()",
+                details={"served_by": outcome.served_by, "plan": outcome.plan},
+            ).to_dict()
+        )
+    violations += [
+        v.to_dict()
+        for v in _cost_checks("chain", outcome.valid, float(outcome.cost), oracle)
+    ]
+    oracle_cost = oracle.get("cost")
+    return {
+        "type": "chain",
+        "case_id": params["case_id"],
+        "solver": "chain",
+        "num_variables": _case_variables(params["case"]),
+        "energy": outcome.energy,
+        "oracle_energy": oracle.get("energy"),
+        "energy_gap": None,
+        "valid": bool(outcome.valid),
+        "cost": float(outcome.cost) if outcome.valid else None,
+        "oracle_cost": oracle_cost,
+        "cost_gap_rel": (
+            (float(outcome.cost) - oracle_cost) / oracle_cost
+            if outcome.valid and oracle_cost
+            else None
+        ),
+        "served_by": outcome.served_by,
+        "violations": violations,
+    }
+
+
+def _invariant_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Run the per-case invariant catalog."""
+    import networkx as nx
+    import numpy as np
+
+    built = build_case(_case_from_params(params))
+    inject = params["inject"]
+    bqm = built.bqm
+    samples = random_assignments(bqm, 24, seed)
+    subject = params["case_id"]
+
+    violations: List[Violation] = []
+    violations += check_ising_round_trip(
+        bqm, samples, subject=subject, j_scale=1.001 if inject == "ising" else 1.0
+    )
+    violations += check_qubo_round_trip(bqm, samples, subject=subject)
+    violations += check_matrix_energy(bqm, samples, subject=subject)
+    violations += check_fix_variable_conservation(bqm, samples[:6], subject=subject)
+
+    cost_shift = 1.0 if inject == "decode" else 0.0
+    if params["kind"] == "mqo":
+        rng = np.random.default_rng(seed)
+        decode_samples = list(samples)
+        # add guaranteed-valid selections: one random plan per query
+        from repro.mqo.qubo import variable_name
+
+        for _ in range(8):
+            sample = {v: 0 for v in bqm.variables}
+            for _, plans in sorted(built.problem.plans_by_query().items()):
+                chosen = plans[int(rng.integers(len(plans)))]
+                sample[variable_name(chosen.plan_id)] = 1
+            decode_samples.append(sample)
+        violations += check_mqo_decode_consistency(
+            built.problem,
+            built.builder,
+            bqm,
+            decode_samples,
+            subject=subject,
+            cost_shift=cost_shift,
+        )
+    else:
+        rng = np.random.default_rng(seed)
+        names = list(built.problem.relation_names)
+        orders = [tuple(rng.permutation(names)) for _ in range(8)]
+        violations += check_join_decode_consistency(
+            built.builder, bqm, orders, subject=subject, cost_shift=cost_shift
+        )
+
+    # embedding-chain validity of this case's interaction graph on a
+    # Chimera target (skip the largest graphs to bound sweep time)
+    checks = 5
+    if bqm.num_variables <= 16:
+        from repro.annealing.chimera import chimera_graph
+        from repro.annealing.embedding import find_embedding
+
+        source = bqm.interaction_graph()
+        source.remove_edges_from(nx.selfloop_edges(source))
+        target = chimera_graph(4)
+        embedding = find_embedding(
+            source, target, tries=1, improvement_rounds=15, seed=seed,
+            stop_at_first=True,
+        )
+        violations += check_embedding_validity(
+            source, target, embedding, subject=subject
+        )
+        checks += 1
+
+    return {
+        "type": "invariants",
+        "case_id": params["case_id"],
+        "solver": None,
+        "checks": checks,
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
+def _gate_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Transpiled-circuit equivalence on one random circuit."""
+    from repro.gate.topologies import line_coupling_map
+
+    qubits = int(params["qubits"])
+    circuit = random_circuit(qubits, depth=int(params["depth"]), seed=seed)
+    subject = f"random-circuit-{qubits}q-{params['coupling']}"
+    coupling = None if params["coupling"] == "full" else line_coupling_map(qubits)
+    violations = check_transpile_equivalence(
+        circuit, coupling_map=coupling, seed=seed, subject=subject
+    )
+    return {
+        "type": "gate",
+        "case_id": subject,
+        "solver": None,
+        "checks": 1,
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
+def _verify_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Grid dispatch (module-level: must pickle into pool workers)."""
+    kind = params["type"]
+    if kind == "solver":
+        return _solver_point(params, seed)
+    if kind == "chain":
+        return _chain_point(params, seed)
+    if kind == "invariants":
+        return _invariant_point(params, seed)
+    if kind == "gate":
+        return _gate_point(params, seed)
+    raise ConfigurationError(f"unknown verification point type {kind!r}")
+
+
+def _build_points(
+    cases: Sequence[Case],
+    solvers: Sequence[str],
+    inject: str,
+    oracle_cache: bool,
+    energy_limit: int,
+    include_chain: bool,
+    include_gate: bool,
+) -> List[Dict[str, Any]]:
+    from repro.hybrid.registry import make_solver
+
+    points: List[Dict[str, Any]] = []
+    base = {
+        "inject": inject,
+        "oracle_cache": oracle_cache,
+        "energy_limit": energy_limit,
+    }
+    limits = {}
+    for name in solvers:
+        solver = make_solver(name)
+        cap = solver.max_variables
+        sweep_cap = _SWEEP_LIMITS.get(name)
+        if sweep_cap is not None:
+            cap = sweep_cap if cap is None else min(cap, sweep_cap)
+        limits[name] = cap
+    for case in cases:
+        case_base = {
+            **base,
+            "case_id": case.case_id,
+            "kind": case.kind,
+            "case": dict(case.params),
+        }
+        for name in solvers:
+            cap = limits[name]
+            if cap is not None and _case_variables(case.params) > cap:
+                continue
+            points.append({**case_base, "type": "solver", "solver": name})
+        if include_chain:
+            points.append({**case_base, "type": "chain"})
+        points.append({**case_base, "type": "invariants"})
+    if include_gate:
+        for qubits, depth in ((4, 4), (5, 3)):
+            for coupling in ("full", "line"):
+                points.append(
+                    {
+                        "type": "gate",
+                        "inject": inject,
+                        "qubits": qubits,
+                        "depth": depth,
+                        "coupling": coupling,
+                    }
+                )
+    return points
+
+
+def run_verification(
+    suite: str = "quick",
+    solvers: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    inject: str = "none",
+    oracle_cache: bool = True,
+    energy_limit: int = DEFAULT_ENERGY_LIMIT,
+    include_chain: bool = True,
+    include_gate: bool = True,
+) -> VerificationReport:
+    """Execute the differential sweep and assemble a report.
+
+    Deterministic for a fixed ``(suite, solvers, seed, inject)``
+    regardless of ``workers`` — the report's ``to_dict()`` form is
+    byte-identical across worker counts.
+    """
+    if inject not in INJECTABLE_BUGS:
+        raise ConfigurationError(
+            f"unknown injection {inject!r}; expected one of {', '.join(INJECTABLE_BUGS)}"
+        )
+    registry = sweep_solver_names()
+    if solvers is None:
+        solvers = registry
+    else:
+        unknown = sorted(set(solvers) - set(registry))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown solver(s) {', '.join(unknown)}; "
+                f"registered: {', '.join(registry)}"
+            )
+        solvers = list(solvers)
+
+    cases = build_corpus(suite, seed=seed)
+    points = _build_points(
+        cases, solvers, inject, oracle_cache, energy_limit, include_chain, include_gate
+    )
+    results = run_grid(
+        points,
+        _verify_point,
+        experiment=_EXPERIMENT,
+        seed=seed,
+        workers=workers,
+        cache=False,  # verification must re-run; only the oracle caches
+    )
+    rows = [row for result in results for row in result.rows]
+    seconds = sum(result.seconds for result in results)
+    return summarize(
+        suite=suite,
+        seed=seed,
+        solvers=list(solvers),
+        cases=[case.case_id for case in cases],
+        rows=rows,
+        inject=inject,
+        seconds=seconds,
+    )

@@ -80,6 +80,51 @@ def test_scaling_scales_energy(data, scale):
     assert math.isclose(bqm.energy(sample), scale * before, rel_tol=1e-9, abs_tol=1e-6)
 
 
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_ising_round_trip_preserves_energy(data):
+    """to_ising -> from_ising -> binary is an exact energy isomorphism."""
+    bqm = data.draw(bqms())
+    sample = data.draw(assignments_for(bqm))
+    h, j, offset = bqm.to_ising()
+    spin = BinaryQuadraticModel.from_ising(h, j, offset)
+    assert spin.vartype is Vartype.SPIN
+    spin_sample = {v: 2 * x - 1 for v, x in sample.items()}
+    # from_ising may not mention variables whose h-bias and couplings
+    # all vanished; they contribute nothing either way
+    spin_sample = {v: s for v, s in spin_sample.items() if v in spin}
+    assert math.isclose(
+        bqm.energy(sample), spin.energy(spin_sample), rel_tol=1e-9, abs_tol=1e-7
+    )
+    back = spin.change_vartype(Vartype.BINARY)
+    back_sample = {v: x for v, x in sample.items() if v in back}
+    assert math.isclose(
+        bqm.energy(sample), back.energy(back_sample), rel_tol=1e-9, abs_tol=1e-7
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), value=st.integers(0, 1))
+def test_fix_variable_conserves_offset(data, value):
+    """energy(s | v=value) == energy_fixed(s) for EVERY suffix s: the
+    eliminated variable's contribution moves into offset + linear terms
+    and nothing is lost (differential-verification invariant
+    'fix-variable-conservation')."""
+    bqm = data.draw(bqms())
+    target = bqm.variables[0]
+    fixed = bqm.copy()
+    fixed.fix_variable(target, value)
+    assert target not in fixed
+    for sample in (
+        data.draw(assignments_for(bqm)),
+        {v: 0 for v in bqm.variables},
+        {v: 1 for v in bqm.variables},
+    ):
+        full = bqm.energy({**sample, target: value})
+        rest = {v: x for v, x in sample.items() if v != target}
+        assert math.isclose(fixed.energy(rest), full, rel_tol=1e-9, abs_tol=1e-7)
+
+
 @settings(max_examples=40, deadline=None)
 @given(data=st.data(), value=st.integers(0, 1))
 def test_fix_variable_preserves_conditional_energies(data, value):

@@ -361,6 +361,88 @@ class TestMetrics:
         assert metrics.counter("a") == 3
         assert metrics.counter("missing") == 0
 
+    def test_percentile_of_empty_is_nan(self):
+        import math as _math
+
+        assert _math.isnan(percentile([], 50.0))
+        assert _math.isnan(percentile([], 0.0))
+        assert _math.isnan(percentile([], 100.0))
+
+    def test_percentile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    def test_percentile_single_value_all_ranks(self):
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([7.0], q) == 7.0
+
+    def test_histogram_over_capacity_keeps_exact_count_and_extrema(self):
+        histogram = Histogram(capacity=2)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            histogram.record(v)
+        snap = histogram.snapshot()
+        # count/mean/min/max are exact; percentiles come from the
+        # bounded reservoir (first `capacity` observations)
+        assert snap["count"] == 4
+        assert snap["mean"] == 2.5
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+        assert snap["p50"] == 1.0 and snap["p99"] == 2.0
+
+    def test_empty_histograms_absent_from_metrics_snapshot(self):
+        metrics = Metrics()
+        metrics.incr("only.counter")
+        snap = metrics.snapshot()
+        assert snap["histograms"] == {}
+        assert snap["counters"] == {"only.counter": 1}
+
+
+class TestMetricsUnderLoad:
+    def test_stats_after_queue_limit_rejections(self, mqo_problem):
+        """A saturated queue leaves a coherent stats snapshot: rejected
+        requests count, never touch the latency histogram, and the whole
+        snapshot stays JSON-serializable."""
+        service = OptimizationService(seed=0)
+        requests = [
+            mqo_request(
+                mqo_problem,
+                request_id=f"r{i}",
+                policy=parse_policy("sleepy"),
+                seed=i,
+            )
+            for i in range(6)
+        ]
+        with BatchScheduler(service, workers=1, queue_limit=1) as scheduler:
+            results = scheduler.run(requests)
+        rejected = sum(1 for r in results if r.status == "rejected")
+        served = sum(1 for r in results if r.status == "ok")
+        assert rejected > 0
+        stats = service.stats()
+        assert stats["counters"]["requests_rejected"] == rejected
+        # total counts every submission, served or bounced
+        assert stats["counters"]["requests_total"] == served + rejected
+        assert stats["counters"]["requests_ok"] == served
+        latency = stats["histograms"].get("latency_ms", {"count": 0})
+        assert latency["count"] == served
+        serialization.to_jsonable(stats)  # must not raise
+
+    def test_cache_hit_counters_across_repeated_requests(self, mqo_problem):
+        """Three identical requests: one miss, then two hits on both the
+        compile cache and the result cache."""
+        service = OptimizationService(seed=0)
+        results = [
+            service.optimize(mqo_request(mqo_problem, request_id=f"r{i}"))
+            for i in range(3)
+        ]
+        assert [r.cache_hit for r in results] == [False, True, True]
+        assert service.metrics.counter("cache.result_hits") == 2
+        assert service.metrics.counter("cache.result_misses") == 1
+        assert service.metrics.counter("cache.compile_hits") == 2
+        assert service.metrics.counter("cache.compile_misses") == 1
+        assert results[1].plan == results[0].plan
+        assert results[2].plan == results[0].plan
+
 
 # ----------------------------------------------------------------------
 # Adapters
