@@ -172,14 +172,22 @@ class EmbeddingComposite:
         raw = self.structured.sample(embedded, num_reads=num_reads, **kwargs)
 
         spin_bqm = bqm.change_vartype(Vartype.SPIN)
-        samples, energies, breaks = [], [], []
+        samples, energies, breaks, occurrences = [], [], [], []
         for record in raw:
             logical, fraction = unembed_sample(record.sample, embedding)
             samples.append(logical)
             energies.append(spin_bqm.energy(logical))
             breaks.append(fraction)
+            # the structured sampler returns deduped records; keep the
+            # read multiplicities so occurrence totals still sum to
+            # num_reads after unembedding
+            occurrences.append(record.num_occurrences)
         result = SampleSet.from_samples(
-            samples, energies, vartype=Vartype.SPIN, chain_break_fractions=breaks
+            samples,
+            energies,
+            vartype=Vartype.SPIN,
+            num_occurrences=occurrences,
+            chain_break_fractions=breaks,
         )
         if bqm.vartype is Vartype.BINARY:
             binary_samples = [
@@ -190,6 +198,7 @@ class EmbeddingComposite:
                 binary_samples,
                 binary_energies,
                 vartype=Vartype.BINARY,
+                num_occurrences=[r.num_occurrences for r in result],
                 chain_break_fractions=[r.chain_break_fraction for r in result],
             )
         return result

@@ -60,8 +60,15 @@ class SampleSet:
         vartype: Vartype,
         num_occurrences: Optional[Sequence[int]] = None,
         chain_break_fractions: Optional[Sequence[float]] = None,
+        aggregate: bool = False,
     ) -> "SampleSet":
-        """Build a sample set from parallel sequences."""
+        """Build a sample set from parallel sequences.
+
+        ``aggregate=True`` merges duplicate samples into one record with
+        summed ``num_occurrences`` (see :meth:`aggregate`) — batched
+        samplers use it so repeated reads of the same minimum don't
+        inflate the record list.
+        """
         if len(samples) != len(energies):
             raise SolverError("samples and energies must have equal length")
         occurrences = num_occurrences or [1] * len(samples)
@@ -70,7 +77,8 @@ class SampleSet:
             SampleRecord(dict(s), float(e), int(o), float(b))
             for s, e, o, b in zip(samples, energies, occurrences, breaks)
         ]
-        return cls(records, vartype)
+        result = cls(records, vartype)
+        return result.aggregate() if aggregate else result
 
     # ------------------------------------------------------------------
     @property

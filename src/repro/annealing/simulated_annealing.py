@@ -5,17 +5,27 @@ Metropolis sweeps over an Ising spin glass under a geometric inverse-
 temperature schedule.  All reads are annealed *in parallel* as numpy
 vectors, so one sweep is ``n`` vectorised updates rather than
 ``n * num_reads`` scalar ones.
+
+The sweep kernel runs over the compiled array form of the model
+(:mod:`repro.qubo.compiled`): pass ``compiled=`` to :meth:`sample` to
+skip the per-call compilation entirely (the service's compilation
+cache does), and the final per-read energies are evaluated as one
+vectorized pass instead of a dict walk per read.  RNG draw order and
+the per-term float accumulation order are preserved exactly, so
+results are bit-identical to the dict-backed seed implementation —
+``tests/test_golden_seed_compat.py`` pins that.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import SolverError
 from repro.annealing.sampleset import SampleSet
 from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+from repro.qubo.compiled import CompiledBQM, compile_bqm
 
 
 class SimulatedAnnealingSampler:
@@ -45,37 +55,30 @@ class SimulatedAnnealingSampler:
         bqm: BinaryQuadraticModel,
         num_reads: int = 10,
         seed: Optional[int] = None,
+        compiled: Optional[CompiledBQM] = None,
     ) -> SampleSet:
         """Anneal ``num_reads`` independent replicas.
 
-        Returns a :class:`SampleSet` in the vartype of the input model.
+        ``compiled`` reuses a pre-compiled form of ``bqm`` (it must be
+        ``compile_bqm(bqm)`` of this exact model); when omitted the
+        model is compiled on the fly.  Returns a :class:`SampleSet` in
+        the vartype of the input model, with duplicate reads merged
+        into ``num_occurrences``.
         """
         if num_reads < 1:
             raise SolverError("num_reads must be positive")
         if bqm.num_variables == 0:
             return SampleSet.from_samples([{}], [bqm.offset], vartype=bqm.vartype)
 
-        spin = bqm.change_vartype(Vartype.SPIN)
-        order: List[Hashable] = list(spin.variables)
-        index = {v: i for i, v in enumerate(order)}
-        n = len(order)
-
-        h = np.zeros(n)
-        for v, bias in spin.linear.items():
-            h[index[v]] = bias
-        neighbors: List[np.ndarray] = [np.empty(0, dtype=np.intp)] * n
-        couplings: List[np.ndarray] = [np.empty(0)] * n
-        adjacency: Dict[int, List[Tuple[int, float]]] = {i: [] for i in range(n)}
-        for u, v, bias in spin.interactions():
-            adjacency[index[u]].append((index[v], bias))
-            adjacency[index[v]].append((index[u], bias))
-        for i, pairs in adjacency.items():
-            if pairs:
-                neighbors[i] = np.array([p[0] for p in pairs], dtype=np.intp)
-                couplings[i] = np.array([p[1] for p in pairs], dtype=float)
+        cbqm = compiled if compiled is not None else compile_bqm(bqm)
+        spin = cbqm.spin
+        n = spin.num_variables
+        h = spin.linear
+        neighbors = spin.neighbor_index
+        couplings = spin.neighbor_bias
 
         rng = np.random.default_rng(self.seed if seed is None else seed)
-        beta_lo, beta_hi = self._beta_schedule_bounds(h, spin)
+        beta_lo, beta_hi = self._beta_schedule_bounds(spin)
         betas = np.geomspace(max(beta_lo, 1e-9), beta_hi, self.num_sweeps)
 
         # spins: (num_reads, n) in {-1, +1}
@@ -110,47 +113,37 @@ class SimulatedAnnealingSampler:
                 if not improved:
                     break
 
-        samples = []
-        energies = []
-        for read in range(num_reads):
-            assignment = {order[i]: int(spins[read, i]) for i in range(n)}
-            samples.append(assignment)
-            energies.append(spin.energy(assignment))
-        sample_set = SampleSet.from_samples(samples, energies, vartype=Vartype.SPIN)
         if bqm.vartype is Vartype.BINARY:
-            return _spin_set_to_binary(sample_set, bqm)
-        return sample_set
+            states = (spins + 1.0) / 2.0  # exact: ±1 → {0, 1}
+            return SampleSet.from_samples(
+                cbqm.states_to_samples(states),
+                cbqm.energies_compat(states),
+                vartype=Vartype.BINARY,
+                aggregate=True,
+            )
+        return SampleSet.from_samples(
+            spin.states_to_samples(spins),
+            spin.energies_compat(spins),
+            vartype=Vartype.SPIN,
+            aggregate=True,
+        )
 
     # ------------------------------------------------------------------
-    def _beta_schedule_bounds(
-        self, h: np.ndarray, spin: BinaryQuadraticModel
-    ) -> Tuple[float, float]:
+    def _beta_schedule_bounds(self, spin: CompiledBQM) -> Tuple[float, float]:
         """Default β range from the bias magnitudes (neal's heuristic).
 
         The hot temperature makes the largest single-spin flip likely;
-        the cold temperature makes the smallest flip unlikely.
+        the cold temperature makes the smallest flip unlikely.  The
+        per-variable magnitude totals are precomputed at compile time
+        (:attr:`CompiledBQM.abs_totals`) in the accumulation order the
+        dict implementation used.
         """
         if self.beta_range is not None:
             return self.beta_range
-        max_field = np.abs(h).astype(float)
-        totals = {v: abs(b) for v, b in spin.linear.items()}
-        for u, v, bias in spin.interactions():
-            totals[u] = totals.get(u, 0.0) + abs(bias)
-            totals[v] = totals.get(v, 0.0) + abs(bias)
-        magnitudes = [t for t in totals.values() if t > 0]
-        if not magnitudes:
+        totals = spin.abs_totals
+        magnitudes = totals[totals > 0]
+        if not magnitudes.size:
             return (0.1, 1.0)
-        hot = 2.0 * max(magnitudes)
-        cold = min(magnitudes)
+        hot = 2.0 * float(magnitudes.max())
+        cold = float(magnitudes.min())
         return (np.log(2.0) / hot, np.log(100.0) / max(cold, 1e-9))
-
-
-def _spin_set_to_binary(sample_set: SampleSet, bqm: BinaryQuadraticModel) -> SampleSet:
-    """Convert spin samples back to the binary domain of ``bqm``."""
-    samples = []
-    energies = []
-    for record in sample_set:
-        binary_sample = {v: (s + 1) // 2 for v, s in record.sample.items()}
-        samples.append(binary_sample)
-        energies.append(bqm.energy(binary_sample))
-    return SampleSet.from_samples(samples, energies, vartype=Vartype.BINARY)

@@ -652,7 +652,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the transpiled-circuit equivalence points",
     )
     verify.add_argument(
-        "--inject", choices=("none", "offset", "ising", "decode", "energy"),
+        "--inject", choices=("none", "offset", "ising", "decode", "energy", "compiled"),
         default="none",
         help="plant a known bug to prove the harness catches it "
         "(must exit non-zero)",

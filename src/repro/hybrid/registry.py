@@ -75,11 +75,26 @@ class Solver(Protocol):
 
 def supports_time_budget(solver: "Solver") -> bool:
     """Does ``solver.solve`` accept a ``time_budget`` keyword?"""
+    return _accepts_keyword(solver.solve, "time_budget")
+
+
+def supports_compiled(solver: "Solver") -> bool:
+    """Does ``solver.solve`` accept a ``compiled`` keyword?
+
+    Solvers advertising it run their kernels straight off a
+    :class:`~repro.qubo.compiled.CompiledBQM`, letting callers (the
+    service's compilation cache, the hybrid decomposer) compile once
+    and amortize across solves.
+    """
+    return _accepts_keyword(solver.solve, "compiled")
+
+
+def _accepts_keyword(func, keyword: str) -> bool:
     try:
-        signature = inspect.signature(solver.solve)
+        signature = inspect.signature(func)
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
-    return "time_budget" in signature.parameters
+    return keyword in signature.parameters
 
 
 def _budget_deadline(time_budget: Optional[float]) -> Optional[float]:
@@ -267,11 +282,17 @@ class SamplerSolver:
         bqm: BinaryQuadraticModel,
         seed: Optional[int] = None,
         time_budget: Optional[float] = None,
+        compiled=None,
     ) -> SolveResult:
         if bqm.num_variables == 0:
             return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
+        extra = {}
+        if compiled is not None and _accepts_keyword(self.sampler.sample, "compiled"):
+            extra["compiled"] = compiled
         if time_budget is None:
-            sample_set = self.sampler.sample(bqm, num_reads=self.num_reads, seed=seed)
+            sample_set = self.sampler.sample(
+                bqm, num_reads=self.num_reads, seed=seed, **extra
+            )
             best = sample_set.first
             return SolveResult(
                 sample=dict(best.sample), energy=float(best.energy), solver=self.name
@@ -285,7 +306,9 @@ class SamplerSolver:
         best = None
         reads_done = 0
         for read_seed in read_seeds:
-            record = self.sampler.sample(bqm, num_reads=1, seed=read_seed).first
+            record = self.sampler.sample(
+                bqm, num_reads=1, seed=read_seed, **extra
+            ).first
             reads_done += 1
             if best is None or record.energy < best.energy - 1e-12:
                 best = record

@@ -33,6 +33,7 @@ tie-breaks on ``str(var)``.
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
@@ -136,6 +137,12 @@ class DecomposingSolver:
         self.sub_size = sub_size
         self.exact_limit = exact_limit
         self.subsolver = subsolver if subsolver is not None else TabuSampler()
+        try:
+            self._subsolver_takes_compiled = (
+                "compiled" in inspect.signature(self.subsolver.sample).parameters
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            self._subsolver_takes_compiled = False
         self.sub_reads = sub_reads
         self.max_rounds = max_rounds
         self.stall_rounds = stall_rounds
@@ -149,6 +156,7 @@ class DecomposingSolver:
         bqm: BinaryQuadraticModel,
         seed: Optional[int] = None,
         time_budget: Optional[float] = None,
+        compiled=None,
     ) -> SolveResult:
         """Minimize ``bqm``; deterministic for a fixed seed.
 
@@ -157,6 +165,12 @@ class DecomposingSolver:
         and the best incumbent found so far is returned once it is
         spent.  The first restart's first round always runs, so a valid
         sample comes back even under a zero budget.
+
+        ``compiled`` (a :class:`~repro.qubo.compiled.CompiledBQM` of
+        this exact model) feeds the subsolver's full-model calls —
+        initial incumbents and models that fit in one block — without
+        recompiling; clamped subproblems are distinct models and are
+        compiled by the subsolver as usual.
         """
         if bqm.num_variables == 0:
             return SolveResult(sample={}, energy=bqm.offset, solver=self.name)
@@ -167,7 +181,9 @@ class DecomposingSolver:
         rng = np.random.default_rng(self.seed if seed is None else seed)
 
         if bqm.num_variables <= self.sub_size:
-            sample, energy = self._solve_block(bqm, int(rng.integers(2**31)))
+            sample, energy = self._solve_block(
+                bqm, int(rng.integers(2**31)), compiled=compiled
+            )
             return SolveResult(
                 sample=sample, energy=energy, solver=self.name,
                 info={"rounds": 0, "subproblems": 1, "decomposed": False},
@@ -184,7 +200,7 @@ class DecomposingSolver:
             if restart > 0 and deadline is not None and time.monotonic() >= deadline:
                 break
             if restart == 0 or restart % 2 == 0:
-                sample = self._initial_sample(bqm, rng)
+                sample = self._initial_sample(bqm, rng, compiled=compiled)
             else:
                 sample = self._perturb(bqm, best_sample, rng)
             sample, energy, rounds, subproblems = self._refine(
@@ -272,18 +288,25 @@ class DecomposingSolver:
 
     # ------------------------------------------------------------------
     def _solve_block(
-        self, sub: BinaryQuadraticModel, seed: int
+        self, sub: BinaryQuadraticModel, seed: int, compiled=None
     ) -> tuple:
         """Exact enumeration when the block fits, subsolver otherwise."""
         if sub.num_variables <= self.exact_limit:
             result = brute_force_minimum(sub)
             return dict(result.sample), float(result.energy)
-        sample_set = self.subsolver.sample(sub, num_reads=self.sub_reads, seed=seed)
+        extra = (
+            {"compiled": compiled}
+            if compiled is not None and self._subsolver_takes_compiled
+            else {}
+        )
+        sample_set = self.subsolver.sample(
+            sub, num_reads=self.sub_reads, seed=seed, **extra
+        )
         best = sample_set.first
         return dict(best.sample), float(best.energy)
 
     def _initial_sample(
-        self, bqm: BinaryQuadraticModel, rng: np.random.Generator
+        self, bqm: BinaryQuadraticModel, rng: np.random.Generator, compiled=None
     ) -> Dict[Hashable, int]:
         """Incumbent from a full-model subsolver run (qbsolv-style).
 
@@ -292,8 +315,13 @@ class DecomposingSolver:
         an exact single-flip minimum) and refines with exact sub-solves
         rather than climbing out of a random assignment.
         """
+        extra = (
+            {"compiled": compiled}
+            if compiled is not None and self._subsolver_takes_compiled
+            else {}
+        )
         sample_set = self.subsolver.sample(
-            bqm, num_reads=self.sub_reads, seed=int(rng.integers(2**31))
+            bqm, num_reads=self.sub_reads, seed=int(rng.integers(2**31)), **extra
         )
         return greedy_descent(bqm, dict(sample_set.first.sample))
 

@@ -13,17 +13,29 @@ Everything runs in the spin domain (flips are sign changes and the
 energy delta of flipping :math:`s_i` is :math:`-2 s_i f_i` with local
 field :math:`f_i = h_i + \\sum_j J_{ij} s_j`), mirroring
 :mod:`repro.annealing.simulated_annealing`.
+
+All reads run *simultaneously*: the per-iteration work — flip deltas,
+tabu/aspiration masks, best-move selection — is a handful of
+``(num_reads, n)`` numpy operations instead of ``num_reads``
+independent Python loops, over the compiled array form of the model
+(:mod:`repro.qubo.compiled`).  Reads retire from the batch
+independently when they hit their stall limit, exactly where the
+per-read loop would have broken; a global iteration counter equals
+each read's own count, so tabu expiries match the sequential search
+move-for-move and results stay bit-identical to the seed
+implementation (pinned by ``tests/test_golden_seed_compat.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import SolverError
 from repro.annealing.sampleset import SampleSet
 from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+from repro.qubo.compiled import CompiledBQM, compile_bqm
 
 
 class TabuSampler:
@@ -64,37 +76,25 @@ class TabuSampler:
         num_reads: int = 10,
         seed: Optional[int] = None,
         initial_states: Optional[Sequence[Mapping[Hashable, int]]] = None,
+        compiled: Optional[CompiledBQM] = None,
     ) -> SampleSet:
-        """Run ``num_reads`` independent tabu searches.
+        """Run ``num_reads`` independent tabu searches, batched.
 
         ``initial_states`` warm-starts the first reads (in the vartype
         of ``bqm``); remaining reads start from random assignments.
-        Returns a :class:`SampleSet` holding each read's best sample,
-        in the vartype of the input model.
+        ``compiled`` reuses a pre-compiled form of ``bqm``.  Returns a
+        :class:`SampleSet` holding each read's best sample, in the
+        vartype of the input model, duplicates merged into
+        ``num_occurrences``.
         """
         if num_reads < 1:
             raise SolverError("num_reads must be positive")
         if bqm.num_variables == 0:
             return SampleSet.from_samples([{}], [bqm.offset], vartype=bqm.vartype)
 
-        spin = bqm.change_vartype(Vartype.SPIN)
-        order: List[Hashable] = list(spin.variables)
-        index = {v: i for i, v in enumerate(order)}
-        n = len(order)
-
-        h = np.zeros(n)
-        for v, bias in spin.linear.items():
-            h[index[v]] = bias
-        neighbors: List[np.ndarray] = [np.empty(0, dtype=np.intp)] * n
-        couplings: List[np.ndarray] = [np.empty(0)] * n
-        adjacency: Dict[int, List[Tuple[int, float]]] = {i: [] for i in range(n)}
-        for u, v, bias in spin.interactions():
-            adjacency[index[u]].append((index[v], bias))
-            adjacency[index[v]].append((index[u], bias))
-        for i, pairs in adjacency.items():
-            if pairs:
-                neighbors[i] = np.array([p[0] for p in pairs], dtype=np.intp)
-                couplings[i] = np.array([p[1] for p in pairs], dtype=float)
+        cbqm = compiled if compiled is not None else compile_bqm(bqm)
+        spin = cbqm.spin
+        n = spin.num_variables
 
         rng = np.random.default_rng(self.seed if seed is None else seed)
         tenure = self.tenure if self.tenure is not None else min(20, n // 4 + 1)
@@ -104,35 +104,32 @@ class TabuSampler:
         )
 
         starts = self._initial_spins(
-            bqm, spin, index, n, num_reads, initial_states, rng
+            bqm.vartype, spin.index, n, num_reads, initial_states, rng
         )
 
-        samples, energies = [], []
-        for read in range(num_reads):
-            spins = starts[read].copy()
-            best_spins, best_energy = self._search(
-                spins, h, neighbors, couplings, spin, order,
-                tenure, max_iter, stall_limit,
-            )
-            samples.append({order[i]: int(best_spins[i]) for i in range(n)})
-            energies.append(best_energy)
+        best_spins, best_energies = self._search(
+            starts, spin, tenure, max_iter, stall_limit
+        )
 
-        result = SampleSet.from_samples(samples, energies, vartype=Vartype.SPIN)
         if bqm.vartype is Vartype.BINARY:
-            binary_samples = [
-                {v: (s + 1) // 2 for v, s in r.sample.items()} for r in result
-            ]
-            binary_energies = [bqm.energy(s) for s in binary_samples]
+            states = (best_spins + 1.0) / 2.0  # exact: ±1 → {0, 1}
             return SampleSet.from_samples(
-                binary_samples, binary_energies, vartype=Vartype.BINARY
+                cbqm.states_to_samples(states),
+                cbqm.energies_compat(states),
+                vartype=Vartype.BINARY,
+                aggregate=True,
             )
-        return result
+        return SampleSet.from_samples(
+            spin.states_to_samples(best_spins),
+            best_energies,
+            vartype=Vartype.SPIN,
+            aggregate=True,
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
     def _initial_spins(
-        bqm: BinaryQuadraticModel,
-        spin: BinaryQuadraticModel,
+        vartype: Vartype,
         index: Dict[Hashable, int],
         n: int,
         num_reads: int,
@@ -147,58 +144,77 @@ class TabuSampler:
             for v, value in state.items():
                 if v not in index:
                     raise SolverError(f"initial state has unknown variable {v!r}")
-                if bqm.vartype is Vartype.BINARY:
+                if vartype is Vartype.BINARY:
                     value = 2 * int(value) - 1
                 starts[read, index[v]] = float(value)
         return starts
 
     @staticmethod
     def _search(
-        spins: np.ndarray,
-        h: np.ndarray,
-        neighbors: List[np.ndarray],
-        couplings: List[np.ndarray],
-        spin_bqm: BinaryQuadraticModel,
-        order: List[Hashable],
+        starts: np.ndarray,
+        spin: CompiledBQM,
         tenure: int,
         max_iter: int,
         stall_limit: int,
-    ) -> Tuple[np.ndarray, float]:
-        """One tabu run from one start; returns (best spins, energy)."""
-        n = len(order)
-        fields = h.copy()
-        for i in range(n):
-            if len(neighbors[i]):
-                fields[i] += spins[neighbors[i]] @ couplings[i]
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """All tabu runs at once; returns (best spins, best energies).
 
-        energy = spin_bqm.energy({order[i]: int(spins[i]) for i in range(n)})
-        best_spins, best_energy = spins.copy(), energy
-        # iteration index until which each variable is tabu
-        tabu_until = np.full(n, -1, dtype=np.int64)
-        stall = 0
+        Every step below is the batched form of the per-read search:
+        rows of the ``(num_reads, n)`` arrays evolve exactly as the
+        sequential loop evolved one read (elementwise ops reassociate
+        nothing, ``argmin`` keeps the lowest-index tie-break, and field
+        updates are the same ``O(degree)`` scatter per flip), so each
+        read's trajectory is bit-identical to running it alone.
+        """
+        num_reads, n = starts.shape
+        neighbors = spin.neighbor_index
+        couplings = spin.neighbor_bias
+
+        spins = starts.copy()
+        # per-(read, variable) 1-D dots replicate the sequential field
+        # initialization (a gemv would round differently in rare cases)
+        fields = np.broadcast_to(spin.linear, (num_reads, n)).copy()
+        for r in range(num_reads):
+            row = spins[r]
+            frow = fields[r]
+            for i in range(n):
+                if len(neighbors[i]):
+                    frow[i] += row[neighbors[i]] @ couplings[i]
+
+        energies = spin.energies_compat(spins)
+        best_spins, best_energies = spins.copy(), energies.copy()
+        # iteration index until which each (read, variable) is tabu
+        tabu_until = np.full((num_reads, n), -1, dtype=np.int64)
+        stall = np.zeros(num_reads, dtype=np.int64)
+        active = np.ones(num_reads, dtype=bool)
 
         for iteration in range(max_iter):
             deltas = -2.0 * spins * fields
             allowed = tabu_until < iteration
             # aspiration: a tabu move that beats the incumbent is allowed
-            allowed |= (energy + deltas) < best_energy - 1e-12
-            if not allowed.any():
-                allowed = np.ones(n, dtype=bool)
+            allowed |= (energies[:, None] + deltas) < best_energies[:, None] - 1e-12
+            stuck = ~allowed.any(axis=1)
+            if stuck.any():
+                allowed[stuck] = True
             masked = np.where(allowed, deltas, np.inf)
-            i = int(np.argmin(masked))  # ties: lowest index (deterministic)
+            moves = np.argmin(masked, axis=1)  # ties: lowest index (deterministic)
 
-            spins[i] *= -1.0
-            energy += deltas[i]
-            if len(neighbors[i]):
-                fields[neighbors[i]] += 2.0 * spins[i] * couplings[i]
-            tabu_until[i] = iteration + tenure
+            for r in np.flatnonzero(active):
+                i = moves[r]
+                spins[r, i] *= -1.0
+                energies[r] += deltas[r, i]
+                if len(neighbors[i]):
+                    fields[r, neighbors[i]] += 2.0 * spins[r, i] * couplings[i]
+                tabu_until[r, i] = iteration + tenure
 
-            if energy < best_energy - 1e-12:
-                best_energy = energy
-                best_spins = spins.copy()
-                stall = 0
-            else:
-                stall += 1
-                if stall >= stall_limit:
-                    break
-        return best_spins, best_energy
+                if energies[r] < best_energies[r] - 1e-12:
+                    best_energies[r] = energies[r]
+                    best_spins[r] = spins[r]
+                    stall[r] = 0
+                else:
+                    stall[r] += 1
+                    if stall[r] >= stall_limit:
+                        active[r] = False
+            if not active.any():
+                break
+        return best_spins, best_energies

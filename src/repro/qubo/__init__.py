@@ -11,12 +11,15 @@ interchangeable; :meth:`BinaryQuadraticModel.to_ising` and
 """
 
 from repro.qubo.bqm import BinaryQuadraticModel, Vartype
+from repro.qubo.compiled import CompiledBQM, compile_bqm
 from repro.qubo.expression import BinaryExpression, BinaryVariable, Constant
 from repro.qubo.exact import ExactQuboSolver, brute_force_minimum
 
 __all__ = [
     "BinaryQuadraticModel",
     "Vartype",
+    "CompiledBQM",
+    "compile_bqm",
     "BinaryExpression",
     "BinaryVariable",
     "Constant",

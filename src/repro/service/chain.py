@@ -30,7 +30,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.harness import derive_seed
-from repro.hybrid.registry import make_solver, supports_time_budget
+from repro.hybrid.registry import make_solver, supports_compiled, supports_time_budget
 
 __all__ = [
     "ChainOutcome",
@@ -241,6 +241,8 @@ def _run_stage(adapter, spec: StageSpec, seed: int, budget_s: float) -> Dict[str
     kwargs: Dict[str, Any] = {}
     if supports_time_budget(solver):
         kwargs["time_budget"] = budget_s
+    if supports_compiled(solver) and hasattr(adapter, "compiled"):
+        kwargs["compiled"] = adapter.compiled()
     result = solver.solve(adapter.bqm(), seed=seed, **kwargs)
     plan, cost, valid = adapter.decode(result.sample)
     return {

@@ -117,6 +117,7 @@ class OptimizationService:
             return cached
         self.metrics.incr("cache.compile_misses")
         probe.bqm()  # compile eagerly so the cached adapter is immutable
+        probe.compiled()  # array-compiled kernels, same cache entry
         self.cache.put_compiled(probe.fingerprint, probe)
         return probe
 

@@ -35,6 +35,7 @@ from repro.mqo.problem import MqoProblem
 from repro.mqo.qubo import MqoQuboBuilder
 from repro.mqo.solvers import repair_selection, solve_greedy_local
 from repro.qubo.bqm import BinaryQuadraticModel
+from repro.qubo.compiled import CompiledBQM, compile_bqm
 from repro.serialization import mqo_to_dict, query_graph_to_dict, to_jsonable
 
 __all__ = [
@@ -68,6 +69,7 @@ class MqoAdapter:
         self.repair = repair
         self._builder: Optional[MqoQuboBuilder] = None
         self._bqm: Optional[BinaryQuadraticModel] = None
+        self._compiled: Optional[CompiledBQM] = None
         self.fingerprint = problem_fingerprint(self.kind, mqo_to_dict(problem))
 
     def bqm(self) -> BinaryQuadraticModel:
@@ -76,6 +78,12 @@ class MqoAdapter:
             self._builder = MqoQuboBuilder(self.problem)
             self._bqm = self._builder.build()
         return self._bqm
+
+    def compiled(self) -> CompiledBQM:
+        """Array-compiled form of :meth:`bqm` (built once, cached)."""
+        if self._compiled is None:
+            self._compiled = compile_bqm(self.bqm())
+        return self._compiled
 
     def decode(self, sample: Dict) -> Tuple[Dict[str, Any], float, bool]:
         """Sample → (plan payload, cost, valid)."""
@@ -110,12 +118,19 @@ class JoinOrderAdapter:
         self.graph = graph
         self._builder = DirectJoinOrderQubo(graph)
         self._bqm: Optional[BinaryQuadraticModel] = None
+        self._compiled: Optional[CompiledBQM] = None
         self.fingerprint = problem_fingerprint(self.kind, query_graph_to_dict(graph))
 
     def bqm(self) -> BinaryQuadraticModel:
         if self._bqm is None:
             self._bqm = self._builder.build()
         return self._bqm
+
+    def compiled(self) -> CompiledBQM:
+        """Array-compiled form of :meth:`bqm` (built once, cached)."""
+        if self._compiled is None:
+            self._compiled = compile_bqm(self.bqm())
+        return self._compiled
 
     def decode(self, sample: Dict) -> Tuple[Dict[str, Any], float, bool]:
         try:

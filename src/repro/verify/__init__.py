@@ -18,6 +18,7 @@ new solver into the sweep.
 from repro.verify.corpus import SUITES, BuiltCase, Case, build_case, build_corpus
 from repro.verify.invariants import (
     Violation,
+    check_compiled_energy_consistency,
     check_embedding_validity,
     check_fix_variable_conservation,
     check_ising_round_trip,
@@ -45,6 +46,7 @@ __all__ = [
     "bqm_fingerprint",
     "build_case",
     "build_corpus",
+    "check_compiled_energy_consistency",
     "check_embedding_validity",
     "check_fix_variable_conservation",
     "check_ising_round_trip",

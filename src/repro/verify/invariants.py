@@ -21,6 +21,12 @@ Catalog
                                 variable's contribution into the offset
 ``matrix-energy``               dense ``x^T Q x + c`` matches
                                 :meth:`BinaryQuadraticModel.energy`
+``compiled-energy-consistency``  the array-compiled kernels
+                                (:func:`repro.qubo.compiled.compile_bqm`)
+                                agree with the dict model: vectorized
+                                and bit-compatible energies row-by-row,
+                                and incremental flip deltas against a
+                                full recompute
 ``decode-cost-consistency``     decoded-plan cost ↔ raw-bitstring BQM
                                 energy (MQO Eq. 29; direct join QUBO
                                 surrogate objective)
@@ -50,6 +56,7 @@ __all__ = [
     "check_qubo_round_trip",
     "check_fix_variable_conservation",
     "check_matrix_energy",
+    "check_compiled_energy_consistency",
     "check_mqo_decode_consistency",
     "check_join_decode_consistency",
     "check_transpile_equivalence",
@@ -254,6 +261,129 @@ def check_matrix_energy(
                     details={"sample_index": index, "dense": dense, "direct": direct},
                 )
             )
+    return violations
+
+
+def check_compiled_energy_consistency(
+    bqm: BinaryQuadraticModel,
+    samples: Sequence[Mapping[Hashable, int]],
+    subject: str = "bqm",
+    drop_interaction: bool = False,
+    num_flips: int = 32,
+    seed: int = 0,
+) -> List[Violation]:
+    """The compiled kernels agree with the dict model they were built from.
+
+    Three sub-checks over :func:`repro.qubo.compiled.compile_bqm`:
+
+    1. vectorized ``energies(S)`` matches :meth:`BinaryQuadraticModel.energy`
+       row-by-row within tolerance;
+    2. ``energies_compat(S)`` matches it **bit-exactly** (that is the
+       contract the seed-compatibility fixtures rely on);
+    3. incremental flip deltas (``local_fields`` + ``apply_flip``) track
+       a full recompute through a random flip sequence.
+
+    ``drop_interaction`` plants the classic miscompilation bug for
+    harness self-tests — the last quadratic term (or, for purely linear
+    models, part of the first linear bias) is silently dropped from the
+    compiled form while the dict model keeps it.
+    """
+    from repro.qubo.compiled import compile_bqm
+
+    violations: List[Violation] = []
+    source = bqm
+    if drop_interaction:
+        edges = list(bqm.interactions())
+        if edges:
+            quadratic = {(u, v): bias for u, v, bias in edges[:-1]}
+        else:
+            quadratic = {}
+        linear = bqm.linear
+        if not edges and linear:
+            first = next(iter(linear))
+            linear[first] = linear[first] + 1.0
+        source = BinaryQuadraticModel(
+            linear, quadratic, offset=bqm.offset, vartype=bqm.vartype
+        )
+    compiled = compile_bqm(source)
+
+    states = compiled.states_matrix(samples)
+    fast = compiled.energies(states)
+    compat = compiled.energies_compat(states)
+    for index, sample in enumerate(samples):
+        direct = bqm.energy(sample)
+        if not _close(float(fast[index]), direct):
+            violations.append(
+                Violation(
+                    invariant="compiled-energy-consistency",
+                    subject=subject,
+                    message=(
+                        f"vectorized energy {float(fast[index]):.9g} != "
+                        f"dict energy {direct:.9g} on sample {index}"
+                    ),
+                    details={
+                        "sample_index": index,
+                        "compiled": float(fast[index]),
+                        "direct": direct,
+                        "evaluator": "energies",
+                    },
+                )
+            )
+        if float(compat[index]) != direct:
+            violations.append(
+                Violation(
+                    invariant="compiled-energy-consistency",
+                    subject=subject,
+                    message=(
+                        f"compat energy {float(compat[index]):.17g} is not "
+                        f"bit-identical to dict energy {direct:.17g} on "
+                        f"sample {index}"
+                    ),
+                    details={
+                        "sample_index": index,
+                        "compiled": float(compat[index]),
+                        "direct": direct,
+                        "evaluator": "energies_compat",
+                    },
+                )
+            )
+
+    # incremental deltas vs full recompute over a random flip walk
+    if states.shape[0] and compiled.num_variables:
+        rng = np.random.default_rng(seed)
+        fields = compiled.local_fields(states)
+        running = compiled.energies(states).copy()
+        n = compiled.num_variables
+        for step in range(num_flips):
+            row = int(rng.integers(states.shape[0]))
+            i = int(rng.integers(n))
+            value = states[row, i]
+            if compiled.vartype is Vartype.SPIN:
+                delta = -2.0 * value * fields[row, i]
+            else:
+                delta = (1.0 - 2.0 * value) * fields[row, i]
+            compiled.apply_flip(states, fields, row, i)
+            running[row] += delta
+            full = float(compiled.energies(states[row])[0])
+            if not _close(float(running[row]), full):
+                violations.append(
+                    Violation(
+                        invariant="compiled-energy-consistency",
+                        subject=subject,
+                        message=(
+                            f"delta-energy drift after flip {step}: running "
+                            f"{float(running[row]):.9g} != recomputed {full:.9g}"
+                        ),
+                        details={
+                            "flip_index": step,
+                            "row": row,
+                            "variable_index": i,
+                            "running": float(running[row]),
+                            "recomputed": full,
+                        },
+                    )
+                )
+                break
     return violations
 
 

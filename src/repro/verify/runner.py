@@ -23,9 +23,10 @@ Four point types share one grid:
 ``gate``        transpiled-circuit statevector equivalence on random
                 circuits, both all-to-all and line topologies
 
-The ``inject`` parameter plants one of four known bugs (an offset
-shift, a mis-scaled Ising coupling, a shifted decoded cost, or a
-misreported solver energy) so the harness can prove it catches each —
+The ``inject`` parameter plants one of five known bugs (an offset
+shift, a mis-scaled Ising coupling, a shifted decoded cost, a
+misreported solver energy, or a dropped term in the array-compiled
+kernels) so the harness can prove it catches each —
 ``python -m repro verify --inject offset`` must exit non-zero.
 """
 
@@ -38,6 +39,7 @@ from repro.harness import run_grid
 from repro.verify.corpus import Case, build_case, build_corpus
 from repro.verify.invariants import (
     Violation,
+    check_compiled_energy_consistency,
     check_embedding_validity,
     check_fix_variable_conservation,
     check_ising_round_trip,
@@ -63,7 +65,7 @@ _ENERGY_ATOL = 1e-6
 _CHAIN_DEADLINE_S = 60.0
 
 #: bugs the harness can plant in itself to prove it catches them
-INJECTABLE_BUGS = ("none", "offset", "ising", "decode", "energy")
+INJECTABLE_BUGS = ("none", "offset", "ising", "decode", "energy", "compiled")
 
 #: registry aliases to drop from the default sweep (same object twice)
 _ALIASES = {"exhaustive"}
@@ -332,6 +334,13 @@ def _invariant_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     )
     violations += check_qubo_round_trip(bqm, samples, subject=subject)
     violations += check_matrix_energy(bqm, samples, subject=subject)
+    violations += check_compiled_energy_consistency(
+        bqm,
+        samples,
+        subject=subject,
+        drop_interaction=(inject == "compiled"),
+        seed=seed,
+    )
     violations += check_fix_variable_conservation(bqm, samples[:6], subject=subject)
 
     cost_shift = 1.0 if inject == "decode" else 0.0
@@ -365,7 +374,7 @@ def _invariant_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
     # embedding-chain validity of this case's interaction graph on a
     # Chimera target (skip the largest graphs to bound sweep time)
-    checks = 5
+    checks = 6
     if bqm.num_variables <= 16:
         from repro.annealing.chimera import chimera_graph
         from repro.annealing.embedding import find_embedding

@@ -1,0 +1,50 @@
+"""Regenerate the sampler golden fixtures (see tests/golden_cases.py).
+
+Run only when an intentional behaviour change ships::
+
+    PYTHONPATH=src python tests/make_golden_samplers.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+sys.path.insert(0, str(HERE.parent))
+
+from tests import golden_cases  # noqa: E402
+
+
+def main() -> int:
+    fixture = {"samplers": {}, "hybrid": {}}
+    for case_id, factory, kind, sampler_kwargs, sample_kwargs in (
+        golden_cases.sampler_cases()
+    ):
+        bqm = factory()
+        sampler = golden_cases.make_sampler(kind, sampler_kwargs)
+        sample_set = sampler.sample(bqm, **sample_kwargs)
+        fixture["samplers"][case_id] = golden_cases.sampleset_to_jsonable(sample_set)
+        print(f"{case_id}: {len(fixture['samplers'][case_id]['records'])} records")
+
+    from repro.hybrid.solver import DecomposingSolver
+
+    for case_id, factory, solver_kwargs, solve_kwargs in golden_cases.hybrid_cases():
+        result = DecomposingSolver(**solver_kwargs).solve(factory(), **solve_kwargs)
+        fixture["hybrid"][case_id] = {
+            "sample": {str(k): int(v) for k, v in result.sample.items()},
+            "energy": float(result.energy),
+        }
+        print(f"{case_id}: energy {result.energy:.6g}")
+
+    out = HERE / "fixtures" / golden_cases.FIXTURE_NAME
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,6 +46,33 @@ class TestSampleSet:
         assert len(merged) == 1
         assert merged.first.num_occurrences == 2
 
+    def test_from_samples_aggregate_flag(self):
+        """Batched samplers dedupe at construction: identical samples
+        collapse into one record with summed occurrences."""
+        ss = SampleSet.from_samples(
+            [{"a": 1}, {"a": 0}, {"a": 1}, {"a": 1}],
+            [1.0, 2.0, 1.0, 1.0],
+            vartype=Vartype.BINARY,
+            aggregate=True,
+        )
+        assert len(ss) == 2
+        assert ss.first.sample == {"a": 1}
+        assert ss.first.num_occurrences == 3
+        assert ss.records[-1].num_occurrences == 1
+
+    def test_aggregated_ties_keep_lexicographic_order(self):
+        """Dedup must not disturb the deterministic tie-break: equal
+        energies still order by lexicographically smallest sample,
+        regardless of which duplicate appeared first."""
+        ss = SampleSet.from_samples(
+            [{"a": 1, "b": 0}, {"a": 0, "b": 1}, {"a": 1, "b": 0}],
+            [1.0, 1.0, 1.0],
+            vartype=Vartype.BINARY,
+            aggregate=True,
+        )
+        assert [r.sample for r in ss] == [{"a": 0, "b": 1}, {"a": 1, "b": 0}]
+        assert [r.num_occurrences for r in ss] == [1, 2]
+
     def test_length_mismatch(self):
         with pytest.raises(SolverError):
             SampleSet.from_samples([{}], [1.0, 2.0], vartype=Vartype.BINARY)

@@ -13,6 +13,7 @@ from repro.verify import (
     build_case,
     build_corpus,
     bqm_fingerprint,
+    check_compiled_energy_consistency,
     check_embedding_validity,
     check_fix_variable_conservation,
     check_ising_round_trip,
@@ -123,7 +124,22 @@ class TestInvariants:
         assert check_ising_round_trip(built.bqm, samples, subject) == []
         assert check_qubo_round_trip(built.bqm, samples, subject) == []
         assert check_matrix_energy(built.bqm, samples, subject) == []
+        assert check_compiled_energy_consistency(built.bqm, samples, subject) == []
         assert check_fix_variable_conservation(built.bqm, samples[:4], subject) == []
+
+    def test_compiled_consistency_catches_dropped_interaction(self):
+        built = build_case(_mqo_case(3, 3))
+        samples = random_assignments(built.bqm, 8, seed=1)
+        bad = check_compiled_energy_consistency(
+            built.bqm, samples, drop_interaction=True
+        )
+        assert bad and bad[0].invariant == "compiled-energy-consistency"
+
+    def test_compiled_consistency_catches_linear_bug_without_edges(self):
+        bqm = BinaryQuadraticModel({"a": 1.0, "b": -2.0})
+        samples = random_assignments(bqm, 6, seed=2)
+        bad = check_compiled_energy_consistency(bqm, samples, drop_interaction=True)
+        assert bad and bad[0].invariant == "compiled-energy-consistency"
 
     def test_ising_round_trip_catches_coupling_bug(self):
         built = build_case(_mqo_case(3, 3))
@@ -243,6 +259,20 @@ class TestRunner:
         first = report.first_violation()
         assert first["invariant"] == "reported-energy-consistency"
         assert first["subject"] == "exact"
+
+    def test_injected_compiled_bug_is_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        report = run_verification(
+            suite="quick",
+            solvers=["greedy"],
+            seed=0,
+            inject="compiled",
+            include_chain=False,
+            include_gate=False,
+        )
+        assert not report.ok
+        first = report.first_violation()
+        assert first["invariant"] == "compiled-energy-consistency"
 
     def test_unknown_solver_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown solver"):
