@@ -15,6 +15,9 @@ Commands
 ``optimize``
     Serve a single optimization request (from a JSON file or generator
     parameters) through the deadline-aware service.
+``sql``
+    The SQL front door: parse, explain or optimize a SQL join query
+    against the TPC-H-style catalog, or generate a seeded workload.
 ``serve-bench``
     Drive the optimization service with a synthetic request workload
     and print a metrics snapshot.
@@ -49,6 +52,7 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.noise_study import run_noise_study
     from repro.experiments.penalty_gap import run_penalty_gap_study
     from repro.experiments.quality import run_join_order_quality, run_mqo_quality
+    from repro.experiments.sql_workload import run_sql_workload
     from repro.experiments.tables import run_table_3, run_tables_1_2
 
     return {
@@ -71,6 +75,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         "jo-direct": run_direct_vs_two_step,
         "penalty-gap": run_penalty_gap_study,
         "hybrid-scaling": run_hybrid_scaling,
+        "sql-workload": run_sql_workload,
     }
 
 
@@ -298,12 +303,21 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                 deadline_ms=args.deadline_ms, seed=args.seed, policy=policy, mode=mode,
             )
         else:
-            print(
-                f"error: {args.input} holds a {type(payload).__name__}, "
-                "expected a request, MQO problem or query graph",
-                file=sys.stderr,
-            )
-            return 2
+            from repro.sql import SqlQuery
+
+            if isinstance(payload, SqlQuery):
+                request = OptimizationRequest(
+                    request_id="cli", kind="sql", problem=payload,
+                    deadline_ms=args.deadline_ms, seed=args.seed,
+                    policy=policy, mode=mode,
+                )
+            else:
+                print(
+                    f"error: {args.input} holds a {type(payload).__name__}, "
+                    "expected a request, MQO problem, query graph or SQL query",
+                    file=sys.stderr,
+                )
+                return 2
     elif args.problem == "mqo":
         problem = random_mqo_problem(args.queries, args.ppq, seed=args.seed)
         request = OptimizationRequest(
@@ -346,6 +360,89 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0 if result.valid else 1
 
 
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro import serialization
+    from repro.exceptions import ProblemError
+    from repro.service import OptimizationRequest, OptimizationService, parse_policy
+    from repro.sql import (
+        SqlQuery,
+        generate_workload,
+        parse_sql,
+        plan_query,
+        tpch_catalog,
+    )
+
+    catalog = tpch_catalog(scale=args.catalog_scale)
+
+    if args.action == "generate":
+        statements = generate_workload(
+            args.count,
+            seed=args.seed,
+            catalog=catalog,
+            min_tables=args.min_tables,
+            max_tables=args.max_tables,
+        )
+        for statement in statements:
+            print(f"{statement};")
+        return 0
+
+    if args.query is None:
+        print(f"error: sql {args.action} needs a query argument", file=sys.stderr)
+        return 2
+    sql = sys.stdin.read() if args.query == "-" else args.query
+
+    if args.action == "parse":
+        statement = parse_sql(sql)
+        tables = ", ".join(
+            f"{t.table} AS {t.alias}" if t.alias != t.table else t.table
+            for t in statement.tables
+        )
+        print(statement)
+        print(f"tables: {tables}")
+        print(f"predicates: {len(statement.predicates)}")
+        return 0
+
+    plan = plan_query(sql, catalog=catalog)
+    if args.action == "explain":
+        print(plan.explain())
+        graph = plan.graph
+        print(
+            f"join graph: {graph.num_relations} relations, "
+            f"{graph.num_predicates} join predicates, "
+            f"estimated rows ~{plan.estimated_rows:.6g}"
+        )
+        return 0
+
+    # optimize: serve the raw SQL through the deadline-aware service
+    policy = parse_policy(args.policy) if args.policy else None
+    request = OptimizationRequest(
+        request_id="sql-cli",
+        kind="sql",
+        problem=SqlQuery(sql=sql, catalog=catalog),
+        deadline_ms=args.deadline_ms,
+        seed=args.seed,
+        policy=policy,
+        mode=args.mode.replace("-", "_"),
+    )
+    service = OptimizationService(seed=args.seed)
+    try:
+        result = service.optimize(request)
+    except ProblemError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    order = result.plan.get("order", ())
+    print(
+        f"order: {' >> '.join(order) or '(none)'}\n"
+        f"C_out={result.cost:g} served_by={result.served_by} "
+        f"valid={result.valid} deadline_exceeded={result.deadline_exceeded} "
+        f"elapsed={result.elapsed_ms:.1f}ms"
+    )
+    if args.output is not None:
+        serialization.save(result, args.output)
+        print(f"result written to {args.output}")
+    return 0 if result.valid else 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -366,6 +463,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         mqo_fraction=args.mqo_fraction,
         duplicate_fraction=args.duplicates,
+        sql_fraction=args.sql_fraction,
         policy=policy,
         mode=args.mode.replace("-", "_"),
     )
@@ -584,6 +682,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     optimize.set_defaults(func=_cmd_optimize)
 
+    sql = sub.add_parser(
+        "sql",
+        help="SQL front door: text-to-plan pipeline over a TPC-H-style catalog",
+    )
+    sql.add_argument(
+        "action", choices=("parse", "explain", "optimize", "generate"),
+        help="parse: canonical statement; explain: pushed-down algebra tree; "
+        "optimize: serve through the fallback chain; generate: seeded workload",
+    )
+    sql.add_argument(
+        "query", nargs="?", default=None,
+        help="SQL text ('-' reads stdin); ignored by 'generate'",
+    )
+    sql.add_argument(
+        "--catalog-scale", type=float, default=0.01,
+        help="TPC-H scale factor for the built-in catalog (default 0.01)",
+    )
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument("--deadline-ms", type=float, default=500.0)
+    sql.add_argument(
+        "--policy", default=None,
+        help="comma-separated fallback chain (default: hybrid,tabu,sa,greedy)",
+    )
+    sql.add_argument(
+        "--mode", choices=("first-valid", "exhaust"), default="first-valid"
+    )
+    sql.add_argument(
+        "--output", default=None, help="write the optimization_result JSON here"
+    )
+    sql.add_argument(
+        "--count", type=int, default=5, help="generate: number of queries"
+    )
+    sql.add_argument("--min-tables", type=int, default=2)
+    sql.add_argument("--max-tables", type=int, default=6)
+    sql.set_defaults(func=_cmd_sql)
+
     bench = sub.add_parser(
         "serve-bench",
         help="drive the optimization service with a synthetic workload",
@@ -596,6 +730,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--deadline-ms", type=float, default=200.0)
     bench.add_argument("--seed", type=int, default=7)
     bench.add_argument("--mqo-fraction", type=float, default=0.5)
+    bench.add_argument(
+        "--sql-fraction", type=float, default=0.0,
+        help="fraction of requests arriving as raw SQL (kind='sql')",
+    )
     bench.add_argument(
         "--duplicates", type=float, default=0.25,
         help="fraction of requests repeating an earlier problem (cache exercise)",
@@ -652,7 +790,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the transpiled-circuit equivalence points",
     )
     verify.add_argument(
-        "--inject", choices=("none", "offset", "ising", "decode", "energy", "compiled"),
+        "--inject",
+        choices=("none", "offset", "ising", "decode", "energy", "compiled", "sql"),
         default="none",
         help="plant a known bug to prove the harness catches it "
         "(must exit non-zero)",

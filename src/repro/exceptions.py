@@ -61,6 +61,25 @@ class ConfigurationError(ReproError):
     ``REPRO_BENCH_SAMPLES`` or a worker count below one."""
 
 
+class SqlError(ConfigurationError):
+    """A SQL query string could not be turned into an optimization
+    problem.  Derives from :class:`ConfigurationError` because query
+    text is user input: the CLI and service report it as a bad request,
+    not an internal failure."""
+
+
+class SqlSyntaxError(SqlError):
+    """The query text is not in the supported SQL subset — a lexing
+    failure, a malformed clause, or an unsupported construct (outer
+    joins, ``OR``, subqueries, ...)."""
+
+
+class SqlSemanticError(SqlError):
+    """The query parsed but does not name a solvable problem — an
+    unknown table or column, a duplicate alias, an ambiguous column
+    reference, or a cross product the join-graph extraction rejects."""
+
+
 class VerificationError(ReproError):
     """The differential-verification harness (:mod:`repro.verify`)
     detected an invariant violation — a solver disagreeing with the

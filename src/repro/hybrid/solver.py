@@ -51,9 +51,47 @@ from repro.hybrid.decomposer import (
 )
 from repro.hybrid.tabu import TabuSampler
 from repro.qubo.bqm import BinaryQuadraticModel
+from repro.qubo.compiled import compile_bqm
 from repro.qubo.exact import brute_force_minimum
 
 _EXACT_HARD_LIMIT = 26  # brute_force_minimum's own ceiling
+
+
+@dataclass
+class _BlockCaches:
+    """Per-``solve`` reuse of work on content-identical subproblems.
+
+    ``exact`` memoizes the brute-force optimum of small blocks;
+    ``compiled`` keeps the array-compiled form of subsolver-sized
+    blocks.  Keyed by the clamped subproblem's full content
+    (:func:`_subproblem_key`), so a hit is exactly a re-encounter of
+    the same block with the same boundary assignment.
+    """
+
+    exact: Dict[tuple, tuple] = field(default_factory=dict)
+    compiled: Dict[tuple, object] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+
+def _subproblem_key(sub: BinaryQuadraticModel) -> tuple:
+    """Content key of a clamped subproblem (exact float equality).
+
+    The clamped sub-BQM is fully determined by its block variables and
+    the incumbent values of their out-of-block neighbours, all of which
+    land in its linear/quadratic coefficients and offset — hashing the
+    content is therefore equivalent to hashing (block, boundary).
+    """
+    linear = tuple(
+        sorted((str(v), bias) for v, bias in sub.linear.items())
+    )
+    quadratic = tuple(
+        sorted(
+            (*sorted((str(u), str(v))), bias)
+            for u, v, bias in sub.interactions()
+        )
+    )
+    return (sub.vartype.name, sub.offset, linear, quadratic)
 
 
 @dataclass(frozen=True)
@@ -99,6 +137,16 @@ class DecomposingSolver:
         Fraction of variables re-randomized on perturbing restarts.
     seed:
         Default seed; ``solve(..., seed=…)`` overrides per call.
+    reuse_compiled:
+        Reuse work across decomposition rounds within one ``solve``
+        call.  Rounds repeatedly clamp the *same* blocks against an
+        unchanged boundary (especially once the incumbent stabilises),
+        producing byte-identical subproblems: exact blocks replay their
+        memoized optimum and subsolver blocks skip recompilation by
+        keying the array-compiled form on the subproblem's content.
+        Bit-identical to the uncached path — the RNG stream is drawn at
+        the call site and both the exact oracle and the compiled form
+        are deterministic functions of the subproblem.
     """
 
     name = "hybrid"
@@ -116,6 +164,7 @@ class DecomposingSolver:
         restarts: int = 4,
         perturb_fraction: float = 0.3,
         seed: Optional[int] = None,
+        reuse_compiled: bool = True,
     ) -> None:
         if sub_size < 2:
             raise SolverError("sub_size must be at least 2")
@@ -149,6 +198,7 @@ class DecomposingSolver:
         self.restarts = restarts
         self.perturb_fraction = perturb_fraction
         self.seed = seed
+        self.reuse_compiled = reuse_compiled
 
     # ------------------------------------------------------------------
     def solve(
@@ -191,6 +241,7 @@ class DecomposingSolver:
 
         components = strong_components(bqm)
         weights = component_weights(bqm, components)
+        caches = _BlockCaches() if self.reuse_compiled else None
 
         best_sample: Dict[Hashable, int] = {}
         best_energy = float("inf")
@@ -204,24 +255,29 @@ class DecomposingSolver:
             else:
                 sample = self._perturb(bqm, best_sample, rng)
             sample, energy, rounds, subproblems = self._refine(
-                bqm, sample, components, weights, rng, deadline=deadline
+                bqm, sample, components, weights, rng, deadline=deadline,
+                caches=caches,
             )
             total_rounds += rounds
             total_subproblems += subproblems
             if energy < best_energy - 1e-9:
                 best_sample, best_energy = sample, energy
 
+        info = {
+            "rounds": total_rounds,
+            "subproblems": total_subproblems,
+            "restarts": self.restarts,
+            "components": len(components),
+            "decomposed": True,
+        }
+        if caches is not None:
+            info["block_cache_hits"] = caches.hits
+            info["block_cache_misses"] = caches.misses
         return SolveResult(
             sample=dict(best_sample),
             energy=float(best_energy),
             solver=self.name,
-            info={
-                "rounds": total_rounds,
-                "subproblems": total_subproblems,
-                "restarts": self.restarts,
-                "components": len(components),
-                "decomposed": True,
-            },
+            info=info,
         )
 
     # ------------------------------------------------------------------
@@ -233,6 +289,7 @@ class DecomposingSolver:
         weights: Dict[tuple, float],
         rng: np.random.Generator,
         deadline: Optional[float] = None,
+        caches: Optional["_BlockCaches"] = None,
     ) -> tuple:
         """Decomposition rounds until ``stall_rounds`` rounds stop paying.
 
@@ -260,7 +317,7 @@ class DecomposingSolver:
                 subproblems += 1
                 sub = clamp_subproblem(bqm, block, sample)
                 sub_sample, sub_energy = self._solve_block(
-                    sub, int(rng.integers(2**31))
+                    sub, int(rng.integers(2**31)), caches=caches
                 )
                 if sub_energy < energy - 1e-9:
                     sample = dict(sample)
@@ -288,12 +345,47 @@ class DecomposingSolver:
 
     # ------------------------------------------------------------------
     def _solve_block(
-        self, sub: BinaryQuadraticModel, seed: int, compiled=None
+        self,
+        sub: BinaryQuadraticModel,
+        seed: int,
+        compiled=None,
+        caches: Optional["_BlockCaches"] = None,
     ) -> tuple:
-        """Exact enumeration when the block fits, subsolver otherwise."""
+        """Exact enumeration when the block fits, subsolver otherwise.
+
+        With ``caches`` (one :class:`_BlockCaches` per ``solve`` call),
+        content-identical subproblems — same blocks re-clamped against
+        an unchanged boundary in later rounds/restarts — replay the
+        memoized exact optimum or reuse the compiled array form instead
+        of recompiling.  The caller draws the seed *before* calling, so
+        caching never shifts the RNG stream.
+        """
         if sub.num_variables <= self.exact_limit:
+            if caches is None:
+                result = brute_force_minimum(sub)
+                return dict(result.sample), float(result.energy)
+            key = _subproblem_key(sub)
+            hit = caches.exact.get(key)
+            if hit is not None:
+                caches.hits += 1
+                return dict(hit[0]), hit[1]
+            caches.misses += 1
             result = brute_force_minimum(sub)
+            caches.exact[key] = (dict(result.sample), float(result.energy))
             return dict(result.sample), float(result.energy)
+        if (
+            compiled is None
+            and caches is not None
+            and self._subsolver_takes_compiled
+        ):
+            key = _subproblem_key(sub)
+            compiled = caches.compiled.get(key)
+            if compiled is not None:
+                caches.hits += 1
+            else:
+                caches.misses += 1
+                compiled = compile_bqm(sub)
+                caches.compiled[key] = compiled
         extra = (
             {"compiled": compiled}
             if compiled is not None and self._subsolver_takes_compiled

@@ -209,10 +209,25 @@ def dumps(obj: Serializable, indent: int = 2) -> str:
     raise ProblemError(f"cannot serialize {type(obj).__name__}")
 
 
+#: payload kinds whose serializers live in packages not imported by
+#: default: the first ``loads`` of such a kind imports the provider,
+#: whose module-level ``register_serializer`` calls fill the registry
+_LAZY_KINDS = {
+    "sql_query": "repro.sql",
+    "catalog": "repro.sql",
+    "optimization_request": "repro.service.request",
+    "optimization_result": "repro.service.request",
+}
+
+
 def loads(text: str) -> Serializable:
     """Deserialize any supported JSON payload (dispatch on ``kind``)."""
     data = json.loads(text)
     kind = data.get("kind")
+    if kind not in _DESERIALIZERS and kind in _LAZY_KINDS:
+        import importlib
+
+        importlib.import_module(_LAZY_KINDS[kind])
     if kind not in _DESERIALIZERS:
         raise ProblemError(f"unknown payload kind {kind!r}")
     return _DESERIALIZERS[kind](data)

@@ -23,8 +23,10 @@ scheme as the harness cache).
 from __future__ import annotations
 
 import hashlib
+import importlib
 import json
-from typing import Any, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.exceptions import ProblemError
 from repro.joinorder.classical import solve_greedy
@@ -36,13 +38,23 @@ from repro.mqo.qubo import MqoQuboBuilder
 from repro.mqo.solvers import repair_selection, solve_greedy_local
 from repro.qubo.bqm import BinaryQuadraticModel
 from repro.qubo.compiled import CompiledBQM, compile_bqm
-from repro.serialization import mqo_to_dict, query_graph_to_dict, to_jsonable
+from repro.serialization import (
+    mqo_from_dict,
+    mqo_to_dict,
+    query_graph_from_dict,
+    query_graph_to_dict,
+    to_jsonable,
+)
 
 __all__ = [
     "JoinOrderAdapter",
+    "KindSpec",
     "MqoAdapter",
+    "kind_spec",
     "make_adapter",
     "problem_fingerprint",
+    "register_problem_kind",
+    "valid_kinds",
 ]
 
 
@@ -156,10 +168,90 @@ class JoinOrderAdapter:
         return cout_cost(self.graph, list(order))
 
 
+# ----------------------------------------------------------------------
+# problem-kind registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KindSpec:
+    """Everything the service needs to know about one problem kind:
+    the payload class requests must carry, its JSON round-trip, and the
+    adapter that compiles/decodes it."""
+
+    kind: str
+    payload_cls: type
+    to_dict: Callable[[Any], Dict[str, Any]]
+    from_dict: Callable[[Dict[str, Any]], Any]
+    adapter: Callable[[Any], Any]
+
+
+_KINDS: Dict[str, KindSpec] = {}
+
+#: kinds provided by packages we must not import eagerly (cycle /
+#: startup-cost avoidance): first lookup triggers the import, whose
+#: module-level ``register_problem_kind`` call fills the registry
+_LAZY_KINDS: Dict[str, str] = {"sql": "repro.sql"}
+
+
+def register_problem_kind(
+    kind: str,
+    payload_cls: type,
+    to_dict: Callable[[Any], Dict[str, Any]],
+    from_dict: Callable[[Dict[str, Any]], Any],
+    adapter: Callable[[Any], Any],
+    replace: bool = False,
+) -> None:
+    """Plug a new problem kind into the serving layer.
+
+    After registration, :class:`~repro.service.request.OptimizationRequest`
+    accepts ``kind`` with a ``payload_cls`` problem and the service
+    compiles it through ``adapter`` (which must provide the
+    ``bqm``/``compiled``/``decode``/``fallback``/``validate`` protocol
+    plus a ``fingerprint`` attribute).
+    """
+    if kind in _KINDS and not replace:
+        raise ProblemError(f"problem kind {kind!r} already registered")
+    _KINDS[kind] = KindSpec(
+        kind=kind,
+        payload_cls=payload_cls,
+        to_dict=to_dict,
+        from_dict=from_dict,
+        adapter=adapter,
+    )
+
+
+def kind_spec(kind: str) -> KindSpec:
+    """Resolve a kind, lazily importing its provider package if needed."""
+    if kind not in _KINDS and kind in _LAZY_KINDS:
+        importlib.import_module(_LAZY_KINDS[kind])
+    try:
+        return _KINDS[kind]
+    except KeyError:
+        raise ProblemError(
+            f"unknown problem kind {kind!r}; valid: {', '.join(valid_kinds())}"
+        ) from None
+
+
+def valid_kinds() -> Tuple[str, ...]:
+    """Every addressable kind, registered or lazily importable."""
+    return tuple(sorted(set(_KINDS) | set(_LAZY_KINDS)))
+
+
 def make_adapter(kind: str, problem) -> Any:
     """Adapter for a request's problem kind."""
-    if kind == MqoAdapter.kind:
-        return MqoAdapter(problem)
-    if kind == JoinOrderAdapter.kind:
-        return JoinOrderAdapter(problem)
-    raise ProblemError(f"no adapter for problem kind {kind!r}")
+    return kind_spec(kind).adapter(problem)
+
+
+register_problem_kind(
+    kind=MqoAdapter.kind,
+    payload_cls=MqoProblem,
+    to_dict=mqo_to_dict,
+    from_dict=mqo_from_dict,
+    adapter=MqoAdapter,
+)
+register_problem_kind(
+    kind=JoinOrderAdapter.kind,
+    payload_cls=QueryGraph,
+    to_dict=query_graph_to_dict,
+    from_dict=query_graph_from_dict,
+    adapter=JoinOrderAdapter,
+)

@@ -19,28 +19,24 @@ from typing import Any, Dict, Optional, Tuple, Union
 from repro.exceptions import ProblemError
 from repro.joinorder.query_graph import QueryGraph
 from repro.mqo.problem import MqoProblem
-from repro.serialization import (
-    mqo_from_dict,
-    mqo_to_dict,
-    query_graph_from_dict,
-    query_graph_to_dict,
-    register_serializer,
-    to_jsonable,
-)
+from repro.serialization import register_serializer, to_jsonable
 from repro.service.chain import StageSpec, parse_policy
+from repro.service.problems import kind_spec
 
 _FORMAT = 1
 
 KIND_MQO = "mqo"
 KIND_JOIN_ORDER = "join_order"
-VALID_KINDS = (KIND_MQO, KIND_JOIN_ORDER)
+KIND_SQL = "sql"
 
 #: chain modes — ``first_valid`` stops at the first stage that yields a
 #: valid plan (classic fallback), ``exhaust`` runs every stage that
 #: fits the deadline and keeps the best valid plan.
 VALID_MODES = ("first_valid", "exhaust")
 
-ProblemPayload = Union[MqoProblem, QueryGraph]
+#: MqoProblem, QueryGraph, or any payload of a registered problem kind
+#: (e.g. :class:`repro.sql.SqlQuery` for ``kind="sql"``)
+ProblemPayload = Union[MqoProblem, QueryGraph, Any]
 
 
 @dataclass(frozen=True)
@@ -60,15 +56,11 @@ class OptimizationRequest:
     mode: str = "first_valid"
 
     def __post_init__(self) -> None:
-        if self.kind not in VALID_KINDS:
+        spec = kind_spec(self.kind)  # raises ProblemError for unknown kinds
+        if not isinstance(self.problem, spec.payload_cls):
             raise ProblemError(
-                f"unknown problem kind {self.kind!r}; valid: {', '.join(VALID_KINDS)}"
-            )
-        expected = MqoProblem if self.kind == KIND_MQO else QueryGraph
-        if not isinstance(self.problem, expected):
-            raise ProblemError(
-                f"kind {self.kind!r} expects a {expected.__name__} payload, "
-                f"got {type(self.problem).__name__}"
+                f"kind {self.kind!r} expects a {spec.payload_cls.__name__} "
+                f"payload, got {type(self.problem).__name__}"
             )
         if self.mode not in VALID_MODES:
             raise ProblemError(
@@ -107,15 +99,11 @@ class OptimizationResult:
 
 
 def problem_to_dict(kind: str, problem: ProblemPayload) -> Dict[str, Any]:
-    if kind == KIND_MQO:
-        return mqo_to_dict(problem)
-    return query_graph_to_dict(problem)
+    return kind_spec(kind).to_dict(problem)
 
 
 def problem_from_dict(kind: str, data: Dict[str, Any]) -> ProblemPayload:
-    if kind == KIND_MQO:
-        return mqo_from_dict(data)
-    return query_graph_from_dict(data)
+    return kind_spec(kind).from_dict(data)
 
 
 # ----------------------------------------------------------------------

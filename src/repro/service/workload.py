@@ -17,7 +17,12 @@ import numpy as np
 from repro.joinorder.generators import chain_query, cycle_query, star_query
 from repro.mqo.generator import random_mqo_problem
 from repro.service.chain import StageSpec
-from repro.service.request import KIND_JOIN_ORDER, KIND_MQO, OptimizationRequest
+from repro.service.request import (
+    KIND_JOIN_ORDER,
+    KIND_MQO,
+    KIND_SQL,
+    OptimizationRequest,
+)
 
 __all__ = ["synthetic_requests"]
 
@@ -30,13 +35,21 @@ def synthetic_requests(
     deadline_ms: float = 200.0,
     mqo_fraction: float = 0.5,
     duplicate_fraction: float = 0.25,
+    sql_fraction: float = 0.0,
     queries_range: Tuple[int, int] = (4, 8),
     plans_per_query_range: Tuple[int, int] = (2, 3),
     relations_range: Tuple[int, int] = (4, 7),
+    sql_tables_range: Tuple[int, int] = (3, 6),
     policy: Optional[Sequence[StageSpec]] = None,
     mode: str = "first_valid",
 ) -> List[OptimizationRequest]:
-    """A mixed MQO + join-ordering workload of ``count`` requests."""
+    """A mixed MQO + join-ordering (+ optional raw-SQL) workload.
+
+    ``sql_fraction`` carves its share out of the non-MQO, non-duplicate
+    requests: those arrive as ``kind="sql"`` payloads carrying generated
+    TPC-H-style query text, so the bench exercises the full
+    parse → bind → extract path inside the service.
+    """
     rng = np.random.default_rng(seed)
     policy = None if policy is None else tuple(policy)
     requests: List[OptimizationRequest] = []
@@ -46,7 +59,17 @@ def synthetic_requests(
             earlier = requests[int(rng.integers(0, len(requests)))]
             requests.append(earlier.with_id(f"req-{index:04d}"))
             continue
-        if float(rng.random()) < mqo_fraction:
+        if float(rng.random()) < sql_fraction:
+            from repro.sql import SqlQuery, generate_query, tpch_catalog
+
+            kind = KIND_SQL
+            statement = generate_query(
+                seed=int(rng.integers(0, 2**31)),
+                min_tables=sql_tables_range[0],
+                max_tables=sql_tables_range[1],
+            )
+            problem = SqlQuery(sql=str(statement), catalog=tpch_catalog())
+        elif float(rng.random()) < mqo_fraction:
             kind = KIND_MQO
             problem = random_mqo_problem(
                 int(rng.integers(queries_range[0], queries_range[1] + 1)),

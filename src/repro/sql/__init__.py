@@ -1,0 +1,105 @@
+"""SQL front door: text-to-plan pipeline for the QUBO optimizers.
+
+The missing first mile of the reproduction: real systems start from SQL
+text, not pre-built problem objects.  This package parses a SQL subset
+(SELECT–FROM–WHERE, inner joins, conjunctive predicates), binds it
+against a :class:`~repro.sql.catalog.Catalog` of table statistics,
+builds a relational-algebra tree with predicate pushdown, estimates
+selectivities System-R-style, and extracts the
+:class:`~repro.joinorder.query_graph.QueryGraph` the existing solvers
+and the serving layer consume.  A TPC-H-like schema and a seeded query
+generator provide realistic workloads.
+
+Importing :mod:`repro.sql` registers the ``sql`` problem kind with the
+service layer and the ``sql_query``/``catalog`` payload kinds with
+:mod:`repro.serialization`; both registries also lazily import this
+package on first use, so the kinds work without explicit imports.
+"""
+
+from repro.sql.algebra import (
+    BoundQuery,
+    Filter,
+    Join,
+    PlanNode,
+    Project,
+    Scan,
+    bind,
+    canonical_plan,
+    estimated_cardinality,
+    explain_plan,
+    push_down_predicates,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    Literal,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sql.catalog import (
+    Catalog,
+    ColumnStats,
+    TableStats,
+    catalog_from_dict,
+    catalog_to_dict,
+    comparison_selectivity,
+)
+from repro.sql.extract import cost_from_plan, extract_query_graph
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statement
+from repro.sql.pipeline import (
+    SqlAdapter,
+    SqlPlan,
+    SqlQuery,
+    parse_sql,
+    plan_query,
+    sql_query_from_dict,
+    sql_query_to_dict,
+)
+from repro.sql.schema import JOIN_EDGES, tpch_catalog
+from repro.sql.workload import generate_query, generate_workload, workload_to_mqo
+
+__all__ = [
+    "BoundQuery",
+    "Catalog",
+    "ColumnRef",
+    "ColumnStats",
+    "Comparison",
+    "Filter",
+    "JOIN_EDGES",
+    "Join",
+    "Literal",
+    "PlanNode",
+    "Project",
+    "Scan",
+    "SelectItem",
+    "SelectStatement",
+    "SqlAdapter",
+    "SqlPlan",
+    "SqlQuery",
+    "Star",
+    "TableRef",
+    "TableStats",
+    "bind",
+    "canonical_plan",
+    "catalog_from_dict",
+    "catalog_to_dict",
+    "comparison_selectivity",
+    "cost_from_plan",
+    "estimated_cardinality",
+    "explain_plan",
+    "extract_query_graph",
+    "generate_query",
+    "generate_workload",
+    "parse_sql",
+    "parse_statement",
+    "plan_query",
+    "push_down_predicates",
+    "sql_query_from_dict",
+    "sql_query_to_dict",
+    "tokenize",
+    "tpch_catalog",
+    "workload_to_mqo",
+]

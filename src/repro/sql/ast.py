@@ -1,0 +1,122 @@
+"""Parsed form of the supported SQL subset.
+
+The parser emits one :class:`SelectStatement` per query: a projection
+list, the FROM tables (with aliases), and a single conjunction of
+:class:`Comparison` predicates — ``ON`` conditions and the ``WHERE``
+clause are normalised into the same list, because for inner joins they
+are semantically interchangeable and the planner treats them uniformly
+(predicate pushdown re-sites every predicate anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "COMPARISON_OPERATORS",
+    "ColumnRef",
+    "Comparison",
+    "Literal",
+    "Operand",
+    "SelectItem",
+    "SelectStatement",
+    "Star",
+    "TableRef",
+]
+
+#: normalised comparison operators (``!=`` lexes to ``<>``)
+COMPARISON_OPERATORS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference (``alias.column``)."""
+
+    table: Optional[str]  # alias qualifier, None when unqualified
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric or string constant."""
+
+    value: Union[float, str]
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return f"{self.value:g}"
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One conjunct: ``left op right``."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+    def column_refs(self) -> Tuple[ColumnRef, ...]:
+        return tuple(
+            side for side in (self.left, self.right) if isinstance(side, ColumnRef)
+        )
+
+
+@dataclass(frozen=True)
+class Star:
+    """``SELECT *``."""
+
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: a column, optionally renamed with ``AS``."""
+
+    expr: ColumnRef
+    alias: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.expr} AS {self.alias}" if self.alias else str(self.expr)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table with its binding alias.
+
+    ``alias`` is always populated (defaulting to the table name), so
+    downstream code resolves columns against aliases only.
+    """
+
+    table: str
+    alias: str
+
+    def __str__(self) -> str:
+        return self.table if self.alias == self.table else f"{self.table} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT–FROM–WHERE query."""
+
+    projections: Tuple[Union[SelectItem, Star], ...]
+    tables: Tuple[TableRef, ...]
+    predicates: Tuple[Comparison, ...]
+
+    def __str__(self) -> str:
+        select = ", ".join(str(p) for p in self.projections)
+        from_ = ", ".join(str(t) for t in self.tables)
+        where = " AND ".join(str(p) for p in self.predicates)
+        text = f"SELECT {select} FROM {from_}"
+        return f"{text} WHERE {where}" if where else text

@@ -1,0 +1,278 @@
+"""Table/column statistics and System-R-style selectivity estimation.
+
+A :class:`Catalog` is an immutable bundle of :class:`TableStats`, each
+holding a base cardinality plus per-column distinct-value counts and
+(optionally) numeric min/max bounds.  Selectivity estimation follows the
+classic System-R rules under the usual independence and uniformity
+assumptions:
+
+========================  =============================================
+predicate                 estimated selectivity
+========================  =============================================
+``col = literal``         ``1 / ndv(col)``
+``col <> literal``        ``1 - 1 / ndv(col)``
+``col < v`` (bounds)      ``(v - min) / (max - min)``, interpolated
+``col > v`` (bounds)      ``(max - v) / (max - min)``, interpolated
+``col = col`` (join)      ``1 / max(ndv(a), ndv(b))``
+``col <> col``            ``1 - 1 / max(ndv(a), ndv(b))``
+anything else             ``1 / 3`` (the System-R default guess)
+========================  =============================================
+
+Every estimate is clamped into ``(0, 1]`` so downstream
+:class:`~repro.joinorder.query_graph.Predicate` construction never sees
+a degenerate value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ProblemError, SqlSemanticError
+
+__all__ = [
+    "Catalog",
+    "ColumnStats",
+    "DEFAULT_SELECTIVITY",
+    "MIN_SELECTIVITY",
+    "TableStats",
+    "catalog_from_dict",
+    "catalog_to_dict",
+    "comparison_selectivity",
+]
+
+#: System-R's guess for predicates it cannot estimate
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+#: floor keeping every estimate inside ``(0, 1]``
+MIN_SELECTIVITY = 1e-9
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(MIN_SELECTIVITY, float(value)))
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column: distinct count plus numeric bounds."""
+
+    name: str
+    distinct_values: float
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProblemError("column name must be non-empty")
+        if self.distinct_values < 1:
+            raise ProblemError(
+                f"column {self.name!r}: distinct_values must be >= 1, "
+                f"got {self.distinct_values}"
+            )
+        has_min, has_max = self.minimum is not None, self.maximum is not None
+        if has_min != has_max:
+            raise ProblemError(
+                f"column {self.name!r}: minimum and maximum must be given together"
+            )
+        if has_min and self.minimum > self.maximum:  # type: ignore[operator]
+            raise ProblemError(
+                f"column {self.name!r}: minimum {self.minimum} exceeds "
+                f"maximum {self.maximum}"
+            )
+
+    @property
+    def has_bounds(self) -> bool:
+        return self.minimum is not None
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one base table."""
+
+    name: str
+    cardinality: float
+    columns: Tuple[ColumnStats, ...]
+    _by_name: Mapping[str, ColumnStats] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProblemError("table name must be non-empty")
+        if self.cardinality < 1:
+            raise ProblemError(
+                f"table {self.name!r}: cardinality must be >= 1, "
+                f"got {self.cardinality}"
+            )
+        by_name: Dict[str, ColumnStats] = {}
+        for column in self.columns:
+            if column.name in by_name:
+                raise ProblemError(
+                    f"table {self.name!r}: duplicate column {column.name!r}"
+                )
+            by_name[column.name] = column
+        object.__setattr__(self, "_by_name", by_name)
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SqlSemanticError(
+                f"unknown column {name!r} on table {self.name!r} "
+                f"(has: {', '.join(sorted(self._by_name))})"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(self._by_name)
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """An immutable set of table statistics addressable by table name."""
+
+    name: str
+    tables: Tuple[TableStats, ...]
+    _by_name: Mapping[str, TableStats] = field(
+        init=False, repr=False, compare=False, hash=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProblemError("catalog name must be non-empty")
+        by_name: Dict[str, TableStats] = {}
+        for table in self.tables:
+            if table.name in by_name:
+                raise ProblemError(
+                    f"catalog {self.name!r}: duplicate table {table.name!r}"
+                )
+            by_name[table.name] = table
+        object.__setattr__(self, "_by_name", by_name)
+
+    def table(self, name: str) -> TableStats:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SqlSemanticError(
+                f"unknown table {name!r} in catalog {self.name!r} "
+                f"(has: {', '.join(sorted(self._by_name))})"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        return tuple(self._by_name)
+
+
+# -- selectivity rules --------------------------------------------------
+
+def _range_fraction(stats: ColumnStats, value: float, *, below: bool) -> float:
+    """Fraction of ``stats``'s value range lying below/above ``value``."""
+    assert stats.minimum is not None and stats.maximum is not None
+    span = stats.maximum - stats.minimum
+    if span <= 0:  # single-valued column: the bound either keeps or drops it
+        kept = value > stats.minimum if below else value < stats.minimum
+        return 1.0 if kept else MIN_SELECTIVITY
+    fraction = (value - stats.minimum) / span
+    if not below:
+        fraction = 1.0 - fraction
+    return fraction
+
+
+def comparison_selectivity(
+    op: str,
+    left: Optional[ColumnStats],
+    right: Optional[ColumnStats],
+    literal: Optional[Union[float, str]] = None,
+) -> float:
+    """Estimate the selectivity of ``left op right``.
+
+    Pass column statistics for each side that is a column and the
+    constant via ``literal`` when one side is a literal.  At least one
+    side must be a column.
+    """
+    if left is None and right is None:
+        raise SqlSemanticError(
+            "constant-only predicates are not supported; "
+            "each comparison must reference at least one column"
+        )
+    if left is not None and right is not None:  # join predicate
+        ndv = max(left.distinct_values, right.distinct_values)
+        if op == "=":
+            return _clamp(1.0 / ndv)
+        if op == "<>":
+            return _clamp(1.0 - 1.0 / ndv)
+        return _clamp(DEFAULT_SELECTIVITY)
+    column = left if left is not None else right
+    assert column is not None
+    if op == "=":
+        return _clamp(1.0 / column.distinct_values)
+    if op == "<>":
+        return _clamp(1.0 - 1.0 / column.distinct_values)
+    if op in ("<", "<=", ">", ">="):
+        if not column.has_bounds or not isinstance(literal, (int, float)):
+            return _clamp(DEFAULT_SELECTIVITY)
+        # ``column < v`` and the flipped ``v > column`` both arrive here
+        # with the column on one side; the caller normalises direction.
+        below = op in ("<", "<=")
+        if right is not None:  # literal op column: flip the direction
+            below = not below
+        return _clamp(_range_fraction(column, float(literal), below=below))
+    return _clamp(DEFAULT_SELECTIVITY)
+
+
+# -- serialization ------------------------------------------------------
+
+_FORMAT = 1
+
+
+def catalog_to_dict(catalog: Catalog) -> dict:
+    """Serialize a catalog to a JSON-compatible dict (sorted, versioned)."""
+    return {
+        "format": _FORMAT,
+        "kind": "catalog",
+        "name": catalog.name,
+        "tables": [
+            {
+                "name": table.name,
+                "cardinality": table.cardinality,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "distinct_values": column.distinct_values,
+                        "minimum": column.minimum,
+                        "maximum": column.maximum,
+                    }
+                    for column in table.columns
+                ],
+            }
+            for table in catalog.tables
+        ],
+    }
+
+
+def catalog_from_dict(data: Mapping) -> Catalog:
+    """Rebuild a catalog from :func:`catalog_to_dict` output."""
+    if data.get("kind") != "catalog":
+        raise ProblemError(f"expected kind 'catalog', got {data.get('kind')!r}")
+    tables = tuple(
+        TableStats(
+            name=table["name"],
+            cardinality=float(table["cardinality"]),
+            columns=tuple(
+                ColumnStats(
+                    name=column["name"],
+                    distinct_values=float(column["distinct_values"]),
+                    minimum=column["minimum"],
+                    maximum=column["maximum"],
+                )
+                for column in table["columns"]
+            ),
+        )
+        for table in data["tables"]
+    )
+    return Catalog(name=data["name"], tables=tables)

@@ -1,0 +1,146 @@
+"""Tokenizer for the supported SQL subset.
+
+Stdlib-only, single pass, position-tracked.  The lexer is deliberately
+small: keywords, identifiers (bare or ``"quoted"``), numeric and
+``'string'`` literals, comparison operators and punctuation.  Bare
+identifiers fold to lower case (the SQL standard's behaviour for
+unquoted names); quoted identifiers preserve case and may contain any
+character, with ``""`` as the escape for an embedded quote.
+
+Keywords the parser does not support (``GROUP``, ``UNION``, ``LEFT``,
+...) are still lexed as keywords so they cannot silently become table
+aliases — the parser turns them into targeted "unsupported construct"
+errors instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.exceptions import SqlSyntaxError
+
+__all__ = ["KEYWORDS", "Token", "tokenize"]
+
+#: every word with reserved meaning, supported or not (lower case)
+KEYWORDS = frozenset(
+    {
+        # supported
+        "select", "from", "where", "and", "join", "inner", "on", "as",
+        # recognised so we can reject them with a useful message
+        "or", "not", "cross", "left", "right", "full", "outer", "natural",
+        "union", "group", "order", "by", "having", "limit", "distinct",
+        "between", "in", "like", "is", "null", "exists",
+    }
+)
+
+#: multi-character operators first so ``<=`` never lexes as ``<`` ``=``
+_OPERATORS: Tuple[str, ...] = ("<=", ">=", "<>", "!=", "=", "<", ">")
+#: ``-`` is punctuation, not an operator: the subset has no arithmetic,
+#: so it can only appear as the unary minus of a numeric literal
+_PUNCTUATION = frozenset({",", ".", "(", ")", "*", ";", "-"})
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: ``kind`` is ``keyword``, ``name``, ``number``,
+    ``string``, ``operator``, ``punct`` or ``end``."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str = "") -> bool:
+        return self.kind == kind and (not value or self.value == value)
+
+
+def _error(text: str, position: int, message: str) -> SqlSyntaxError:
+    snippet = text[max(0, position - 12) : position + 12].replace("\n", " ")
+    return SqlSyntaxError(f"{message} at position {position} (near {snippet!r})")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex ``text`` into tokens, ending with one ``end`` token."""
+    if not isinstance(text, str) or not text.strip():
+        raise SqlSyntaxError("empty SQL statement")
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == '"':  # quoted identifier, "" escapes a quote
+            j, parts = i + 1, []
+            while j < n:
+                if text[j] == '"':
+                    if j + 1 < n and text[j + 1] == '"':
+                        parts.append('"')
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            else:
+                raise _error(text, i, "unterminated quoted identifier")
+            if not parts:
+                raise _error(text, i, "empty quoted identifier")
+            tokens.append(Token("name", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch == "'":  # string literal, '' escapes a quote
+            j, parts = i + 1, []
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            else:
+                raise _error(text, i, "unterminated string literal")
+            tokens.append(Token("string", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            # ``1.5.2`` and ``12abc`` are malformed, not two tokens
+            if j < n and (text[j].isalpha() or text[j] in "._"):
+                raise _error(text, i, f"malformed number {text[i:j + 1]!r}")
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, i))
+            else:
+                tokens.append(Token("name", lowered, i))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("operator", "<>" if op == "!=" else op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise _error(text, i, f"unexpected character {ch!r}")
+    tokens.append(Token("end", "", n))
+    return tokens

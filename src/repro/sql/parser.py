@@ -1,0 +1,217 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    statement   := SELECT select_list FROM table_expr where_opt ';'? END
+    select_list := '*' | select_item (',' select_item)*
+    select_item := column_ref (AS? name)?
+    table_expr  := table_ref ((',' | INNER? JOIN) table_ref on_opt)*
+    table_ref   := name (AS? name)?
+    on_opt      := (ON conjunction)?          -- required after JOIN
+    where_opt   := (WHERE conjunction)?
+    conjunction := comparison (AND comparison)*
+    comparison  := operand op operand         -- op in = <> < <= > >=
+    operand     := column_ref | '-'? number | string
+    column_ref  := name ('.' name)?
+
+Anything outside the subset — outer joins, ``OR``/``NOT``, subqueries,
+``GROUP BY`` and friends — raises :class:`SqlSyntaxError` with a message
+naming the unsupported construct.  Alias collisions raise
+:class:`SqlSemanticError`: the statement is well-formed text but does
+not bind a usable scope.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.exceptions import SqlSemanticError, SqlSyntaxError
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    Literal,
+    Operand,
+    SelectItem,
+    SelectStatement,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+__all__ = ["parse_statement"]
+
+#: keywords that may legally follow a table reference without an alias
+_CLAUSE_KEYWORDS = frozenset({"where", "join", "inner", "on", "and"})
+
+_UNSUPPORTED_JOINS = frozenset({"left", "right", "full", "outer", "natural"})
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str = "") -> bool:
+        if self.current.matches(kind, value):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, kind: str, value: str = "", what: str = "") -> Token:
+        if self.current.matches(kind, value):
+            return self.advance()
+        expected = what or value or kind
+        return self.fail(f"expected {expected}")
+
+    def fail(self, message: str) -> "Token":
+        token = self.current
+        shown = token.value if token.kind != "end" else "end of input"
+        raise SqlSyntaxError(
+            f"{message}, found {shown!r} at position {token.position}"
+        )
+
+    # -- grammar --------------------------------------------------------
+    def statement(self) -> SelectStatement:
+        self.expect("keyword", "select", "SELECT")
+        projections = self.select_list()
+        self.expect("keyword", "from", "FROM")
+        tables, predicates = self.table_expr()
+        if self.accept("keyword", "where"):
+            predicates.extend(self.conjunction())
+        self.accept("punct", ";")
+        if self.current.kind != "end":
+            self.fail("unexpected trailing input")
+        self.check_aliases(tables)
+        return SelectStatement(
+            projections=tuple(projections),
+            tables=tuple(tables),
+            predicates=tuple(predicates),
+        )
+
+    def select_list(self) -> List[Union[SelectItem, Star]]:
+        if self.accept("punct", "*"):
+            return [Star()]
+        items: List[Union[SelectItem, Star]] = [self.select_item()]
+        while self.accept("punct", ","):
+            items.append(self.select_item())
+        return items
+
+    def select_item(self) -> SelectItem:
+        if self.current.matches("keyword", "distinct"):
+            self.fail("DISTINCT is not supported")
+        column = self.column_ref()
+        alias = None
+        if self.accept("keyword", "as"):
+            alias = self.expect("name", what="projection alias").value
+        elif self.current.kind == "name":
+            alias = self.advance().value
+        return SelectItem(expr=column, alias=alias)
+
+    def table_expr(self) -> Tuple[List[TableRef], List[Comparison]]:
+        tables = [self.table_ref()]
+        predicates: List[Comparison] = []
+        while True:
+            if self.accept("punct", ","):
+                tables.append(self.table_ref())
+                continue
+            if self.current.kind == "keyword" and self.current.value in _UNSUPPORTED_JOINS:
+                self.fail(f"{self.current.value.upper()} JOIN is not supported")
+            if self.current.matches("keyword", "cross"):
+                self.fail(
+                    "CROSS JOIN is not supported; join tables with an ON "
+                    "condition or list them in FROM with WHERE predicates"
+                )
+            saw_inner = self.accept("keyword", "inner")
+            if self.accept("keyword", "join"):
+                tables.append(self.table_ref())
+                self.expect("keyword", "on", "ON after JOIN")
+                predicates.extend(self.conjunction())
+                continue
+            if saw_inner:
+                self.fail("expected JOIN after INNER")
+            break
+        return tables, predicates
+
+    def table_ref(self) -> TableRef:
+        name = self.expect("name", what="table name").value
+        alias = name
+        if self.accept("keyword", "as"):
+            alias = self.expect("name", what="table alias").value
+        elif self.current.kind == "name":
+            alias = self.advance().value
+        return TableRef(table=name, alias=alias)
+
+    def conjunction(self) -> List[Comparison]:
+        predicates = [self.comparison()]
+        while True:
+            if self.current.matches("keyword", "or"):
+                self.fail("OR is not supported; only conjunctive predicates")
+            if self.accept("keyword", "and"):
+                predicates.append(self.comparison())
+                continue
+            break
+        return predicates
+
+    def comparison(self) -> Comparison:
+        if self.current.matches("keyword", "not"):
+            self.fail("NOT is not supported; only conjunctive predicates")
+        if self.current.matches("punct", "("):
+            self.fail("parenthesised predicates and subqueries are not supported")
+        left = self.operand()
+        for unsupported in ("between", "in", "like", "is"):
+            if self.current.matches("keyword", unsupported):
+                self.fail(f"{unsupported.upper()} predicates are not supported")
+        op = self.expect("operator", what="comparison operator").value
+        right = self.operand()
+        return Comparison(left=left, op=op, right=right)
+
+    def operand(self) -> Operand:
+        if self.accept("punct", "-"):
+            token = self.expect("number", what="number after unary '-'")
+            return Literal(value=-float(token.value))
+        if self.current.kind == "number":
+            return Literal(value=float(self.advance().value))
+        if self.current.kind == "string":
+            return Literal(value=self.advance().value)
+        if self.current.kind == "name":
+            return self.column_ref()
+        return self.fail("expected a column reference or literal")
+
+    def column_ref(self) -> ColumnRef:
+        first = self.expect("name", what="column reference").value
+        if self.accept("punct", "."):
+            column = self.expect("name", what="column name after '.'").value
+            return ColumnRef(table=first, column=column)
+        return ColumnRef(table=None, column=first)
+
+    # -- semantic checks done at parse time -----------------------------
+    def check_aliases(self, tables: List[TableRef]) -> None:
+        seen = set()
+        for ref in tables:
+            if ref.alias in seen:
+                raise SqlSemanticError(
+                    f"duplicate table alias {ref.alias!r}; give each FROM "
+                    "entry a distinct alias"
+                )
+            seen.add(ref.alias)
+
+
+def parse_statement(text: str) -> SelectStatement:
+    """Parse one SELECT statement of the supported subset.
+
+    Raises :class:`SqlSyntaxError` for malformed or unsupported text and
+    :class:`SqlSemanticError` for alias collisions.
+    """
+    return _Parser(text).statement()

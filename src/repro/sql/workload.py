@@ -1,0 +1,237 @@
+"""Deterministic, seeded TPC-H-style query generation.
+
+:func:`generate_query` walks the schema's foreign-key graph from a
+random starting table, joining one FK edge at a time, so every
+generated query has a connected join graph by construction — exactly
+the class of inputs the join-ordering pipeline accepts.  Local filters
+are drawn on the numeric columns the schema marks filterable, with
+literals sampled inside the column's value bounds so range selectivity
+interpolation stays meaningful.
+
+Everything is driven by :class:`random.Random` seeded with plain
+integers, so a ``(seed, parameters)`` pair produces byte-identical SQL
+text in every process — the property the service's content-hash caches
+and the experiment harness rely on.
+
+:func:`workload_to_mqo` bridges generated queries into the paper's
+*multi* query optimization setting: each query contributes a handful of
+candidate left-deep plans (costed with C_out), and plans of different
+queries that join the same base-table set share work, modelled as a
+pairwise saving proportional to the cheaper plan's shared intermediate
+result.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.joinorder.classical import solve_greedy
+from repro.joinorder.cost import cout_cost, join_result_cardinality
+from repro.mqo.problem import MqoProblem, Plan, Saving
+from repro.sql.catalog import Catalog
+from repro.sql.schema import FILTER_COLUMNS, JOIN_EDGES, tpch_catalog
+
+__all__ = ["generate_query", "generate_workload", "workload_to_mqo"]
+
+#: probability a generated table reference gets a short alias
+_ALIAS_PROBABILITY = 0.5
+#: probability of projecting ``*`` instead of named columns
+_STAR_PROBABILITY = 0.3
+
+_FILTER_OPS = ("<=", ">=", "=")
+
+
+def _check_count(name: str, value: int, minimum: int) -> None:
+    if not isinstance(value, int) or value < minimum:
+        raise ConfigurationError(f"{name} must be an integer >= {minimum}, got {value!r}")
+
+
+def generate_query(
+    seed: int = 0,
+    catalog: Optional[Catalog] = None,
+    min_tables: int = 2,
+    max_tables: int = 6,
+    filter_probability: float = 0.6,
+) -> str:
+    """Generate one SQL query string by walking the FK graph.
+
+    Deterministic in ``seed`` and the parameters; the same call yields
+    the same text in any process.
+    """
+    _check_count("min_tables", min_tables, 2)
+    _check_count("max_tables", max_tables, min_tables)
+    if catalog is None:
+        catalog = tpch_catalog()
+    rng = random.Random(seed)
+    target = rng.randint(min_tables, max_tables)
+
+    # FK walk: add one edge at a time, never repeating a table
+    start = rng.choice(sorted(FILTER_COLUMNS))
+    chosen: List[str] = [start]
+    joins: List[Tuple[Tuple[str, str], Tuple[str, str]]] = []
+    while len(chosen) < target:
+        frontier = [
+            (a, b)
+            for a, b in JOIN_EDGES
+            if (a[0] in chosen) != (b[0] in chosen)
+        ]
+        if not frontier:
+            break
+        a, b = rng.choice(frontier)
+        inside, outside = (a, b) if a[0] in chosen else (b, a)
+        chosen.append(outside[0])
+        joins.append((inside, outside))
+
+    aliases: Dict[str, str] = {}
+    for index, table in enumerate(chosen):
+        if rng.random() < _ALIAS_PROBABILITY:
+            aliases[table] = f"{table[0]}{index}"
+        else:
+            aliases[table] = table
+
+    # local filters on the schema's filterable numeric columns
+    filters: List[str] = []
+    for table in chosen:
+        if rng.random() >= filter_probability:
+            continue
+        column = rng.choice(FILTER_COLUMNS[table])
+        stats = catalog.table(table).column(column)
+        op = rng.choice(_FILTER_OPS)
+        if stats.has_bounds:
+            value = rng.uniform(stats.minimum, stats.maximum)  # type: ignore[arg-type]
+            literal = f"{round(value, 2):g}"
+        else:  # pragma: no cover - every filter column has bounds
+            literal = "0"
+        filters.append(f"{aliases[table]}.{column} {op} {literal}")
+
+    # projections: * or a few named columns from the chosen tables
+    if rng.random() < _STAR_PROBABILITY:
+        select_list = "*"
+    else:
+        count = rng.randint(1, 3)
+        columns = []
+        for _ in range(count):
+            table = rng.choice(chosen)
+            column = rng.choice(catalog.table(table).column_names)
+            columns.append(f"{aliases[table]}.{column}")
+        select_list = ", ".join(dict.fromkeys(columns))
+
+    def table_ref(table: str) -> str:
+        alias = aliases[table]
+        return table if alias == table else f"{table} AS {alias}"
+
+    text = f"SELECT {select_list} FROM {table_ref(chosen[0])}"
+    for inside, outside in joins:
+        on = (
+            f"{aliases[inside[0]]}.{inside[1]} = "
+            f"{aliases[outside[0]]}.{outside[1]}"
+        )
+        text += f" JOIN {table_ref(outside[0])} ON {on}"
+    if filters:
+        text += " WHERE " + " AND ".join(filters)
+    return text
+
+
+def generate_workload(
+    count: int,
+    seed: int = 0,
+    catalog: Optional[Catalog] = None,
+    min_tables: int = 2,
+    max_tables: int = 6,
+    filter_probability: float = 0.6,
+) -> List[str]:
+    """Generate ``count`` queries with per-query seeds derived from ``seed``."""
+    _check_count("count", count, 1)
+    rng = random.Random(seed)
+    return [
+        generate_query(
+            seed=rng.randrange(2**31),
+            catalog=catalog,
+            min_tables=min_tables,
+            max_tables=max_tables,
+            filter_probability=filter_probability,
+        )
+        for _ in range(count)
+    ]
+
+
+def _candidate_orders(
+    graph, rng: random.Random, plans_per_query: int
+) -> List[Tuple[str, ...]]:
+    """Distinct candidate join orders: greedy first, then shuffles."""
+    orders: List[Tuple[str, ...]] = [tuple(solve_greedy(graph).order)]
+    names = list(graph.relation_names)
+    attempts = 0
+    while len(orders) < plans_per_query and attempts < 20 * plans_per_query:
+        attempts += 1
+        rng.shuffle(names)
+        candidate = tuple(names)
+        if candidate not in orders:
+            orders.append(candidate)
+    return orders
+
+
+def workload_to_mqo(
+    queries: Sequence[str],
+    catalog: Optional[Catalog] = None,
+    plans_per_query: int = 3,
+    seed: int = 0,
+    sharing_factor: float = 0.5,
+) -> MqoProblem:
+    """Turn SQL queries into one MQO instance with cross-query savings.
+
+    Each query contributes up to ``plans_per_query`` candidate left-deep
+    plans costed with C_out on its extracted join graph.  Two plans of
+    *different* queries share a saving when they join the same set of
+    base tables anywhere in their prefix chains — the saving is
+    ``sharing_factor`` times the smaller shared intermediate result, the
+    usual "materialize once, reuse" model.
+    """
+    from repro.sql.pipeline import plan_query  # local: avoids import cycle
+
+    _check_count("plans_per_query", plans_per_query, 1)
+    if catalog is None:
+        catalog = tpch_catalog()
+    rng = random.Random(seed)
+    plans: List[Plan] = []
+    # plan_id → {frozenset of base tables: intermediate cardinality}
+    signatures: Dict[int, Dict[FrozenSet[str], float]] = {}
+    plan_query_ids: Dict[int, int] = {}
+    next_plan_id = 0
+    for query_id, sql in enumerate(queries):
+        derived = plan_query(sql, catalog)
+        graph = derived.graph
+        alias_table = {
+            alias: stats.name for alias, stats in derived.bound.aliases.items()
+        }
+        for order in _candidate_orders(graph, rng, plans_per_query):
+            cost = cout_cost(graph, order)
+            plans.append(Plan(plan_id=next_plan_id, query_id=query_id, cost=cost))
+            sig: Dict[FrozenSet[str], float] = {}
+            for size in range(2, len(order) + 1):
+                prefix = order[:size]
+                tables = frozenset(alias_table[alias] for alias in prefix)
+                card = join_result_cardinality(graph, prefix)
+                previous = sig.get(tables)
+                if previous is None or card < previous:
+                    sig[tables] = card
+            signatures[next_plan_id] = sig
+            plan_query_ids[next_plan_id] = query_id
+            next_plan_id += 1
+
+    savings: List[Saving] = []
+    ids = [p.plan_id for p in plans]
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            if plan_query_ids[a] == plan_query_ids[b]:
+                continue
+            shared = set(signatures[a]) & set(signatures[b])
+            amount = sum(
+                sharing_factor * min(signatures[a][sig], signatures[b][sig])
+                for sig in shared
+            )
+            if amount > 0:
+                savings.append(Saving(plan_a=a, plan_b=b, amount=amount))
+    return MqoProblem(plans=tuple(plans), savings=tuple(savings))

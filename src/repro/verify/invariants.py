@@ -30,6 +30,11 @@ Catalog
 ``decode-cost-consistency``     decoded-plan cost ↔ raw-bitstring BQM
                                 energy (MQO Eq. 29; direct join QUBO
                                 surrogate objective)
+``sql-plan-consistency``        the SQL front door's two cost paths
+                                agree: C_out on the extracted query
+                                graph equals the cost recomputed from
+                                the relational-algebra tree
+                                (:func:`repro.sql.cost_from_plan`)
 ``transpile-equivalence``       transpiled circuits implement the same
                                 statevector (up to global phase and the
                                 tracked layout permutation)
@@ -59,6 +64,7 @@ __all__ = [
     "check_compiled_energy_consistency",
     "check_mqo_decode_consistency",
     "check_join_decode_consistency",
+    "check_sql_plan_consistency",
     "check_transpile_equivalence",
     "check_embedding_validity",
 ]
@@ -476,6 +482,61 @@ def check_join_decode_consistency(
                         "order": list(order),
                         "energy": energy,
                         "surrogate": surrogate,
+                    },
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# SQL front door: two independent cost paths must agree
+# ----------------------------------------------------------------------
+def check_sql_plan_consistency(
+    sql_plan,
+    orders: Sequence[Sequence[str]],
+    subject: str = "sql",
+    drift: float = 1.0,
+) -> List[Violation]:
+    """SQL pipeline: graph-path and algebra-path costs coincide.
+
+    For a derived :class:`~repro.sql.SqlPlan` and any join order, the
+    C_out cost computed on the *extracted query graph*
+    (:func:`repro.joinorder.cost.cout_cost`) must equal the cost
+    recomputed *directly from the relational-algebra tree*
+    (:func:`repro.sql.cost_from_plan`) — the two paths share only the
+    bound query, so any selectivity/cardinality estimator divergence
+    between extraction and algebra shows up here.
+
+    ``drift`` scales the algebra path's join selectivities and exists
+    for harness self-tests: ``drift != 1.0`` simulates exactly the
+    estimator-drift bug class this invariant catches.
+    """
+    from repro.joinorder.cost import cout_cost
+    from repro.sql import cost_from_plan
+
+    violations: List[Violation] = []
+    for index, order in enumerate(orders):
+        via_graph = cout_cost(sql_plan.graph, list(order))
+        via_algebra = cost_from_plan(
+            sql_plan.bound, sql_plan.optimized, list(order),
+            selectivity_scale=drift,
+        )
+        if not math.isclose(via_graph, via_algebra, rel_tol=1e-9, abs_tol=1e-9):
+            violations.append(
+                Violation(
+                    invariant="sql-plan-consistency",
+                    subject=subject,
+                    message=(
+                        f"graph-path cost {via_graph:.9g} != algebra-path "
+                        f"cost {via_algebra:.9g} for order "
+                        f"{' >> '.join(order)}"
+                    ),
+                    details={
+                        "order": list(order),
+                        "order_index": index,
+                        "via_graph": via_graph,
+                        "via_algebra": via_algebra,
+                        "sql": sql_plan.query.sql,
                     },
                 )
             )

@@ -6,7 +6,7 @@ out over processes with the same deterministic per-point seeding as
 the experiment drivers: rows are bit-identical for any ``--workers``
 value, which is what makes ``--json`` output diffable across runs.
 
-Four point types share one grid:
+Five point types share one grid:
 
 ``solver``      one registry solver on one case — compares the
                 reported energy against the recomputed sample energy,
@@ -22,12 +22,17 @@ Four point types share one grid:
                 the case's interaction graph on a Chimera target
 ``gate``        transpiled-circuit statevector equivalence on random
                 circuits, both all-to-all and line topologies
+``sql``         the SQL front door on generated TPC-H-style queries —
+                the C_out cost on the extracted join graph must equal
+                the cost recomputed from the relational-algebra tree
+                for random join orders (``sql-plan-consistency``)
 
-The ``inject`` parameter plants one of five known bugs (an offset
+The ``inject`` parameter plants one of six known bugs (an offset
 shift, a mis-scaled Ising coupling, a shifted decoded cost, a
-misreported solver energy, or a dropped term in the array-compiled
-kernels) so the harness can prove it catches each —
-``python -m repro verify --inject offset`` must exit non-zero.
+misreported solver energy, a dropped term in the array-compiled
+kernels, or drifted SQL join selectivities) so the harness can prove
+it catches each — ``python -m repro verify --inject offset`` must
+exit non-zero.
 """
 
 from __future__ import annotations
@@ -65,7 +70,7 @@ _ENERGY_ATOL = 1e-6
 _CHAIN_DEADLINE_S = 60.0
 
 #: bugs the harness can plant in itself to prove it catches them
-INJECTABLE_BUGS = ("none", "offset", "ising", "decode", "energy", "compiled")
+INJECTABLE_BUGS = ("none", "offset", "ising", "decode", "energy", "compiled", "sql")
 
 #: registry aliases to drop from the default sweep (same object twice)
 _ALIASES = {"exhaustive"}
@@ -420,6 +425,37 @@ def _gate_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+def _sql_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """sql-plan-consistency on one generated TPC-H-style query."""
+    import numpy as np
+
+    from repro.sql import generate_query, plan_query
+    from repro.verify.invariants import check_sql_plan_consistency
+
+    query_seed = int(params["query_seed"])
+    sql = generate_query(
+        seed=query_seed,
+        min_tables=int(params["min_tables"]),
+        max_tables=int(params["max_tables"]),
+    )
+    plan = plan_query(sql)
+    rng = np.random.default_rng(seed)
+    names = list(plan.graph.relation_names)
+    orders = [tuple(str(n) for n in rng.permutation(names)) for _ in range(8)]
+    drift = 1.01 if params["inject"] == "sql" else 1.0
+    subject = f"sql-query-{query_seed}"
+    violations = check_sql_plan_consistency(
+        plan, orders, subject=subject, drift=drift
+    )
+    return {
+        "type": "sql",
+        "case_id": subject,
+        "solver": None,
+        "checks": len(orders),
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
 def _verify_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """Grid dispatch (module-level: must pickle into pool workers)."""
     kind = params["type"]
@@ -431,6 +467,8 @@ def _verify_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         return _invariant_point(params, seed)
     if kind == "gate":
         return _gate_point(params, seed)
+    if kind == "sql":
+        return _sql_point(params, seed)
     raise ConfigurationError(f"unknown verification point type {kind!r}")
 
 
@@ -486,6 +524,16 @@ def _build_points(
                         "coupling": coupling,
                     }
                 )
+    for query_seed in (101, 202, 303):
+        points.append(
+            {
+                "type": "sql",
+                "inject": inject,
+                "query_seed": query_seed,
+                "min_tables": 3,
+                "max_tables": 6,
+            }
+        )
     return points
 
 

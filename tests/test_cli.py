@@ -85,3 +85,48 @@ class TestCommands:
     def test_info(self, capsys):
         assert main(["info"]) == 0
         assert "repro.qubo" in capsys.readouterr().out
+
+
+class TestSqlCommand:
+    _SQL = (
+        "SELECT * FROM customer AS c "
+        "JOIN orders AS o ON c.c_custkey = o.o_custkey "
+        "WHERE c.c_acctbal >= 100"
+    )
+
+    def test_parse(self, capsys):
+        assert main(["sql", "parse", self._SQL]) == 0
+        out = capsys.readouterr().out
+        assert "customer AS c" in out
+        assert "predicates: 2" in out
+
+    def test_explain(self, capsys):
+        assert main(["sql", "explain", self._SQL]) == 0
+        out = capsys.readouterr().out
+        assert "Scan customer AS c" in out
+        assert "join graph: 2 relations" in out
+
+    def test_optimize(self, capsys):
+        assert main(["sql", "optimize", self._SQL, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "order:" in out and "C_out=" in out
+
+    def test_generate_deterministic(self, capsys):
+        assert main(["sql", "generate", "--count", "2", "--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["sql", "generate", "--count", "2", "--seed", "5"]) == 0
+        assert capsys.readouterr().out == first
+        assert first.count("SELECT") == 2
+
+    def test_generated_queries_optimize(self, capsys):
+        assert main(["sql", "generate", "--count", "1", "--seed", "8"]) == 0
+        sql = capsys.readouterr().out.strip().rstrip(";")
+        assert main(["sql", "optimize", sql, "--seed", "1"]) == 0
+
+    def test_syntax_error_exits_2(self, capsys):
+        assert main(["sql", "parse", "SELECT * FROM a CROSS JOIN b"]) == 2
+        assert "CROSS JOIN" in capsys.readouterr().err
+
+    def test_missing_query_exits_2(self, capsys):
+        assert main(["sql", "explain"]) == 2
+        assert "needs a query" in capsys.readouterr().err

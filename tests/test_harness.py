@@ -370,6 +370,7 @@ class TestRegistryEndToEnd:
         "jo-direct": dict(relation_counts=(4,), solve_up_to=4),
         "penalty-gap": dict(multipliers=(1.0,)),
         "hybrid-scaling": dict(sizes=((4, 2), (6, 2)), sub_size=6),
+        "sql-workload": dict(queries=2, min_tables=3, max_tables=4),
     }
 
     def _registry(self):
@@ -387,6 +388,7 @@ class TestRegistryEndToEnd:
             "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
             "coherence", "quality-mqo", "quality-join", "mqo-annealer",
             "noise", "jo-direct", "penalty-gap", "hybrid-scaling",
+            "sql-workload",
         ],
     )
     def test_experiment_end_to_end(self, name, monkeypatch):
@@ -409,5 +411,6 @@ class TestRegistryEndToEnd:
             "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
             "coherence", "quality-mqo", "quality-join", "mqo-annealer",
             "noise", "jo-direct", "penalty-gap", "hybrid-scaling",
+            "sql-workload",
         }
         assert param_names == set(self._registry())

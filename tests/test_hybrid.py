@@ -300,6 +300,36 @@ class TestDecomposingSolver:
         result = solver.solve(bqm, seed=3)
         assert builder.decode(result.sample, method="hybrid").valid
 
+    def test_block_cache_reuse_identical_results(self):
+        """Reusing compiled subproblem blocks across refinement rounds
+        must not change the solution, only skip recompilation."""
+        _, builder, bqm = _mqo_bqm(queries=9, ppq=3)  # 27 variables
+        on = DecomposingSolver(sub_size=10, restarts=2, reuse_compiled=True).solve(
+            bqm, seed=11
+        )
+        off = DecomposingSolver(sub_size=10, restarts=2, reuse_compiled=False).solve(
+            bqm, seed=11
+        )
+        assert on.sample == off.sample
+        assert on.energy == pytest.approx(off.energy, abs=1e-12)
+        assert on.info["block_cache_hits"] > 0
+        assert "block_cache_hits" not in off.info
+
+    def test_block_cache_reuse_with_subsolver(self):
+        from repro.annealing.simulated_annealing import (
+            SimulatedAnnealingSampler,
+        )
+
+        _, builder, bqm = _mqo_bqm(queries=9, ppq=3)
+        kwargs = dict(
+            sub_size=10, exact_limit=2, restarts=2,
+            subsolver=SimulatedAnnealingSampler(num_sweeps=100),
+        )
+        on = DecomposingSolver(reuse_compiled=True, **kwargs).solve(bqm, seed=7)
+        off = DecomposingSolver(reuse_compiled=False, **kwargs).solve(bqm, seed=7)
+        assert on.sample == off.sample
+        assert on.energy == pytest.approx(off.energy, abs=1e-12)
+
     def test_invalid_parameters(self):
         with pytest.raises(SolverError):
             DecomposingSolver(sub_size=1)

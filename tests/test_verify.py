@@ -274,6 +274,35 @@ class TestRunner:
         first = report.first_violation()
         assert first["invariant"] == "compiled-energy-consistency"
 
+    def test_sql_points_run_clean(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        report = run_verification(
+            suite="quick",
+            solvers=["greedy"],
+            seed=0,
+            include_chain=False,
+            include_gate=False,
+        )
+        assert report.ok
+        sql_rows = [r for r in report.rows if r.get("type") == "sql"]
+        assert len(sql_rows) == 3
+        assert all(r["checks"] > 0 for r in sql_rows)
+
+    def test_injected_sql_estimator_drift_is_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        report = run_verification(
+            suite="quick",
+            solvers=["greedy"],
+            seed=0,
+            inject="sql",
+            include_chain=False,
+            include_gate=False,
+        )
+        assert not report.ok
+        first = report.first_violation()
+        assert first["invariant"] == "sql-plan-consistency"
+        assert first["subject"].startswith("sql-query-")
+
     def test_unknown_solver_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown solver"):
             run_verification(suite="quick", solvers=["does-not-exist"])
