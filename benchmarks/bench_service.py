@@ -2,18 +2,30 @@
 
 Runs the deadline-aware optimization service over a deterministic mixed
 MQO + join-ordering workload (the same generator behind
-``python -m repro serve-bench``) at several worker counts, and writes
-the measurements to ``BENCH_service.json`` at the repository root so
-successive PRs can track serving throughput.
+``python -m repro serve-bench``) sweeping **both executor backends**
+(GIL-bound threads vs one process per worker) at several worker counts,
+and writes the measurements to ``BENCH_service.json`` at the repository
+root so successive PRs can track serving throughput.
+
+Each run reports the coalescing hit rate alongside throughput — the
+workload's ``duplicate_fraction`` re-submits earlier problems, so some
+duplicates land while their twin is still in flight and are answered by
+attaching to the running solve instead of re-solving.
+
+The report records ``cpu_count``: on a single-core container the
+process backend cannot *scale* (there is nothing to scale onto), but it
+must still avoid the thread backend's queueing-delay blowup at higher
+worker counts, and the per-worker numbers become meaningful the moment
+the same benchmark runs on real hardware.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_service.py
     PYTHONPATH=src python benchmarks/bench_service.py \
-        --requests 64 --workers 1,4,8 --deadline-ms 200 --seed 7
+        --requests 64 --workers 1,4,8 --backends thread,process
 
 This is intentionally *not* a pytest-benchmark module: serving
-throughput is a whole-system number (thread pool + caches + chain
+throughput is a whole-system number (worker pool + caches + chain
 execution), not a microbenchmark of one driver function.
 """
 
@@ -21,6 +33,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import platform
 import sys
@@ -29,25 +42,33 @@ import time
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.service import BatchScheduler, OptimizationService, synthetic_requests  # noqa: E402
+from repro.server import ServiceConfig, make_scheduler  # noqa: E402
+from repro.service import synthetic_requests  # noqa: E402
 
 
-def run_once(requests, workers: int, seed: int) -> dict:
-    """Serve the workload once with a fresh service; return measurements."""
-    service = OptimizationService(seed=seed)
-    start = time.perf_counter()
-    with BatchScheduler(service, workers=workers) as scheduler:
+def run_once(requests, backend: str, workers: int, seed: int) -> dict:
+    """Serve the workload once on a fresh scheduler; return measurements."""
+    with make_scheduler(
+        backend,
+        config=ServiceConfig(seed=seed),
+        workers=workers,
+    ) as scheduler:
+        # pool startup and warmup happen before the clock starts: the
+        # measurement is serving throughput, not fork + import time
+        start = time.perf_counter()
         results = scheduler.run(requests)
-    wall_s = time.perf_counter() - start
+        wall_s = time.perf_counter() - start
+        stats = scheduler.stats()
 
-    stats = service.stats()
     latency = stats["histograms"].get("latency_ms", {"count": 0})
     served_by = {
         key.split(".", 1)[1]: value
         for key, value in stats["counters"].items()
         if key.startswith("served_by.")
     }
+    coalesce = stats["scheduler"]["coalesce"]
     return {
+        "backend": backend,
         "workers": workers,
         "wall_s": round(wall_s, 4),
         "requests_per_s": round(len(requests) / wall_s, 2),
@@ -61,6 +82,11 @@ def run_once(requests, workers: int, seed: int) -> dict:
         "valid": sum(1 for r in results if r.valid),
         "invalid": sum(1 for r in results if not r.valid),
         "result_cache_hit_rate": round(stats["cache"]["results"]["hit_rate"], 4),
+        "coalesce": {
+            "hits": coalesce["hits"],
+            "misses": coalesce["misses"],
+            "hit_rate": round(coalesce["hit_rate"], 4),
+        },
     }
 
 
@@ -68,6 +94,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=64)
     parser.add_argument("--workers", default="1,2,4", help="comma-separated counts")
+    parser.add_argument(
+        "--backends", default="thread,process",
+        help="comma-separated executor backends to sweep",
+    )
     parser.add_argument("--deadline-ms", type=float, default=200.0)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--mqo-fraction", type=float, default=0.5)
@@ -87,20 +117,26 @@ def main(argv=None) -> int:
     )
     print(
         f"workload: {len(requests)} requests, deadline {args.deadline_ms:g} ms, "
-        f"seed {args.seed}"
+        f"seed {args.seed}, {os.cpu_count()} cpu(s)"
     )
 
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    worker_counts = [int(w) for w in args.workers.split(",") if w.strip()]
     runs = []
-    for workers in (int(w) for w in args.workers.split(",") if w.strip()):
-        measurement = run_once(requests, workers, args.seed)
-        runs.append(measurement)
-        latency = measurement["latency_ms"]
-        print(
-            f"workers={workers}: {measurement['requests_per_s']:.1f} req/s, "
-            f"p50={latency['p50']:.1f} ms, p95={latency['p95']:.1f} ms, "
-            f"{measurement['valid']}/{len(requests)} valid, "
-            f"cache hit rate {measurement['result_cache_hit_rate']:.0%}"
-        )
+    for backend in backends:
+        for workers in worker_counts:
+            measurement = run_once(requests, backend, workers, args.seed)
+            runs.append(measurement)
+            latency = measurement["latency_ms"]
+            coalesce = measurement["coalesce"]
+            print(
+                f"{backend:>7s} workers={workers}: "
+                f"{measurement['requests_per_s']:.1f} req/s, "
+                f"p50={latency['p50']:.1f} ms, p95={latency['p95']:.1f} ms, "
+                f"{measurement['valid']}/{len(requests)} valid, "
+                f"cache hit rate {measurement['result_cache_hit_rate']:.0%}, "
+                f"coalesced {coalesce['hits']} ({coalesce['hit_rate']:.0%})"
+            )
 
     report = {
         "benchmark": "service",
@@ -112,6 +148,7 @@ def main(argv=None) -> int:
             "duplicate_fraction": args.duplicates,
         },
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
         "runs": runs,
     }
     pathlib.Path(args.output).write_text(

@@ -20,7 +20,11 @@ Commands
     against the TPC-H-style catalog, or generate a seeded workload.
 ``serve-bench``
     Drive the optimization service with a synthetic request workload
-    and print a metrics snapshot.
+    (thread or process backend) and print a metrics snapshot.
+``serve``
+    Run the HTTP gateway over a scheduler backend: ``POST /optimize``,
+    ``POST /sql``, ``GET /stats``, ``GET /healthz``; graceful drain on
+    SIGINT/SIGTERM.  ``--smoke`` runs a self-test and exits.
 ``verify``
     Run the cross-solver differential verification sweep: every
     registry solver plus the service fallback chain against exact
@@ -268,6 +272,16 @@ def _print_service_stats(stats: Dict) -> None:
             f"({100.0 * results_cache['hit_rate']:.1f}%), "
             f"compile hits {compiled_cache.get('hits', 0)}"
         )
+    scheduler = stats.get("scheduler")
+    if scheduler:
+        coalesce = scheduler.get("coalesce", {})
+        print(
+            f"scheduler: backend={scheduler.get('backend')} "
+            f"workers={scheduler.get('workers')} "
+            f"coalesced {coalesce.get('hits', 0)}/"
+            f"{coalesce.get('hits', 0) + coalesce.get('misses', 0)} "
+            f"({100.0 * coalesce.get('hit_rate', 0.0):.1f}%)"
+        )
 
 
 def _format_plan(result) -> str:
@@ -447,14 +461,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json as _json
 
     from repro import serialization
-    from repro.service import (
-        BatchScheduler,
-        OptimizationService,
-        make_adapter,
-        parse_policy,
-        result_to_dict,
-        synthetic_requests,
-    )
+    from repro.server import ServiceConfig, make_scheduler
+    from repro.service import make_adapter, parse_policy, result_to_dict, synthetic_requests
 
     policy = parse_policy(args.policy) if args.policy else None
     requests = synthetic_requests(
@@ -467,15 +475,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         policy=policy,
         mode=args.mode.replace("-", "_"),
     )
-    service = OptimizationService(seed=args.seed)
     import time as _time
 
     start = _time.perf_counter()
-    with BatchScheduler(
-        service, workers=args.workers, queue_limit=args.queue_limit
+    with make_scheduler(
+        args.backend,
+        config=ServiceConfig(seed=args.seed),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        coalesce=not args.no_coalesce,
     ) as scheduler:
+        # the pool is up before the clock starts; wall measures serving
+        start = _time.perf_counter()
         results = scheduler.run(requests)
-    wall = _time.perf_counter() - start
+        wall = _time.perf_counter() - start
+        stats = scheduler.stats()
 
     invalid = 0
     for request, result in zip(requests, results):
@@ -495,19 +509,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     served = sum(1 for r in results if r.status == "ok")
     print()
     print(f"throughput: {served / wall:.1f} req/s ({served} served in {wall:.2f}s wall)")
-    _print_service_stats(service.stats())
+    _print_service_stats(stats)
     if args.json_out is not None:
+        import os as _os
+
         payload = {
             "config": {
                 "requests": args.requests, "workers": args.workers,
+                "backend": args.backend, "coalesce": not args.no_coalesce,
                 "deadline_ms": args.deadline_ms, "seed": args.seed,
+                "cpu_count": _os.cpu_count(),
             },
             "wall_seconds": wall,
             "throughput_rps": served / wall if wall > 0 else None,
             "results": [
                 serialization.to_jsonable(result_to_dict(r)) for r in results
             ],
-            "stats": serialization.to_jsonable(service.stats()),
+            "stats": serialization.to_jsonable(stats),
         }
         with open(args.json_out, "w", encoding="utf-8") as handle:
             _json.dump(payload, handle, indent=2)
@@ -515,6 +533,107 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if invalid:
         print(f"error: {invalid} response(s) failed validity checks", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import ServiceConfig, make_scheduler, run_gateway
+    from repro.service import parse_policy
+
+    config = ServiceConfig(
+        policy=parse_policy(args.policy) if args.policy else None,
+        seed=args.seed,
+    )
+    scheduler = make_scheduler(
+        args.backend,
+        config=config,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        warmup=[] if args.no_warmup else None,
+    )
+    if args.smoke:
+        return _serve_smoke(scheduler, args)
+    run_gateway(
+        scheduler,
+        host=args.host,
+        port=args.port,
+        default_deadline_ms=args.deadline_ms,
+    )
+    return 0
+
+
+def _serve_smoke(scheduler, args: argparse.Namespace) -> int:
+    """End-to-end gateway self-test on an ephemeral port (CI smoke)."""
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.mqo import random_mqo_problem
+    from repro.server import serve_in_background
+    from repro.service.request import problem_to_dict
+
+    def _call(url: str, body=None, expect: int = 200):
+        data = None if body is None else _json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+            method="POST" if data is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return resp.status, _json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            return exc.code, _json.loads(exc.read().decode("utf-8"))
+
+    failures = []
+    with serve_in_background(
+        scheduler, host=args.host, default_deadline_ms=args.deadline_ms
+    ) as handle:
+        url = handle.url
+        status, health = _call(f"{url}/healthz")
+        if status != 200 or health.get("status") != "ok":
+            failures.append(f"/healthz: {status} {health}")
+        status, result = _call(
+            f"{url}/optimize",
+            body={
+                "kind": "mqo",
+                "problem": problem_to_dict(
+                    "mqo", random_mqo_problem(2, 2, seed=args.seed)
+                ),
+                "deadline_ms": args.deadline_ms,
+            },
+        )
+        if status != 200 or result.get("status") != "ok" or not result.get("valid"):
+            failures.append(f"/optimize: {status} {result}")
+        status, result = _call(
+            f"{url}/sql",
+            body={
+                "sql": "SELECT * FROM lineitem, orders, customer "
+                "WHERE lineitem.l_orderkey = orders.o_orderkey "
+                "AND orders.o_custkey = customer.c_custkey",
+                "deadline_ms": args.deadline_ms,
+            },
+        )
+        if status != 200 or result.get("status") != "ok" or not result.get("valid"):
+            failures.append(f"/sql: {status} {result}")
+        status, stats = _call(f"{url}/stats")
+        requests_total = (
+            stats.get("counters", {}).get("requests_total", 0) if status == 200 else 0
+        )
+        if status != 200 or requests_total < 2:
+            failures.append(f"/stats: {status} requests_total={requests_total}")
+        status, body = _call(f"{url}/optimize", body={"kind": "unknown-kind"})
+        if status != 400:
+            failures.append(f"/optimize bad kind: expected 400, got {status} {body}")
+    if failures:
+        for failure in failures:
+            print(f"smoke FAIL {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"smoke OK: backend={args.backend} workers={scheduler.workers} — "
+        f"optimize, sql, stats, healthz, 400-path all good; drained cleanly"
+    )
     return 0
 
 
@@ -747,9 +866,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("first-valid", "exhaust"), default="first-valid"
     )
     bench.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="executor backend: GIL-bound threads or one process per worker",
+    )
+    bench.add_argument(
+        "--no-coalesce", action="store_true",
+        help="disable in-flight duplicate-request coalescing",
+    )
+    bench.add_argument(
         "--json-out", default=None, help="dump results + metrics JSON here"
     )
     bench.set_defaults(func=_cmd_serve_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP gateway: POST /optimize, POST /sql, GET /stats, GET /healthz",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="solver workers (default: REPRO_BENCH_WORKERS or 1)",
+    )
+    serve.add_argument(
+        "--backend", choices=("process", "thread"), default="process",
+        help="executor backend behind the gateway (default: process)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="admission control: max in-flight requests before 503",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--policy", default=None,
+        help="comma-separated fallback chain (default: hybrid,tabu,sa,greedy)",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=float, default=200.0,
+        help="default per-request deadline when the body omits one",
+    )
+    serve.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip per-worker compilation-cache warmup",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="self-test: bind an ephemeral port, serve one MQO and one SQL "
+        "request, check /healthz and /stats, drain, exit 0/1",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     verify = sub.add_parser(
         "verify",

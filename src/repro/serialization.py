@@ -201,10 +201,17 @@ def register_serializer(
     _DESERIALIZERS[kind] = from_dict
 
 
-def dumps(obj: Serializable, indent: int = 2) -> str:
-    """Serialize a supported object to a JSON string."""
+def dumps(obj: Serializable, indent: Union[int, None] = 2) -> str:
+    """Serialize a supported object to a JSON string.
+
+    ``indent=None`` produces the compact single-line encoding the
+    multi-process serving layer ships over worker pipes (same payload,
+    no pretty-printing overhead).
+    """
     for cls, serializer in _SERIALIZERS.items():
         if isinstance(obj, cls):
+            if indent is None:
+                return json.dumps(serializer(obj), separators=(",", ":"))
             return json.dumps(serializer(obj), indent=indent)
     raise ProblemError(f"cannot serialize {type(obj).__name__}")
 

@@ -1,0 +1,377 @@
+"""Stdlib-only async HTTP gateway in front of the serving schedulers.
+
+A thin ``asyncio.start_server`` transport speaking enough HTTP/1.1 for
+a JSON API: request-line + headers + ``Content-Length`` bodies,
+keep-alive connections, and JSON responses.  No third-party web
+framework — the whole front door is asyncio + ``json``, matching the
+repo's stdlib-or-numpy dependency rule.
+
+The gateway owns no optimization logic.  It parses bytes into
+:class:`~repro.server.routes.HttpRequest`, resolves a route, and the
+handlers talk to whichever scheduler backend was injected —
+:class:`~repro.service.core.BatchScheduler` (threads) or
+:class:`~repro.server.pool.ProcessPoolScheduler` (processes).  Because
+schedulers expose ``concurrent.futures`` futures, the event loop stays
+free while solves run elsewhere: one gateway process multiplexes many
+connections over N solver processes.
+
+Graceful shutdown (:meth:`Gateway.stop`): stop accepting, let every
+in-flight request finish and flush its response, drop idle keep-alive
+connections, then drain the scheduler.  Backpressure is the
+scheduler's admission control surfacing as HTTP 503.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import signal
+import threading
+import time
+from typing import Any, Dict, Optional, Set
+
+from repro.serialization import to_jsonable
+from repro.server.models import ApiError, error_envelope
+from repro.server.routes import HttpRequest, resolve_route
+
+__all__ = ["Gateway", "GatewayHandle", "run_gateway", "serve_in_background"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: request-line + headers must fit well within StreamReader's buffer
+_MAX_HEADER_LINES = 100
+
+
+class Gateway:
+    """One HTTP listener bound to one scheduler backend."""
+
+    def __init__(
+        self,
+        scheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_deadline_ms: float = 200.0,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        own_scheduler: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self._requested_port = int(port)
+        self.default_deadline_ms = float(default_deadline_ms)
+        self.max_body_bytes = int(max_body_bytes)
+        self.own_scheduler = bool(own_scheduler)
+        self.draining = False
+        self.requests_seen = 0
+        self._ids = itertools.count(1)
+        self._started = time.perf_counter()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._active_requests = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self._requested_port
+        )
+        self._started = time.perf_counter()
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def next_request_id(self) -> str:
+        return f"http-{next(self._ids):06d}"
+
+    def uptime_seconds(self) -> float:
+        return time.perf_counter() - self._started
+
+    async def stop(self, drain_timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain in-flight requests, then workers.
+
+        New connections are refused immediately; requests already being
+        served finish and flush their responses; idle keep-alive
+        connections are dropped; finally the scheduler shuts down
+        (which itself drains queued solves).
+        """
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        while self._active_requests > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self.own_scheduler:
+            await loop.run_in_executor(None, self.scheduler.shutdown)
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while not self.draining:
+                try:
+                    http = await self._read_request(reader)
+                except ApiError as exc:
+                    await self._send(
+                        writer,
+                        exc.status,
+                        error_envelope(exc.status, exc.code, exc.message),
+                        close=True,
+                    )
+                    return
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    ConnectionError,
+                ):
+                    return
+                if http is None:
+                    return
+                self.requests_seen += 1
+                self._active_requests += 1
+                try:
+                    status, payload = await self._dispatch(http)
+                finally:
+                    self._active_requests -= 1
+                close = (
+                    self.draining
+                    or http.headers.get("connection", "").lower() == "close"
+                )
+                await self._send(writer, status, payload, close=close)
+                if close:
+                    return
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, http: HttpRequest):
+        try:
+            handler = resolve_route(http.method, http.path)
+            return await handler(self, http)
+        except ApiError as exc:
+            return exc.status, error_envelope(exc.status, exc.code, exc.message)
+        except Exception as exc:  # noqa: BLE001 — never leak a traceback as HTML
+            return 500, error_envelope(
+                500, "internal_error", f"{type(exc).__name__}: {exc}"
+            )
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[HttpRequest]:
+        """Parse one HTTP/1.1 request; ``None`` on clean EOF."""
+        line = await reader.readline()
+        if not line or not line.strip():
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ApiError(400, "bad_request_line", "malformed HTTP request line")
+        method, target = parts[0].upper(), parts[1]
+        path = target.split("?", 1)[0]
+
+        headers: Dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            raw = await reader.readline()
+            if not raw.strip():
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise ApiError(400, "bad_header", f"malformed header line {raw!r}")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ApiError(400, "bad_header", "too many header lines")
+
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ApiError(400, "bad_header", "Content-Length must be an integer")
+        if content_length < 0:
+            raise ApiError(400, "bad_header", "Content-Length must be non-negative")
+        if content_length > self.max_body_bytes:
+            raise ApiError(
+                413,
+                "payload_too_large",
+                f"body of {content_length} bytes exceeds {self.max_body_bytes}",
+            )
+        body = await reader.readexactly(content_length) if content_length else b""
+        return HttpRequest(method=method, path=path, headers=headers, body=body)
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, Any],
+        close: bool,
+    ) -> None:
+        body = json.dumps(to_jsonable(payload)).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# embedding helpers: foreground (CLI) and background (tests, bench)
+# ----------------------------------------------------------------------
+def run_gateway(
+    scheduler,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    default_deadline_ms: float = 200.0,
+    ready_message: bool = True,
+) -> None:
+    """Run a gateway in the foreground until SIGINT/SIGTERM.
+
+    The ``python -m repro serve`` entry point: installs signal
+    handlers, prints the bound address, and performs a graceful drain
+    on shutdown.
+    """
+
+    async def _main() -> None:
+        gateway = Gateway(
+            scheduler,
+            host=host,
+            port=port,
+            default_deadline_ms=default_deadline_ms,
+        )
+        await gateway.start()
+        if ready_message:
+            print(
+                f"serving on {gateway.url} "
+                f"(backend={scheduler.backend}, workers={scheduler.workers}) — "
+                f"Ctrl-C to drain and stop",
+                flush=True,
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signame in ("SIGINT", "SIGTERM"):
+            try:
+                loop.add_signal_handler(getattr(signal, signame), stop.set)
+            except (NotImplementedError, OSError):  # pragma: no cover — non-POSIX
+                pass
+        await stop.wait()
+        if ready_message:
+            print("draining in-flight requests ...", flush=True)
+        await gateway.stop()
+
+    asyncio.run(_main())
+
+
+class GatewayHandle:
+    """A gateway running on a background thread (tests, benchmarks)."""
+
+    def __init__(self, scheduler, host: str, port: int, **gateway_kwargs: Any) -> None:
+        self._scheduler = scheduler
+        self._host = host
+        self._gateway_kwargs = dict(gateway_kwargs)
+        self._requested_port = port
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self.port: Optional[int] = None
+        self._thread = threading.Thread(
+            target=self._thread_main, daemon=True, name="repro-gateway"
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60.0)
+        if self._error is not None:
+            raise self._error
+        if self.port is None:
+            raise RuntimeError("gateway failed to start within 60s")
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self.port}"
+
+    def stop(self) -> None:
+        """Trigger graceful drain and wait for the thread to finish."""
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout=60.0)
+        self._stopped.set()
+
+    def __enter__(self) -> "GatewayHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 — surface to the caller
+            self._error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        gateway = Gateway(
+            self._scheduler,
+            host=self._host,
+            port=self._requested_port,
+            **self._gateway_kwargs,
+        )
+        await gateway.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.port = gateway.port
+        self._ready.set()
+        await self._stop_event.wait()
+        await gateway.stop()
+
+
+def serve_in_background(
+    scheduler, host: str = "127.0.0.1", port: int = 0, **gateway_kwargs: Any
+) -> GatewayHandle:
+    """Start a gateway on a daemon thread; returns a stoppable handle.
+
+    ``port=0`` binds an ephemeral port (read it off ``handle.port``).
+    The handle is a context manager; leaving the block performs the
+    same graceful drain as the CLI.
+    """
+    return GatewayHandle(scheduler, host=host, port=port, **gateway_kwargs)

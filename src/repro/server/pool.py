@@ -1,0 +1,458 @@
+"""Process-pool serving backend: solves scale with cores, not the GIL.
+
+:class:`BatchScheduler`'s thread pool serializes solver work on the
+GIL — BENCH_service.json showed throughput *falling* as workers were
+added.  :class:`ProcessPoolScheduler` is the drop-in replacement: each
+worker is a separate OS process owning a full
+:class:`~repro.service.core.OptimizationService` (its own compilation
+and result caches, metrics, and fallback chain), so solves run truly
+concurrently on multi-core hosts.
+
+Design decisions worth knowing:
+
+* **JSON over pipes** — requests and results cross the process
+  boundary as the compact :mod:`repro.serialization` round-trip
+  (``optimization_request`` / ``optimization_result`` payloads), the
+  exact same encoding used for files and the HTTP gateway.  No pickle
+  of live solver objects, so workers can never observe parent state.
+* **Determinism across worker counts** — solve seeds derive from the
+  problem's content fingerprint (service contract), so which worker
+  executes a request is irrelevant: the same request stream yields
+  bit-identical plans and energies at ``workers=1`` and ``workers=4``.
+* **Per-worker warmup** — each worker optimizes a tiny problem of
+  every registered kind before reporting ready, pulling lazy imports,
+  numpy kernels, and the compile path hot so the first real request
+  isn't billed for interpreter warmup; counters are zeroed afterwards.
+* **Mergeable stats** — ``stats()`` polls every worker for its raw
+  metric state and folds them (plus parent-side admission/coalescing
+  counters) into one :meth:`OptimizationService.stats`-shaped report,
+  instead of silently reporting only the parent's empty counters.
+* **Round-robin dispatch over per-worker queues** — deterministic
+  assignment, and a dedicated control lane for stats polls and the
+  graceful-shutdown sentinel (queued work always drains first).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import serialization
+from repro.exceptions import ConfigurationError, SolverError
+from repro.service.cache import merge_cache_stats
+from repro.service.chain import StageSpec, default_policy, parse_policy
+from repro.service.core import OptimizationService, SchedulerBase, coalesce_key
+from repro.service.metrics import merge_metric_states
+from repro.service.request import OptimizationRequest, OptimizationResult
+
+__all__ = [
+    "ProcessPoolScheduler",
+    "ServiceConfig",
+    "default_warmup_requests",
+]
+
+#: seed namespace for warmup problems — far from any workload seed so
+#: warmup content never collides with real request fingerprints
+_WARMUP_SEED = 987_654_321
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """JSON-able recipe for building one per-worker service instance.
+
+    Worker processes cannot receive a live :class:`OptimizationService`
+    (caches and locks don't cross ``exec`` boundaries under the spawn
+    start method), so the pool ships this config and every worker
+    builds its own.
+    """
+
+    policy: Optional[Tuple[StageSpec, ...]] = None
+    seed: int = 0
+    compiled_capacity: int = 256
+    result_capacity: int = 1024
+
+    def build(self) -> OptimizationService:
+        return OptimizationService(
+            policy=self.policy,
+            seed=self.seed,
+            compiled_capacity=self.compiled_capacity,
+            result_capacity=self.result_capacity,
+        )
+
+    def effective_policy(self) -> Tuple[StageSpec, ...]:
+        return tuple(self.policy) if self.policy is not None else default_policy()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "policy": None
+            if self.policy is None
+            else [stage.to_dict() for stage in self.policy],
+            "seed": self.seed,
+            "compiled_capacity": self.compiled_capacity,
+            "result_capacity": self.result_capacity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceConfig":
+        policy = data.get("policy")
+        return cls(
+            policy=None if policy is None else parse_policy(policy),
+            seed=int(data.get("seed", 0)),
+            compiled_capacity=int(data.get("compiled_capacity", 256)),
+            result_capacity=int(data.get("result_capacity", 1024)),
+        )
+
+
+def default_warmup_requests(include_sql: bool = True) -> List[OptimizationRequest]:
+    """Tiny deterministic requests covering every registered kind.
+
+    Solving these inside a fresh worker pulls the lazy imports
+    (``repro.sql``), the solver registry, and the numpy kernels hot —
+    the cost lands in pool startup instead of the first user request.
+    """
+    from repro.joinorder.generators import chain_query
+    from repro.mqo.generator import random_mqo_problem
+
+    requests = [
+        OptimizationRequest(
+            request_id="warmup-mqo",
+            kind="mqo",
+            problem=random_mqo_problem(2, 2, seed=_WARMUP_SEED),
+            deadline_ms=100.0,
+            seed=_WARMUP_SEED,
+        ),
+        OptimizationRequest(
+            request_id="warmup-join",
+            kind="join_order",
+            problem=chain_query(3, seed=_WARMUP_SEED),
+            deadline_ms=100.0,
+            seed=_WARMUP_SEED,
+        ),
+    ]
+    if include_sql:
+        from repro.sql import SqlQuery, generate_query, tpch_catalog
+
+        statement = generate_query(seed=_WARMUP_SEED, min_tables=2, max_tables=2)
+        requests.append(
+            OptimizationRequest(
+                request_id="warmup-sql",
+                kind="sql",
+                problem=SqlQuery(sql=str(statement), catalog=tpch_catalog()),
+                deadline_ms=100.0,
+                seed=_WARMUP_SEED,
+            )
+        )
+    return requests
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _worker_main(
+    worker_index: int,
+    config_data: Dict[str, Any],
+    warmup_texts: Sequence[str],
+    task_queue,
+    result_queue,
+) -> None:
+    """One worker process: build a service, warm it, serve the queue."""
+    service = ServiceConfig.from_dict(config_data).build()
+    for text in warmup_texts:
+        try:
+            service.optimize(serialization.loads(text))
+        except Exception:  # noqa: BLE001 — warmup is best-effort
+            pass
+    # warm entries stay; the serving report starts from clean counters
+    service.metrics.reset()
+    service.cache.reset_counters()
+    result_queue.put(("ready", worker_index, os.getpid()))
+    while True:
+        item = task_queue.get()
+        if item is None:
+            result_queue.put(("bye", worker_index, None))
+            return
+        tag, task_id, payload = item
+        if tag == "stats":
+            state = service.state()
+            state["worker"] = worker_index
+            state["pid"] = os.getpid()
+            result_queue.put(("stats", task_id, state))
+            continue
+        try:
+            request = serialization.loads(payload)
+            result = service.optimize(request)
+            result_queue.put(
+                ("result", task_id, serialization.dumps(result, indent=None))
+            )
+        except Exception as exc:  # noqa: BLE001 — ship failure, keep serving
+            result_queue.put(("error", task_id, f"{type(exc).__name__}: {exc}"))
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+class ProcessPoolScheduler(SchedulerBase):
+    """Admission-controlled, coalescing scheduler over worker processes.
+
+    Same front end as :class:`repro.service.BatchScheduler` (``submit``
+    / ``run`` / ``stats`` / ``shutdown``, context-manager protocol) so
+    the gateway, the CLI, and the bench treat backends interchangeably.
+
+    ``start_method`` defaults to ``fork`` where available (instant
+    startup, Linux) and falls back to the platform default; either way
+    workers never rely on inherited state beyond the module code — all
+    inputs arrive as JSON.
+    """
+
+    backend = "process"
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        workers: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        coalesce: bool = True,
+        warmup: Optional[Sequence[OptimizationRequest]] = None,
+        start_method: Optional[str] = None,
+        ready_timeout: float = 120.0,
+    ) -> None:
+        super().__init__(workers=workers, queue_limit=queue_limit, coalesce=coalesce)
+        self.config = config if config is not None else ServiceConfig()
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        elif start_method not in methods:
+            raise ConfigurationError(
+                f"start method {start_method!r} unavailable; have: {', '.join(methods)}"
+            )
+        ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+
+        warmup_requests = (
+            default_warmup_requests() if warmup is None else list(warmup)
+        )
+        warmup_texts = [
+            serialization.dumps(request, indent=None) for request in warmup_requests
+        ]
+
+        self._result_queue = ctx.Queue()
+        self._task_queues = [ctx.Queue() for _ in range(self.workers)]
+        self._pending: Dict[int, Tuple[Future, int]] = {}
+        self._stats_waiters: Dict[int, Future] = {}
+        self._next_task = 0
+        self._round_robin = 0
+        self._closed = False
+        self._final_states: Optional[List[Dict[str, Any]]] = None
+        self._ready = threading.Event()
+        self._ready_count = 0
+        self._live = self.workers
+        self._said_bye = [False] * self.workers
+
+        config_data = self.config.to_dict()
+        self._processes = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    index,
+                    config_data,
+                    warmup_texts,
+                    self._task_queues[index],
+                    self._result_queue,
+                ),
+                daemon=True,
+                name=f"repro-serve-{index}",
+            )
+            for index in range(self.workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._collector = threading.Thread(
+            target=self._collect, daemon=True, name="repro-serve-collector"
+        )
+        self._collector.start()
+        if not self._ready.wait(timeout=ready_timeout):
+            self.shutdown()
+            raise ConfigurationError(
+                f"process pool failed to come up within {ready_timeout:g}s"
+            )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """One merged report across every worker plus the parent.
+
+        Counters sum, latency reservoirs concatenate (percentiles are
+        recomputed over the union), per-worker caches aggregate, and
+        the parent's admission/coalescing counters fold in — the shape
+        matches :meth:`OptimizationService.stats` with an extra
+        ``scheduler`` section.
+        """
+        states = (
+            self._final_states
+            if self._final_states is not None
+            else self._poll_worker_states()
+        )
+        merged = merge_metric_states(state["metrics"] for state in states)
+        merged.merge_state(self.scheduler_metrics.state())
+        snapshot = merged.snapshot()
+        snapshot["cache"] = merge_cache_stats(state["cache"] for state in states)
+        snapshot["uptime_seconds"] = max(
+            (state["uptime_seconds"] for state in states), default=0.0
+        )
+        section = self._scheduler_section()
+        section["start_method"] = self.start_method
+        section["per_worker"] = [
+            {
+                "worker": state.get("worker"),
+                "pid": state.get("pid"),
+                "requests_ok": state["metrics"]["counters"].get("requests_ok", 0),
+            }
+            for state in states
+        ]
+        snapshot["scheduler"] = section
+        return snapshot
+
+    def shutdown(self) -> None:
+        """Drain gracefully: queued work finishes, then workers exit."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._ready.is_set():
+            # capture final per-worker states while workers still live
+            self._final_states = self._poll_worker_states()
+        for task_queue in self._task_queues:
+            task_queue.put(None)
+        for process in self._processes:
+            process.join(timeout=30.0)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover — hung worker
+                process.terminate()
+                process.join(timeout=5.0)
+        self._collector.join(timeout=10.0)
+        self._fail_outstanding("process pool shut down")
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: OptimizationRequest) -> "Future[OptimizationResult]":
+        # called under the scheduler lock (see SchedulerBase.submit)
+        if self._closed:
+            raise ConfigurationError("scheduler is shut down")
+        future: "Future[OptimizationResult]" = Future()
+        task_id = self._next_task
+        self._next_task += 1
+        target = self._round_robin % self.workers
+        self._round_robin += 1
+        self._pending[task_id] = (future, target)
+        self._task_queues[target].put(
+            ("request", task_id, serialization.dumps(request, indent=None))
+        )
+        return future
+
+    def _rejected(self, request: OptimizationRequest, reason: str) -> OptimizationResult:
+        # parent-side: workers never see rejected requests, so the
+        # admission counters live in the scheduler metrics and merge
+        # into the aggregated report alongside worker counters
+        self.scheduler_metrics.incr("requests_total")
+        self.scheduler_metrics.incr("requests_rejected")
+        return OptimizationResult(
+            request_id=request.request_id,
+            kind=request.kind,
+            status="rejected",
+            reject_reason=reason,
+        )
+
+    def _coalesce_key(self, request: OptimizationRequest) -> str:
+        return coalesce_key(request, self.config.seed, self.config.effective_policy())
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        """Parent collector thread: route worker messages to futures."""
+        while True:
+            try:
+                message = self._result_queue.get(timeout=0.25)
+            except queue_mod.Empty:
+                if self._closed and not any(p.is_alive() for p in self._processes):
+                    return
+                self._reap_dead_workers()
+                continue
+            tag, ident, payload = message
+            if tag == "ready":
+                self._ready_count += 1
+                if self._ready_count >= self.workers:
+                    self._ready.set()
+            elif tag == "bye":
+                self._said_bye[ident] = True
+                self._live -= 1
+                if self._closed and self._live <= 0:
+                    return
+            elif tag == "result":
+                entry = self._pending.pop(ident, None)
+                if entry is not None:
+                    entry[0].set_result(serialization.loads(payload))
+            elif tag == "error":
+                entry = self._pending.pop(ident, None)
+                if entry is not None:
+                    entry[0].set_exception(SolverError(f"worker failed: {payload}"))
+            elif tag == "stats":
+                waiter = self._stats_waiters.pop(ident, None)
+                if waiter is not None:
+                    waiter.set_result(payload)
+
+    def _reap_dead_workers(self) -> None:
+        """Fail futures routed to a worker that died without a goodbye."""
+        for index, process in enumerate(self._processes):
+            if process.is_alive() or self._said_bye[index]:
+                continue
+            self._said_bye[index] = True
+            self._live -= 1
+            dead = [
+                task_id
+                for task_id, (_future, target) in list(self._pending.items())
+                if target == index
+            ]
+            for task_id in dead:
+                future, _target = self._pending.pop(task_id)
+                future.set_exception(
+                    SolverError(
+                        f"worker {index} (pid {process.pid}) died with exit code "
+                        f"{process.exitcode}"
+                    )
+                )
+
+    def _poll_worker_states(self, timeout: float = 30.0) -> List[Dict[str, Any]]:
+        """Ask every live worker for its raw metric state, in order.
+
+        Stats polls ride the same per-worker queues as requests, so a
+        busy worker answers after finishing its queued solves — the
+        snapshot is therefore consistent (no mid-solve counters).
+        """
+        waiters: List[Tuple[int, Future]] = []
+        with self._lock:
+            for index in range(self.workers):
+                if not self._processes[index].is_alive():
+                    continue
+                task_id = self._next_task
+                self._next_task += 1
+                waiter: Future = Future()
+                self._stats_waiters[task_id] = waiter
+                self._task_queues[index].put(("stats", task_id, None))
+                waiters.append((task_id, waiter))
+        states: List[Dict[str, Any]] = []
+        for task_id, waiter in waiters:
+            try:
+                states.append(waiter.result(timeout=timeout))
+            except Exception:  # noqa: BLE001 — a dead worker just drops out
+                self._stats_waiters.pop(task_id, None)
+        return states
+
+    def _fail_outstanding(self, reason: str) -> None:
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future, _target in pending:
+            if not future.done():
+                future.set_exception(SolverError(reason))

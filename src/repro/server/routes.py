@@ -1,0 +1,116 @@
+"""Route table and handlers for the HTTP gateway.
+
+One coroutine per endpoint, all with the same shape —
+``handler(app, http) -> (status, payload)`` — where ``app`` is the
+:class:`~repro.server.gateway.Gateway` (scheduler access, request-id
+minting, uptime) and ``http`` is the parsed
+:class:`HttpRequest`.  The transport layer stays ignorant of routing;
+this module stays ignorant of sockets.
+
+Endpoints
+---------
+``POST /optimize``
+    Serve one optimization request (full serialized or compact body;
+    see :mod:`repro.server.models`).  200 with the serialized result,
+    400 on validation failures, 503 when admission control rejects.
+``POST /sql``
+    Serve raw SQL text against the built-in TPC-H-style catalog.
+``GET /stats``
+    The scheduler's merged metrics report (per-worker counters and
+    latency reservoirs aggregated, coalescing hit counters included).
+``GET /healthz``
+    Liveness + readiness: ``ok`` while serving, ``draining`` during
+    graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+from repro.serialization import to_jsonable
+from repro.server.models import (
+    ApiError,
+    optimize_request_from_body,
+    parse_json_body,
+    result_response,
+    sql_request_from_body,
+)
+
+__all__ = ["HttpRequest", "ROUTES", "resolve_route"]
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed HTTP request, transport details already stripped."""
+
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+Handler = Callable[[Any, HttpRequest], Awaitable[Tuple[int, Dict[str, Any]]]]
+
+
+async def _submit_and_wait(app, request) -> Tuple[int, Dict[str, Any]]:
+    """Bridge the scheduler's concurrent future into the event loop."""
+    future = app.scheduler.submit(request)
+    result = await asyncio.wrap_future(future)
+    return result_response(result)
+
+
+async def handle_optimize(app, http: HttpRequest) -> Tuple[int, Dict[str, Any]]:
+    data = parse_json_body(http.body)
+    request = optimize_request_from_body(
+        data, app.next_request_id(), app.default_deadline_ms
+    )
+    return await _submit_and_wait(app, request)
+
+
+async def handle_sql(app, http: HttpRequest) -> Tuple[int, Dict[str, Any]]:
+    data = parse_json_body(http.body)
+    request = sql_request_from_body(
+        data, app.next_request_id(), app.default_deadline_ms
+    )
+    return await _submit_and_wait(app, request)
+
+
+async def handle_stats(app, http: HttpRequest) -> Tuple[int, Dict[str, Any]]:
+    # process-backend stats poll every worker — keep it off the loop
+    stats = await asyncio.get_running_loop().run_in_executor(None, app.scheduler.stats)
+    return 200, to_jsonable(stats)
+
+
+async def handle_healthz(app, http: HttpRequest) -> Tuple[int, Dict[str, Any]]:
+    return 200, {
+        "status": "draining" if app.draining else "ok",
+        "backend": app.scheduler.backend,
+        "workers": app.scheduler.workers,
+        "uptime_seconds": app.uptime_seconds(),
+        "requests_seen": app.requests_seen,
+    }
+
+
+ROUTES: Dict[Tuple[str, str], Handler] = {
+    ("POST", "/optimize"): handle_optimize,
+    ("POST", "/sql"): handle_sql,
+    ("GET", "/stats"): handle_stats,
+    ("GET", "/healthz"): handle_healthz,
+}
+
+_KNOWN_PATHS = {path for _method, path in ROUTES}
+
+
+def resolve_route(method: str, path: str) -> Handler:
+    """Route lookup: 404 for unknown paths, 405 for wrong methods."""
+    handler = ROUTES.get((method, path))
+    if handler is not None:
+        return handler
+    if path in _KNOWN_PATHS:
+        allowed = sorted(m for m, p in ROUTES if p == path)
+        raise ApiError(
+            405, "method_not_allowed", f"{path} allows: {', '.join(allowed)}"
+        )
+    raise ApiError(404, "not_found", f"no route for {path}")

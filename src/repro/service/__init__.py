@@ -25,7 +25,7 @@ registry (PR 2) and harness primitives (PR 1) into that serving layer:
   for ``python -m repro serve-bench``.
 """
 
-from repro.service.cache import CompilationCache
+from repro.service.cache import CompilationCache, merge_cache_stats
 from repro.service.chain import (
     ChainOutcome,
     Deadline,
@@ -34,8 +34,13 @@ from repro.service.chain import (
     parse_policy,
     run_chain,
 )
-from repro.service.core import BatchScheduler, OptimizationService
-from repro.service.metrics import Histogram, Metrics
+from repro.service.core import (
+    BatchScheduler,
+    OptimizationService,
+    SchedulerBase,
+    coalesce_key,
+)
+from repro.service.metrics import Histogram, Metrics, merge_metric_states
 from repro.service.problems import JoinOrderAdapter, MqoAdapter, make_adapter
 from repro.service.request import (
     OptimizationRequest,
@@ -59,9 +64,13 @@ __all__ = [
     "OptimizationRequest",
     "OptimizationResult",
     "OptimizationService",
+    "SchedulerBase",
     "StageSpec",
+    "coalesce_key",
     "default_policy",
     "make_adapter",
+    "merge_cache_stats",
+    "merge_metric_states",
     "parse_policy",
     "request_from_dict",
     "request_to_dict",

@@ -21,9 +21,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
-__all__ = ["CompilationCache"]
+__all__ = ["CompilationCache", "merge_cache_stats"]
 
 
 class _LruSection:
@@ -98,3 +98,40 @@ class CompilationCache:
         with self._lock:
             self._compiled.entries.clear()
             self._results.entries.clear()
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss counters but keep the cached entries.
+
+        Worker warmup compiles problems through the normal path; this
+        lets the entries stay warm while the serving report starts from
+        clean counters.
+        """
+        with self._lock:
+            for section in (self._compiled, self._results):
+                section.hits = 0
+                section.misses = 0
+
+
+def merge_cache_stats(
+    stats_list: Iterable[Dict[str, Dict[str, float]]],
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate per-process :meth:`CompilationCache.stats` snapshots.
+
+    Sizes, capacities, hits and misses sum across workers (each worker
+    process owns an independent cache, so the fleet's total capacity is
+    the sum) and the hit rate is recomputed from the summed lookups —
+    never averaged, which would weight idle workers equally with busy
+    ones.
+    """
+    merged: Dict[str, Dict[str, float]] = {}
+    for stats in stats_list:
+        for section, values in stats.items():
+            into = merged.setdefault(
+                section, {"size": 0, "capacity": 0, "hits": 0, "misses": 0}
+            )
+            for key in ("size", "capacity", "hits", "misses"):
+                into[key] += int(values.get(key, 0))
+    for values in merged.values():
+        lookups = values["hits"] + values["misses"]
+        values["hit_rate"] = (values["hits"] / lookups) if lookups else 0.0
+    return merged

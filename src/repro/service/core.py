@@ -20,17 +20,46 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from threading import Lock
+from threading import RLock
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness import derive_seed, resolve_workers
 from repro.service.cache import CompilationCache
 from repro.service.chain import StageSpec, default_policy, policy_key, run_chain
 from repro.service.metrics import Metrics
-from repro.service.problems import make_adapter
-from repro.service.request import OptimizationRequest, OptimizationResult
+from repro.service.problems import make_adapter, problem_fingerprint
+from repro.service.request import (
+    OptimizationRequest,
+    OptimizationResult,
+    problem_to_dict,
+)
 
-__all__ = ["BatchScheduler", "OptimizationService"]
+__all__ = ["BatchScheduler", "OptimizationService", "SchedulerBase", "coalesce_key"]
+
+
+def coalesce_key(
+    request: OptimizationRequest,
+    default_seed: int,
+    default_policy: Sequence[StageSpec],
+) -> str:
+    """Content key under which concurrent requests may share one solve.
+
+    Two requests coalesce only when every solve-relevant input matches:
+    the problem content hash, the effective root seed, the policy +
+    chain mode, and the deadline budget.  Because solve seeds derive
+    from problem content (not request ids), requests agreeing on this
+    key are guaranteed to produce field-identical results, so answering
+    a follower with the primary's result is not an approximation.
+    """
+    policy = tuple(request.policy) if request.policy is not None else tuple(default_policy)
+    root_seed = default_seed if request.seed is None else int(request.seed)
+    fingerprint = problem_fingerprint(
+        request.kind, problem_to_dict(request.kind, request.problem)
+    )
+    return (
+        f"{fingerprint}|{root_seed}|{policy_key(policy, request.mode)}"
+        f"|{request.deadline_ms:g}"
+    )
 
 
 class OptimizationService:
@@ -108,6 +137,21 @@ class OptimizationService:
         snapshot["uptime_seconds"] = time.perf_counter() - self._started
         return snapshot
 
+    def state(self) -> Dict:
+        """Raw mergeable state (JSON-safe) for cross-process aggregation.
+
+        Worker processes ship this to the parent, which folds every
+        worker into one :meth:`stats`-shaped report via
+        :func:`repro.service.metrics.merge_metric_states` — the fix for
+        multi-process serving otherwise reporting only the parent's
+        (empty) counters.
+        """
+        return {
+            "metrics": self.metrics.state(),
+            "cache": self.cache.stats(),
+            "uptime_seconds": time.perf_counter() - self._started,
+        }
+
     # ------------------------------------------------------------------
     def _compiled_adapter(self, request: OptimizationRequest):
         probe = make_adapter(request.kind, request.problem)
@@ -146,64 +190,185 @@ class OptimizationService:
         )
 
 
-class BatchScheduler:
-    """Run many in-flight requests on a worker pool with admission control.
+class SchedulerBase:
+    """Admission control + in-flight coalescing, backend-agnostic.
 
-    ``queue_limit`` bounds the number of admitted-but-unfinished
-    requests; beyond it, :meth:`submit` resolves immediately to a
-    ``rejected`` result naming the saturation reason.  Worker count
-    resolves through the harness convention (explicit argument, then
-    ``REPRO_BENCH_WORKERS``, then 1).
+    Both scheduler backends — the thread pool below and the process
+    pool in :mod:`repro.server.pool` — share this front end:
+
+    * **admission control**: ``queue_limit`` bounds the number of
+      admitted-but-unfinished requests; beyond it, :meth:`submit`
+      resolves immediately to a ``rejected`` result naming the
+      saturation reason (the gateway maps this to HTTP 503);
+    * **request coalescing**: while a solve for some
+      :func:`coalesce_key` is in flight, duplicate submissions do not
+      enqueue — they attach to the primary's future and receive its
+      result re-addressed under their own request id.  Followers
+      consume no worker and no queue slot.  Counted as
+      ``coalesce.hits`` / ``coalesce.misses`` in the scheduler section
+      of :meth:`stats`.
+
+    Subclasses provide ``_dispatch`` (actually start one solve),
+    ``_rejected`` (build/record a rejection) and ``_coalesce_key``.
     """
+
+    backend = ""
 
     def __init__(
         self,
-        service: OptimizationService,
         workers: Optional[int] = None,
         queue_limit: Optional[int] = None,
+        coalesce: bool = True,
     ) -> None:
-        self.service = service
         self.workers = resolve_workers(workers)
         self.queue_limit = queue_limit
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="repro-service"
-        )
-        self._lock = Lock()
+        self.coalesce = bool(coalesce)
+        self.scheduler_metrics = Metrics()
+        # reentrant: a fast completion may run _release from within the
+        # submitting thread's add_done_callback while submit holds it
+        self._lock = RLock()
         self._in_flight = 0
+        self._flights: Dict[str, "Future[OptimizationResult]"] = {}
 
     # ------------------------------------------------------------------
     def submit(self, request: OptimizationRequest) -> "Future[OptimizationResult]":
-        """Admit (or reject) one request; returns a future result."""
+        """Admit (or reject, or coalesce) one request; returns a future."""
+        key = self._coalesce_key(request) if self.coalesce else None
         with self._lock:
+            if key is not None:
+                primary = self._flights.get(key)
+                if primary is not None:
+                    self.scheduler_metrics.incr("coalesce.hits")
+                    return _follow(primary, request.request_id)
+                self.scheduler_metrics.incr("coalesce.misses")
             if self.queue_limit is not None and self._in_flight >= self.queue_limit:
                 reason = (
                     f"queue saturated: {self._in_flight} request(s) in flight "
                     f"(limit {self.queue_limit})"
                 )
                 future: "Future[OptimizationResult]" = Future()
-                future.set_result(self.service.reject(request, reason))
+                future.set_result(self._rejected(request, reason))
                 return future
             self._in_flight += 1
-        return self._pool.submit(self._run, request)
+            future = self._dispatch(request)
+            if key is not None:
+                self._flights[key] = future
+            future.add_done_callback(lambda _f: self._release(key))
+        return future
 
     def run(self, requests: Sequence[OptimizationRequest]) -> List[OptimizationResult]:
         """Submit a whole workload; results come back in request order."""
         futures = [self.submit(request) for request in requests]
         return [future.result() for future in futures]
 
-    def shutdown(self) -> None:
-        self._pool.shutdown(wait=True)
+    def stats(self) -> Dict:
+        """One aggregated report: service metrics + a scheduler section."""
+        raise NotImplementedError
 
-    def __enter__(self) -> "BatchScheduler":
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "SchedulerBase":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
     # ------------------------------------------------------------------
-    def _run(self, request: OptimizationRequest) -> OptimizationResult:
-        try:
-            return self.service.optimize(request)
-        finally:
-            with self._lock:
-                self._in_flight -= 1
+    def _release(self, key: Optional[str]) -> None:
+        with self._lock:
+            self._in_flight -= 1
+            if key is not None:
+                self._flights.pop(key, None)
+
+    def _scheduler_section(self) -> Dict:
+        counters = self.scheduler_metrics.snapshot()["counters"]
+        hits = counters.get("coalesce.hits", 0)
+        misses = counters.get("coalesce.misses", 0)
+        lookups = hits + misses
+        with self._lock:
+            in_flight = self._in_flight
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "in_flight": in_flight,
+            "coalesce": {
+                "enabled": self.coalesce,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+            },
+        }
+
+    # -- backend hooks -------------------------------------------------
+    def _dispatch(self, request: OptimizationRequest) -> "Future[OptimizationResult]":
+        raise NotImplementedError
+
+    def _rejected(self, request: OptimizationRequest, reason: str) -> OptimizationResult:
+        raise NotImplementedError
+
+    def _coalesce_key(self, request: OptimizationRequest) -> str:
+        raise NotImplementedError
+
+
+def _follow(
+    primary: "Future[OptimizationResult]", request_id: str
+) -> "Future[OptimizationResult]":
+    """A future resolving to the primary's result under another id."""
+    follower: "Future[OptimizationResult]" = Future()
+
+    def _copy(done: "Future[OptimizationResult]") -> None:
+        exc = done.exception()
+        if exc is not None:
+            follower.set_exception(exc)
+        else:
+            follower.set_result(done.result().with_request_id(request_id))
+
+    primary.add_done_callback(_copy)
+    return follower
+
+
+class BatchScheduler(SchedulerBase):
+    """Run many in-flight requests on a thread pool with admission control.
+
+    The in-process backend: cheap to spin up and fine for I/O-light or
+    cache-dominated traffic, but solver-bound workloads serialize on
+    the GIL — use :class:`repro.server.ProcessPoolScheduler` to scale
+    with cores.  Worker count resolves through the harness convention
+    (explicit argument, then ``REPRO_BENCH_WORKERS``, then 1).
+    """
+
+    backend = "thread"
+
+    def __init__(
+        self,
+        service: OptimizationService,
+        workers: Optional[int] = None,
+        queue_limit: Optional[int] = None,
+        coalesce: bool = True,
+    ) -> None:
+        super().__init__(workers=workers, queue_limit=queue_limit, coalesce=coalesce)
+        self.service = service
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-service"
+        )
+
+    def stats(self) -> Dict:
+        """The service's snapshot plus the scheduler section."""
+        stats = self.service.stats()
+        stats["scheduler"] = self._scheduler_section()
+        return stats
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: OptimizationRequest) -> "Future[OptimizationResult]":
+        return self._pool.submit(self.service.optimize, request)
+
+    def _rejected(self, request: OptimizationRequest, reason: str) -> OptimizationResult:
+        return self.service.reject(request, reason)
+
+    def _coalesce_key(self, request: OptimizationRequest) -> str:
+        return coalesce_key(request, self.service.seed, self.service.policy)

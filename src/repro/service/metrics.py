@@ -10,15 +10,24 @@ Percentiles use the nearest-rank method on the recorded values; the
 per-histogram sample buffer is capped (default 65536 observations) to
 bound memory on long-lived services — far above anything the bench
 driver produces, so snapshots in this repo are exact.
+
+For multi-process serving (:mod:`repro.server.pool`) metrics must be
+*mergeable*: each worker process keeps its own :class:`Metrics`, ships
+the raw :meth:`Metrics.state` (counters plus histogram reservoirs, not
+pre-summarized percentiles) to the parent, and the parent folds every
+worker into one report with :func:`merge_metric_states`.  Merging raw
+states rather than snapshots is what keeps aggregated percentiles
+exact: a p50 of per-worker p50s would be meaningless, whereas the
+merged reservoir recomputes the true rank statistics.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
-__all__ = ["Histogram", "Metrics", "percentile"]
+__all__ = ["Histogram", "Metrics", "merge_metric_states", "percentile"]
 
 _DEFAULT_CAPACITY = 65536
 
@@ -67,6 +76,40 @@ class Histogram:
             "p99": percentile(self._values, 99.0),
         }
 
+    # -- cross-process merging -----------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """Raw, mergeable state (JSON-safe): exact moments + reservoir."""
+        return {
+            "count": self._count,
+            "total": self._total,
+            "min": self._min,
+            "max": self._max,
+            "values": list(self._values),
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Counts, totals and extrema merge exactly; the reservoir
+        concatenates up to this histogram's capacity (exact whenever the
+        combined observation count fits, which covers every workload the
+        bench drivers produce).
+        """
+        self._count += int(state["count"])
+        self._total += float(state["total"])
+        for bound, pick in (("max", max), ("min", min)):
+            other = state.get(bound)
+            if other is not None:
+                ours = getattr(self, f"_{bound}")
+                setattr(
+                    self,
+                    f"_{bound}",
+                    float(other) if ours is None else pick(ours, float(other)),
+                )
+        room = self.capacity - len(self._values)
+        if room > 0:
+            self._values.extend(float(v) for v in state.get("values", ())[:room])
+
 
 class Metrics:
     """Thread-safe named counters and histograms."""
@@ -91,6 +134,12 @@ class Metrics:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def reset(self) -> None:
+        """Drop all counters and histograms (post-warmup zeroing)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
     def snapshot(self) -> Dict[str, Dict]:
         """All counters and histogram summaries, sorted by name."""
         with self._lock:
@@ -101,3 +150,40 @@ class Metrics:
                     for k in sorted(self._histograms)
                 },
             }
+
+    # -- cross-process merging -----------------------------------------
+    def state(self) -> Dict[str, Dict]:
+        """Raw mergeable state: counters plus histogram reservoirs."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": {
+                    name: histogram.state()
+                    for name, histogram in self._histograms.items()
+                },
+            }
+
+    def merge_state(self, state: Dict[str, Dict]) -> None:
+        """Fold another :class:`Metrics`'s :meth:`state` into this one."""
+        with self._lock:
+            for name, amount in state.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(amount)
+            for name, hist_state in state.get("histograms", {}).items():
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram()
+                histogram.merge_state(hist_state)
+
+
+def merge_metric_states(states: Iterable[Dict[str, Dict]]) -> "Metrics":
+    """One :class:`Metrics` holding the union of many raw states.
+
+    This is how the process-pool scheduler aggregates per-worker
+    counters and latency reservoirs into the single report that
+    ``stats()`` exposes — counters sum, histograms recompute their
+    percentiles over the combined observations.
+    """
+    merged = Metrics()
+    for state in states:
+        merged.merge_state(state)
+    return merged

@@ -97,6 +97,16 @@ class OptimizationResult:
     def ok(self) -> bool:
         return self.status == "ok"
 
+    def with_request_id(self, request_id: str) -> "OptimizationResult":
+        """The same result re-addressed to another request.
+
+        This is how coalesced duplicates are answered: every follower of
+        an in-flight solve receives the primary's result verbatim — the
+        plan, cost, energy, validity, serving stage and trace are all
+        field-identical — under its own request id.
+        """
+        return replace(self, request_id=request_id)
+
 
 def problem_to_dict(kind: str, problem: ProblemPayload) -> Dict[str, Any]:
     return kind_spec(kind).to_dict(problem)

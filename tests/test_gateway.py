@@ -1,0 +1,277 @@
+"""Tests for the stdlib HTTP gateway (repro.server.gateway/routes/models).
+
+The gateway runs on a background thread against the cheap thread-pool
+backend — every HTTP behavior under test (routing, validation, error
+envelopes, backpressure, graceful drain) is backend-independent, and
+:mod:`tests.test_server_pool` already proves the backends agree on
+results.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.mqo.generator import random_mqo_problem
+from repro.server import ServiceConfig, make_scheduler, serve_in_background
+from repro.service import request_to_dict
+from repro.service.request import OptimizationRequest, problem_to_dict
+
+
+def call(url, body=None, method=None, timeout=60):
+    """One HTTP exchange; returns (status, parsed JSON body)."""
+    data = body if isinstance(body, (bytes, type(None))) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method=method or ("POST" if data is not None else "GET"),
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+@pytest.fixture(scope="module")
+def gateway():
+    scheduler = make_scheduler(
+        "thread", config=ServiceConfig(seed=5), workers=2, warmup=[]
+    )
+    with serve_in_background(scheduler, default_deadline_ms=500.0) as handle:
+        yield handle
+
+
+def compact_mqo_body(seed=5, **extra):
+    body = {
+        "kind": "mqo",
+        "problem": problem_to_dict("mqo", random_mqo_problem(3, 2, seed=seed)),
+        "deadline_ms": 500.0,
+    }
+    body.update(extra)
+    return body
+
+
+class TestRouting:
+    def test_unknown_path_404(self, gateway):
+        status, body = call(f"{gateway.url}/nope")
+        assert status == 404
+        assert body["error"]["code"] == "not_found"
+
+    def test_wrong_method_405_lists_allowed(self, gateway):
+        status, body = call(f"{gateway.url}/optimize")  # GET on a POST route
+        assert status == 405
+        assert "POST" in body["error"]["message"]
+
+    def test_healthz_reports_backend(self, gateway):
+        status, body = call(f"{gateway.url}/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["backend"] == "thread"
+        assert body["workers"] == 2
+
+    def test_stats_shape(self, gateway):
+        status, body = call(f"{gateway.url}/stats")
+        assert status == 200
+        assert {"counters", "histograms", "cache", "scheduler"} <= set(body)
+
+
+class TestValidation:
+    def test_empty_body_400(self, gateway):
+        status, body = call(f"{gateway.url}/optimize", body=b"", method="POST")
+        assert status == 400
+        assert body["error"]["code"] == "empty_body"
+
+    def test_malformed_json_400(self, gateway):
+        status, body = call(f"{gateway.url}/optimize", body=b"{not json")
+        assert status == 400
+        assert body["error"]["code"] == "malformed_json"
+
+    def test_non_object_json_400(self, gateway):
+        status, body = call(f"{gateway.url}/optimize", body=b"[1, 2]")
+        assert status == 400
+        assert body["error"]["code"] == "malformed_json"
+
+    def test_missing_kind_400(self, gateway):
+        status, body = call(f"{gateway.url}/optimize", body={"problem": {}})
+        assert status == 400
+        assert body["error"]["code"] == "missing_kind"
+
+    def test_unknown_kind_400(self, gateway):
+        status, body = call(
+            f"{gateway.url}/optimize", body=compact_mqo_body(kind="teleport")
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+    def test_sql_without_text_400(self, gateway):
+        status, body = call(f"{gateway.url}/sql", body={"catalog_scale": 0.01})
+        assert status == 400
+        assert body["error"]["code"] == "missing_sql"
+
+    def test_bad_policy_400(self, gateway):
+        status, body = call(
+            f"{gateway.url}/optimize", body=compact_mqo_body(policy="")
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+
+
+class TestServing:
+    def test_optimize_compact_form(self, gateway):
+        status, body = call(f"{gateway.url}/optimize", body=compact_mqo_body())
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["valid"] is True
+        assert body["kind"] == "optimization_result"
+
+    def test_optimize_full_serialized_form(self, gateway):
+        request = OptimizationRequest(
+            request_id="replayed-001",
+            kind="mqo",
+            problem=random_mqo_problem(3, 2, seed=5),
+            deadline_ms=500.0,
+        )
+        status, body = call(
+            f"{gateway.url}/optimize", body=request_to_dict(request)
+        )
+        assert status == 200
+        assert body["request_id"] == "replayed-001"
+        assert body["valid"] is True
+
+    def test_sql_front_door(self, gateway):
+        status, body = call(
+            f"{gateway.url}/sql",
+            body={
+                "sql": "SELECT * FROM lineitem, orders "
+                "WHERE lineitem.l_orderkey = orders.o_orderkey",
+                "deadline_ms": 500.0,
+            },
+        )
+        assert status == 200
+        assert body["valid"] is True
+        assert body["problem_kind"] == "sql"
+
+    def test_compact_and_full_forms_agree(self, gateway):
+        _, compact = call(f"{gateway.url}/optimize", body=compact_mqo_body(seed=5))
+        request = OptimizationRequest(
+            request_id="x",
+            kind="mqo",
+            problem=random_mqo_problem(3, 2, seed=5),
+            deadline_ms=500.0,
+        )
+        _, full = call(f"{gateway.url}/optimize", body=request_to_dict(request))
+        assert compact["plan"] == full["plan"]
+        assert compact["cost"] == full["cost"]
+        assert compact["energy"] == full["energy"]
+
+
+class TestBackpressure:
+    def test_queue_full_503(self):
+        scheduler = make_scheduler(
+            "thread",
+            config=ServiceConfig(seed=5),
+            workers=1,
+            queue_limit=1,
+            coalesce=False,
+            warmup=[],
+        )
+        with serve_in_background(scheduler, default_deadline_ms=500.0) as handle:
+            url = f"{handle.url}/optimize"
+            # distinct slow-ish problems posted concurrently: one is in
+            # flight, the surplus must bounce off admission control
+            responses = []
+            lock = threading.Lock()
+
+            def post(seed):
+                body = compact_mqo_body(seed=seed)
+                body["problem"] = problem_to_dict(
+                    "mqo", random_mqo_problem(6, 4, seed=seed)
+                )
+                response = call(url, body=body)
+                with lock:
+                    responses.append(response)
+
+            threads = [
+                threading.Thread(target=post, args=(seed,)) for seed in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        statuses = sorted(status for status, _body in responses)
+        assert 200 in statuses
+        assert 503 in statuses
+        rejected = [body for status, body in responses if status == 503]
+        assert all(body["error"]["code"] == "queue_full" for body in rejected)
+        assert all("saturated" in body["error"]["message"] for body in rejected)
+        assert all(body["request_id"] for body in rejected)
+
+    def test_coalesced_duplicates_identical_fields_over_http(self):
+        scheduler = make_scheduler(
+            "thread", config=ServiceConfig(seed=5), workers=2, warmup=[]
+        )
+        with serve_in_background(scheduler, default_deadline_ms=500.0) as handle:
+            url = f"{handle.url}/optimize"
+            body = compact_mqo_body(seed=77)
+            responses = []
+            lock = threading.Lock()
+
+            def post():
+                response = call(url, body=body)
+                with lock:
+                    responses.append(response)
+
+            threads = [threading.Thread(target=post) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = scheduler.stats()
+        assert all(status == 200 for status, _body in responses)
+        plans = {json.dumps(body["plan"], sort_keys=True) for _s, body in responses}
+        costs = {body["cost"] for _s, body in responses}
+        assert len(plans) == 1 and len(costs) == 1
+        # at least one duplicate must have attached to the in-flight solve
+        assert stats["scheduler"]["coalesce"]["hits"] >= 1
+        # each response still carries its own request id
+        ids = {body["request_id"] for _s, body in responses}
+        assert len(ids) == 4
+
+
+class TestGracefulShutdown:
+    def test_in_flight_request_drains_before_stop(self):
+        scheduler = make_scheduler(
+            "thread", config=ServiceConfig(seed=5), workers=1, warmup=[]
+        )
+        handle = serve_in_background(scheduler, default_deadline_ms=500.0)
+        url = f"{handle.url}/optimize"
+        outcome = {}
+
+        def post():
+            outcome["response"] = call(
+                url, body=compact_mqo_body(seed=123), timeout=30
+            )
+
+        poster = threading.Thread(target=post)
+        poster.start()
+        time.sleep(0.01)  # let the request reach the gateway
+        handle.stop()  # must drain, not sever, the in-flight request
+        poster.join(timeout=30)
+        assert not poster.is_alive()
+        status, body = outcome["response"]
+        assert status == 200
+        assert body["valid"] is True
+
+    def test_stopped_gateway_refuses_connections(self):
+        scheduler = make_scheduler(
+            "thread", config=ServiceConfig(seed=5), workers=1, warmup=[]
+        )
+        handle = serve_in_background(scheduler)
+        handle.stop()
+        with pytest.raises(OSError):
+            call(f"{handle.url}/healthz", timeout=2)

@@ -1,0 +1,179 @@
+"""Tests for the process-pool serving backend (repro.server.pool).
+
+The load-bearing property is the determinism contract: because solve
+seeds derive from problem content (not worker identity or arrival
+order), the same request stream must produce bit-identical plans and
+energies on the thread backend, on a one-process pool, and on a
+multi-process pool.  Pool startup forks real worker processes, so the
+expensive schedulers are module-scoped fixtures serving one shared
+workload.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serialization import to_jsonable
+from repro.server import (
+    ProcessPoolScheduler,
+    ServiceConfig,
+    default_warmup_requests,
+    make_scheduler,
+)
+from repro.service import synthetic_requests
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+WORKLOAD_SEED = 31
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # duplicates exercise coalescing; the sql fraction exercises the
+    # lazy-kind serializer registration inside fresh worker processes
+    return synthetic_requests(
+        10,
+        seed=WORKLOAD_SEED,
+        deadline_ms=500.0,
+        duplicate_fraction=0.3,
+        sql_fraction=0.2,
+    )
+
+
+@pytest.fixture(scope="module")
+def pool_results(workload):
+    """Workload served once per configuration: (results, final stats)."""
+    served = {}
+    for label, backend, workers in (
+        ("thread-2", "thread", 2),
+        ("process-1", "process", 1),
+        ("process-3", "process", 3),
+    ):
+        with make_scheduler(
+            backend, config=ServiceConfig(seed=WORKLOAD_SEED), workers=workers
+        ) as scheduler:
+            results = scheduler.run(workload)
+            stats = scheduler.stats()
+        served[label] = (results, stats)
+    return served
+
+
+def signature(result):
+    """Everything a client can observe about a plan, minus timing."""
+    return (
+        result.request_id,
+        result.kind,
+        result.status,
+        to_jsonable(result.plan),
+        result.cost,
+        result.energy,
+        result.valid,
+        result.served_by,
+    )
+
+
+class TestCrossProcessDeterminism:
+    def test_one_vs_many_workers_bit_identical(self, pool_results):
+        one, _ = pool_results["process-1"]
+        many, _ = pool_results["process-3"]
+        assert [signature(r) for r in one] == [signature(r) for r in many]
+
+    def test_process_matches_thread_backend(self, pool_results):
+        threaded, _ = pool_results["thread-2"]
+        pooled, _ = pool_results["process-3"]
+        assert [signature(r) for r in threaded] == [signature(r) for r in pooled]
+
+    def test_every_result_valid_and_ordered(self, pool_results, workload):
+        for results, _stats in pool_results.values():
+            assert [r.request_id for r in results] == [
+                q.request_id for q in workload
+            ]
+            assert all(r.valid for r in results)
+
+
+class TestMergedStats:
+    def test_counters_cover_all_solved_requests(self, pool_results, workload):
+        _, stats = pool_results["process-3"]
+        coalesced = stats["scheduler"]["coalesce"]["hits"]
+        assert coalesced > 0  # the workload's duplicates must coalesce
+        assert stats["counters"]["requests_total"] == len(workload) - coalesced
+        assert (
+            stats["histograms"]["latency_ms"]["count"]
+            == stats["counters"]["requests_ok"]
+        )
+
+    def test_per_worker_section_lists_every_worker(self, pool_results, workload):
+        _, stats = pool_results["process-3"]
+        section = stats["scheduler"]
+        assert section["backend"] == "process"
+        assert section["workers"] == 3
+        assert section["start_method"] in ("fork", "spawn", "forkserver")
+        per_worker = section["per_worker"]
+        assert len(per_worker) == 3
+        assert all(entry["pid"] for entry in per_worker)
+        total_ok = sum(entry["requests_ok"] for entry in per_worker)
+        assert total_ok == stats["counters"]["requests_ok"]
+
+    def test_worker_counters_start_clean_after_warmup(self, pool_results):
+        # warmup solves run before ready; they must not pollute the report
+        _, stats = pool_results["process-1"]
+        kinds = {
+            key for key in stats["counters"] if key.startswith("requests_kind.")
+        }
+        assert "requests_kind.mqo" in kinds
+        assert stats["counters"]["requests_total"] <= 10
+
+    def test_stats_available_after_shutdown(self, pool_results, workload):
+        # pool_results captured stats() inside the context manager; a
+        # post-shutdown call must replay the final snapshot, not hang
+        scheduler = ProcessPoolScheduler(
+            config=ServiceConfig(seed=1), workers=1, coalesce=False, warmup=[]
+        )
+        scheduler.run(workload[:2])
+        scheduler.shutdown()
+        scheduler.shutdown()  # idempotent
+        stats = scheduler.stats()
+        assert stats["counters"]["requests_total"] == 2
+
+
+class TestAdmissionControl:
+    def test_queue_limit_rejections_counted_parent_side(self, workload):
+        with ProcessPoolScheduler(
+            config=ServiceConfig(seed=WORKLOAD_SEED),
+            workers=1,
+            queue_limit=1,
+            coalesce=False,
+            warmup=[],
+        ) as scheduler:
+            futures = [scheduler.submit(request) for request in workload]
+            results = [future.result() for future in futures]
+            stats = scheduler.stats()
+        rejected = [r for r in results if r.status == "rejected"]
+        assert rejected, "queue_limit=1 over 10 rapid submits must reject"
+        assert all("saturated" in (r.reject_reason or "") for r in rejected)
+        assert stats["counters"]["requests_rejected"] == len(rejected)
+        assert stats["counters"]["requests_total"] == len(workload)
+
+
+class TestServiceConfig:
+    def test_round_trip(self):
+        from repro.service import parse_policy
+
+        config = ServiceConfig(policy=parse_policy("tabu,greedy"), seed=9)
+        assert ServiceConfig.from_dict(config.to_dict()) == config
+
+    def test_default_warmup_covers_registered_kinds(self):
+        kinds = {request.kind for request in default_warmup_requests()}
+        assert kinds == {"mqo", "join_order", "sql"}
+        kinds = {
+            request.kind
+            for request in default_warmup_requests(include_sql=False)
+        }
+        assert kinds == {"mqo", "join_order"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("greenlet")
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolScheduler(workers=1, start_method="no-such-method")

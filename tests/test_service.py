@@ -470,3 +470,171 @@ class TestAdapters:
     def test_unknown_kind_rejected(self, mqo_problem):
         with pytest.raises(ProblemError):
             make_adapter("sql", mqo_problem)
+
+
+# ----------------------------------------------------------------------
+# In-flight request coalescing (thread backend; the process backend
+# shares SchedulerBase and is covered in tests/test_server_pool.py)
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def slow_requests(self, problem, count):
+        # the sleepy stage keeps the primary in flight long enough for
+        # every duplicate to attach; identical content => same key
+        return [
+            mqo_request(
+                problem,
+                request_id=f"dup-{i}",
+                policy=parse_policy("sleepy"),
+                seed=0,
+            )
+            for i in range(count)
+        ]
+
+    def test_duplicates_attach_to_inflight_solve(self, mqo_problem):
+        service = OptimizationService(seed=0)
+        with BatchScheduler(service, workers=1) as scheduler:
+            scheduler.run(self.slow_requests(mqo_problem, 4))
+            stats = scheduler.stats()
+        coalesce = stats["scheduler"]["coalesce"]
+        assert coalesce["enabled"] is True
+        assert coalesce["hits"] == 3
+        assert coalesce["misses"] == 1
+        assert coalesce["hit_rate"] == pytest.approx(0.75)
+        # only the primary touched the service
+        assert service.metrics.counter("requests_total") == 1
+
+    def test_followers_get_identical_fields_own_id(self, mqo_problem):
+        with BatchScheduler(OptimizationService(seed=0), workers=1) as scheduler:
+            results = scheduler.run(self.slow_requests(mqo_problem, 3))
+        primary = results[0]
+        for i, result in enumerate(results):
+            assert result.request_id == f"dup-{i}"
+            assert result.plan == primary.plan
+            assert result.cost == primary.cost
+            assert result.energy == primary.energy
+            assert result.served_by == primary.served_by
+            assert result.stage_trace == primary.stage_trace
+
+    def test_coalescing_can_be_disabled(self, mqo_problem):
+        service = OptimizationService(seed=0)
+        with BatchScheduler(service, workers=1, coalesce=False) as scheduler:
+            scheduler.run(self.slow_requests(mqo_problem, 3))
+            stats = scheduler.stats()
+        assert stats["scheduler"]["coalesce"]["enabled"] is False
+        assert stats["scheduler"]["coalesce"]["hits"] == 0
+        assert service.metrics.counter("requests_total") == 3
+
+    def test_different_content_never_coalesces(self):
+        requests = [
+            mqo_request(
+                random_mqo_problem(4, 2, seed=seed),
+                request_id=f"uniq-{seed}",
+                policy=parse_policy("sleepy"),
+                seed=0,
+            )
+            for seed in range(3)
+        ]
+        with BatchScheduler(OptimizationService(seed=0), workers=1) as scheduler:
+            scheduler.run(requests)
+            stats = scheduler.stats()
+        assert stats["scheduler"]["coalesce"]["hits"] == 0
+        assert stats["scheduler"]["coalesce"]["misses"] == 3
+
+    def test_distinct_seeds_keep_distinct_keys(self, mqo_problem):
+        # a duplicate problem under a different root seed is a
+        # different computation and must not share a result
+        from repro.service import coalesce_key, default_policy
+
+        a = mqo_request(mqo_problem, request_id="a", seed=1)
+        b = mqo_request(mqo_problem, request_id="b", seed=2)
+        same = mqo_request(mqo_problem, request_id="c", seed=1)
+        key = lambda r: coalesce_key(r, 0, default_policy())  # noqa: E731
+        assert key(a) != key(b)
+        assert key(a) == key(same)
+
+
+# ----------------------------------------------------------------------
+# Mergeable metric/cache state (the cross-process aggregation substrate)
+# ----------------------------------------------------------------------
+class TestMergeableState:
+    def test_merged_percentiles_are_exact(self):
+        from repro.service.metrics import merge_metric_states
+
+        low, high = Metrics(), Metrics()
+        for v in range(1, 51):
+            low.observe("latency_ms", float(v))
+        for v in range(51, 101):
+            high.observe("latency_ms", float(v))
+        merged = merge_metric_states([low.state(), high.state()])
+        snap = merged.snapshot()["histograms"]["latency_ms"]
+        # identical to one histogram that saw all 100 observations —
+        # NOT an average of per-shard p50s (which would be ~38/88)
+        assert snap["count"] == 100
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["min"] == 1.0 and snap["max"] == 100.0
+        assert snap["mean"] == pytest.approx(50.5)
+
+    def test_merged_counters_sum(self):
+        from repro.service.metrics import merge_metric_states
+
+        a, b = Metrics(), Metrics()
+        a.incr("requests_total", 3)
+        a.incr("only_a")
+        b.incr("requests_total", 4)
+        merged = merge_metric_states([a.state(), b.state()])
+        assert merged.counter("requests_total") == 7
+        assert merged.counter("only_a") == 1
+
+    def test_merge_state_roundtrips_through_json(self):
+        import json
+
+        from repro.service.metrics import merge_metric_states
+
+        metrics = Metrics()
+        metrics.incr("requests_total", 2)
+        metrics.observe("latency_ms", 5.0)
+        state = json.loads(json.dumps(metrics.state()))
+        merged = merge_metric_states([state])
+        assert merged.snapshot() == metrics.snapshot()
+
+    def test_reset_clears_everything(self):
+        metrics = Metrics()
+        metrics.incr("requests_total")
+        metrics.observe("latency_ms", 1.0)
+        metrics.reset()
+        assert metrics.snapshot() == {"counters": {}, "histograms": {}}
+
+    def test_cache_stats_merge_recomputes_hit_rate(self):
+        from repro.service.cache import merge_cache_stats
+
+        merged = merge_cache_stats(
+            [
+                {
+                    "compiled": {"size": 2, "capacity": 4, "hits": 8, "misses": 2},
+                    "results": {"size": 1, "capacity": 4, "hits": 0, "misses": 10},
+                },
+                {
+                    "compiled": {"size": 1, "capacity": 4, "hits": 2, "misses": 8},
+                    "results": {"size": 3, "capacity": 4, "hits": 10, "misses": 0},
+                },
+            ]
+        )
+        assert merged["compiled"]["hits"] == 10
+        assert merged["compiled"]["misses"] == 10
+        assert merged["compiled"]["hit_rate"] == pytest.approx(0.5)
+        assert merged["results"]["hit_rate"] == pytest.approx(0.5)
+        assert merged["results"]["size"] == 4
+
+    def test_cache_reset_counters_keeps_entries(self, mqo_problem):
+        service = OptimizationService(seed=0)
+        service.optimize(mqo_request(mqo_problem))
+        service.optimize(mqo_request(mqo_problem, request_id="r2"))
+        assert service.cache.stats()["results"]["hits"] >= 1
+        service.cache.reset_counters()
+        stats = service.cache.stats()
+        assert stats["results"]["hits"] == 0 and stats["results"]["misses"] == 0
+        assert stats["results"]["size"] >= 1  # warm entries survive
+        # and the surviving entry still answers
+        replay = service.optimize(mqo_request(mqo_problem, request_id="r3"))
+        assert replay.cache_hit
