@@ -1,0 +1,118 @@
+"""Standalone routing benchmark: routed vs static chains per deadline.
+
+Runs the ``routed-vs-static`` experiment (the same sweep behind
+``python -m repro experiments routed-vs-static``) — an identical mixed
+MQO + SQL + join-graph workload served through a static fallback chain
+and through the deadline-aware router with a warmed cost model — and
+writes the per-deadline measurements to ``BENCH_routing.json`` at the
+repository root so successive PRs can track the router's deadline-miss
+and plan-quality behaviour.
+
+The summary the report carries is the acceptance shape for the router:
+at tight deadlines the routed arm should miss *less* while the
+geometric-mean plan-cost ratio over requests both arms answered in
+time stays at (or below) 1.0.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_routing.py
+    PYTHONPATH=src python benchmarks/bench_routing.py --smoke
+
+``--smoke`` shrinks the sweep to two deadlines and a handful of
+requests for CI; miss counts are wall-clock measurements, so smoke runs
+only assert structural health (rows present, ratios finite), not exact
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.routed_vs_static import run_routed_vs_static  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=29)
+    parser.add_argument(
+        "--deadlines", default="10,25,60,150,400",
+        help="comma-separated deadline sweep in milliseconds",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sweep for CI: 2 deadlines, 8 requests",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_routing.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    requests = 8 if args.smoke else args.requests
+    deadlines = (
+        (25.0, 150.0)
+        if args.smoke
+        else tuple(float(d) for d in args.deadlines.split(",") if d.strip())
+    )
+    table = run_routed_vs_static(
+        seed=args.seed, requests=requests, deadlines=deadlines, cache=False
+    )
+    print(table.format())
+
+    total = sum(int(row["requests"]) for row in table.rows)
+    static_miss = sum(int(row["static miss"]) for row in table.rows)
+    routed_miss = sum(int(row["routed miss"]) for row in table.rows)
+    ratios = [row["cost ratio"] for row in table.rows if row["cost ratio"] is not None]
+    summary = {
+        "requests_per_deadline": requests,
+        "total_requests": total,
+        "static_deadline_miss": static_miss,
+        "routed_deadline_miss": routed_miss,
+        "static_miss_rate": static_miss / total if total else 0.0,
+        "routed_miss_rate": routed_miss / total if total else 0.0,
+        "max_cost_ratio": max(ratios) if ratios else None,
+        "mean_pred_err_ms": (
+            sum(row["pred err ms"] for row in table.rows if row["pred err ms"])
+            / max(1, sum(1 for row in table.rows if row["pred err ms"]))
+        ),
+    }
+    print(
+        f"\noverall: routed missed {routed_miss}/{total} vs static "
+        f"{static_miss}/{total}; worst cost ratio "
+        f"{summary['max_cost_ratio']}"
+    )
+
+    report = {
+        "benchmark": "routing",
+        "config": {
+            "requests": requests,
+            "deadlines_ms": list(deadlines),
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "rows": table.rows,
+        "summary": summary,
+    }
+    pathlib.Path(args.output).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    if args.smoke:
+        # structural health only: rows present and quality ratio finite
+        return 0 if table.rows and ratios else 1
+    return 0 if routed_miss <= static_miss else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

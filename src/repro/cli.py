@@ -56,6 +56,7 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.noise_study import run_noise_study
     from repro.experiments.penalty_gap import run_penalty_gap_study
     from repro.experiments.quality import run_join_order_quality, run_mqo_quality
+    from repro.experiments.routed_vs_static import run_routed_vs_static
     from repro.experiments.sql_workload import run_sql_workload
     from repro.experiments.tables import run_table_3, run_tables_1_2
 
@@ -80,6 +81,7 @@ def _experiment_registry() -> Dict[str, Callable]:
         "penalty-gap": run_penalty_gap_study,
         "hybrid-scaling": run_hybrid_scaling,
         "sql-workload": run_sql_workload,
+        "routed-vs-static": run_routed_vs_static,
     }
 
 
@@ -272,6 +274,16 @@ def _print_service_stats(stats: Dict) -> None:
             f"({100.0 * results_cache['hit_rate']:.1f}%), "
             f"compile hits {compiled_cache.get('hits', 0)}"
         )
+    routing = stats.get("routing")
+    if routing and routing.get("enabled"):
+        regret = routing.get("regret_ms", {})
+        regret_p50 = f"{regret['p50']:.1f}" if regret.get("count") else "-"
+        print(
+            f"routing: {routing.get('requests', 0)} routed, "
+            f"miss rate {100.0 * routing.get('deadline_miss_rate', 0.0):.1f}%, "
+            f"fallthrough {routing.get('fallthrough', 0)}, "
+            f"regret p50 {regret_p50} ms"
+        )
     scheduler = stats.get("scheduler")
     if scheduler:
         coalesce = scheduler.get("coalesce", {})
@@ -349,7 +361,14 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms, seed=args.seed, policy=policy, mode=mode,
         )
 
-    service = OptimizationService(seed=args.seed if args.seed is not None else 0)
+    routing = None
+    if args.route:
+        from repro.routing import RoutingPolicy
+
+        routing = RoutingPolicy(candidates=policy)
+    service = OptimizationService(
+        seed=args.seed if args.seed is not None else 0, routing=routing
+    )
     try:
         result = service.optimize(request)
     except ProblemError as exc:
@@ -480,7 +499,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     start = _time.perf_counter()
     with make_scheduler(
         args.backend,
-        config=ServiceConfig(seed=args.seed),
+        config=ServiceConfig(seed=args.seed, routing=args.route),
         workers=args.workers,
         queue_limit=args.queue_limit,
         coalesce=not args.no_coalesce,
@@ -518,7 +537,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 "requests": args.requests, "workers": args.workers,
                 "backend": args.backend, "coalesce": not args.no_coalesce,
                 "deadline_ms": args.deadline_ms, "seed": args.seed,
-                "cpu_count": _os.cpu_count(),
+                "routing": args.route, "cpu_count": _os.cpu_count(),
             },
             "wall_seconds": wall,
             "throughput_rps": served / wall if wall > 0 else None,
@@ -543,6 +562,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         policy=parse_policy(args.policy) if args.policy else None,
         seed=args.seed,
+        routing=args.route,
     )
     scheduler = make_scheduler(
         args.backend,
@@ -799,6 +819,11 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument(
         "--output", default=None, help="write the optimization_result JSON here"
     )
+    optimize.add_argument(
+        "--route", action="store_true",
+        help="deadline-aware routing: pick chain order and budget split from "
+        "a learned per-solver cost model (ignored when --policy is given)",
+    )
     optimize.set_defaults(func=_cmd_optimize)
 
     sql = sub.add_parser(
@@ -874,6 +899,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable in-flight duplicate-request coalescing",
     )
     bench.add_argument(
+        "--route", action="store_true",
+        help="enable the deadline-aware per-request router in every worker",
+    )
+    bench.add_argument(
         "--json-out", default=None, help="dump results + metrics JSON here"
     )
     bench.set_defaults(func=_cmd_serve_bench)
@@ -910,6 +939,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-warmup", action="store_true",
         help="skip per-worker compilation-cache warmup",
+    )
+    serve.add_argument(
+        "--route", action="store_true",
+        help="enable the deadline-aware per-request router in every worker",
     )
     serve.add_argument(
         "--smoke", action="store_true",
@@ -958,7 +991,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument(
         "--inject",
-        choices=("none", "offset", "ising", "decode", "energy", "compiled", "sql"),
+        choices=(
+            "none", "offset", "ising", "decode", "energy", "compiled", "sql",
+            "router",
+        ),
         default="none",
         help="plant a known bug to prove the harness catches it "
         "(must exit non-zero)",

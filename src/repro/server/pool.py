@@ -75,13 +75,24 @@ class ServiceConfig:
     seed: int = 0
     compiled_capacity: int = 256
     result_capacity: int = 1024
+    #: enable deadline-aware routing (:mod:`repro.routing`): each
+    #: worker builds its own RoutingPolicy over the effective policy's
+    #: stages and learns online; ``stats()`` merges the per-worker
+    #: models exactly like metrics
+    routing: bool = False
 
     def build(self) -> OptimizationService:
+        routing_policy = None
+        if self.routing:
+            from repro.routing import RoutingPolicy
+
+            routing_policy = RoutingPolicy(candidates=self.effective_policy())
         return OptimizationService(
             policy=self.policy,
             seed=self.seed,
             compiled_capacity=self.compiled_capacity,
             result_capacity=self.result_capacity,
+            routing=routing_policy,
         )
 
     def effective_policy(self) -> Tuple[StageSpec, ...]:
@@ -95,6 +106,7 @@ class ServiceConfig:
             "seed": self.seed,
             "compiled_capacity": self.compiled_capacity,
             "result_capacity": self.result_capacity,
+            "routing": self.routing,
         }
 
     @classmethod
@@ -105,6 +117,7 @@ class ServiceConfig:
             seed=int(data.get("seed", 0)),
             compiled_capacity=int(data.get("compiled_capacity", 256)),
             result_capacity=int(data.get("result_capacity", 1024)),
+            routing=bool(data.get("routing", False)),
         )
 
 
@@ -303,6 +316,17 @@ class ProcessPoolScheduler(SchedulerBase):
         snapshot["uptime_seconds"] = max(
             (state["uptime_seconds"] for state in states), default=0.0
         )
+        if self.config.routing:
+            from repro.routing import merge_router_states, routing_section
+
+            model = merge_router_states(
+                state["routing"] for state in states if state.get("routing")
+            )
+            snapshot["routing"] = routing_section(
+                snapshot,
+                model.snapshot(),
+                [spec.solver for spec in self.config.effective_policy()],
+            )
         section = self._scheduler_section()
         section["start_method"] = self.start_method
         section["per_worker"] = [
@@ -366,7 +390,12 @@ class ProcessPoolScheduler(SchedulerBase):
         )
 
     def _coalesce_key(self, request: OptimizationRequest) -> str:
-        return coalesce_key(request, self.config.seed, self.config.effective_policy())
+        return coalesce_key(
+            request,
+            self.config.seed,
+            self.config.effective_policy(),
+            routed=self.config.routing,
+        )
 
     # ------------------------------------------------------------------
     def _collect(self) -> None:

@@ -194,7 +194,9 @@ def run_chain(
             # this stage's slice; unused time rolls forward
             stage_budget = remaining * weights[index] / sum(weights[index:])
             stage_seed = derive_seed(
-                seed, "repro.service.chain", {"stage": spec.solver, "index": index}
+                seed,
+                "repro.service.chain",
+                {"stage": spec.solver, "index": index},
             )
             entry = _run_stage(adapter, spec, stage_seed, stage_budget)
             trace.append(entry)
@@ -245,9 +247,15 @@ def _run_stage(adapter, spec: StageSpec, seed: int, budget_s: float) -> Dict[str
         kwargs["compiled"] = adapter.compiled()
     result = solver.solve(adapter.bqm(), seed=seed, **kwargs)
     plan, cost, valid = adapter.decode(result.sample)
+    seconds = time.perf_counter() - start
     return {
         "stage": spec.solver,
-        "seconds": time.perf_counter() - start,
+        "seconds": seconds,
+        # a cooperative solver that used (almost) its whole slice was
+        # budget-truncated: its runtime is a *lower bound* on what the
+        # solver wanted, which the routing cost model must not treat
+        # as the solver's intrinsic speed
+        "truncated": "time_budget" in kwargs and seconds >= 0.9 * budget_s,
         "energy": float(result.energy),
         "cost": cost,
         "valid": valid,

@@ -41,6 +41,7 @@ def coalesce_key(
     request: OptimizationRequest,
     default_seed: int,
     default_policy: Sequence[StageSpec],
+    routed: bool = False,
 ) -> str:
     """Content key under which concurrent requests may share one solve.
 
@@ -50,16 +51,23 @@ def coalesce_key(
     from problem content (not request ids), requests agreeing on this
     key are guaranteed to produce field-identical results, so answering
     a follower with the primary's result is not an approximation.
+
+    ``routed`` marks keys served by a routing-enabled scheduler.
+    Concurrent duplicates still coalesce — the follower receives the
+    chain outcome the router picked for the primary, which is a valid
+    serving result for the identical content — but the marker keeps
+    routed keys from ever colliding with static-chain keys, whose
+    results may differ for the same content.
     """
     policy = tuple(request.policy) if request.policy is not None else tuple(default_policy)
     root_seed = default_seed if request.seed is None else int(request.seed)
     fingerprint = problem_fingerprint(
         request.kind, problem_to_dict(request.kind, request.problem)
     )
-    return (
-        f"{fingerprint}|{root_seed}|{policy_key(policy, request.mode)}"
-        f"|{request.deadline_ms:g}"
-    )
+    pkey = policy_key(policy, request.mode)
+    if routed and request.policy is None:
+        pkey = f"routed|{pkey}"
+    return f"{fingerprint}|{root_seed}|{pkey}|{request.deadline_ms:g}"
 
 
 class OptimizationService:
@@ -71,6 +79,7 @@ class OptimizationService:
         seed: int = 0,
         compiled_capacity: int = 256,
         result_capacity: int = 1024,
+        routing=None,
     ) -> None:
         self.policy: Tuple[StageSpec, ...] = (
             tuple(policy) if policy is not None else default_policy()
@@ -78,6 +87,12 @@ class OptimizationService:
         self.seed = int(seed)
         self.cache = CompilationCache(compiled_capacity, result_capacity)
         self.metrics = Metrics()
+        #: optional :class:`repro.routing.RoutingPolicy` — when set,
+        #: requests without an explicit per-request policy get their
+        #: chain order and budget split decided per request from the
+        #: learned cost model; None (the default) serves the static
+        #: chain bit-identically to earlier releases
+        self.routing = routing
         self._started = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -87,14 +102,32 @@ class OptimizationService:
         self.metrics.incr("requests_total")
         self.metrics.incr(f"requests_kind.{request.kind}")
 
-        policy = request.policy if request.policy is not None else self.policy
-        pkey = policy_key(policy, request.mode)
         adapter = self._compiled_adapter(request)
         root_seed = self.seed if request.seed is None else int(request.seed)
+        decision = None
+        if self.routing is not None and request.policy is None:
+            from repro.routing.features import extract_features
+
+            decision = self.routing.decide(
+                extract_features(adapter), request.deadline_ms
+            )
+            policy = decision.policy
+            # the solve seed derives from the *static* policy key, not
+            # the per-request chain: whenever the router's chain order
+            # matches the static order (loose deadlines), every stage
+            # seed matches the unrouted run and the plan is
+            # bit-identical to the static service's — and since equal
+            # model states yield equal decisions, two schedulers fed
+            # the same request stream stay bit-identical to each other
+            seed_key = policy_key(self.policy, request.mode)
+            pkey = f"routed|{policy_key(policy, request.mode)}"
+        else:
+            policy = request.policy if request.policy is not None else self.policy
+            seed_key = pkey = policy_key(policy, request.mode)
         solve_seed = derive_seed(
             root_seed,
             "repro.service",
-            {"fingerprint": adapter.fingerprint, "policy": pkey},
+            {"fingerprint": adapter.fingerprint, "policy": seed_key},
         )
         result_key = f"{adapter.fingerprint}|{solve_seed}|{pkey}"
 
@@ -115,6 +148,11 @@ class OptimizationService:
         if not outcome.deadline_exceeded:
             # only deterministic (untruncated) outcomes may be reused
             self.cache.put_result(result_key, outcome)
+        if decision is not None:
+            # online learning: observed stage runtimes/validity update
+            # the cost model; router counters land in the service
+            # metrics so the process pool merges them like any other
+            self.routing.observe(decision, outcome, self.metrics)
         for entry in outcome.stage_trace:
             self.metrics.observe(f"stage_seconds.{entry['stage']}", entry["seconds"])
         return self._finish(request, outcome, start, cache_hit=False)
@@ -135,6 +173,14 @@ class OptimizationService:
         snapshot = self.metrics.snapshot()
         snapshot["cache"] = self.cache.stats()
         snapshot["uptime_seconds"] = time.perf_counter() - self._started
+        if self.routing is not None:
+            from repro.routing.router import routing_section
+
+            snapshot["routing"] = routing_section(
+                snapshot,
+                self.routing.model.snapshot(),
+                [spec.solver for spec in self.routing.candidates],
+            )
         return snapshot
 
     def state(self) -> Dict:
@@ -146,11 +192,14 @@ class OptimizationService:
         multi-process serving otherwise reporting only the parent's
         (empty) counters.
         """
-        return {
+        state = {
             "metrics": self.metrics.state(),
             "cache": self.cache.stats(),
             "uptime_seconds": time.perf_counter() - self._started,
         }
+        if self.routing is not None:
+            state["routing"] = self.routing.state()
+        return state
 
     # ------------------------------------------------------------------
     def _compiled_adapter(self, request: OptimizationRequest):
@@ -371,4 +420,9 @@ class BatchScheduler(SchedulerBase):
         return self.service.reject(request, reason)
 
     def _coalesce_key(self, request: OptimizationRequest) -> str:
-        return coalesce_key(request, self.service.seed, self.service.policy)
+        return coalesce_key(
+            request,
+            self.service.seed,
+            self.service.policy,
+            routed=self.service.routing is not None,
+        )

@@ -26,6 +26,7 @@ from repro.verify.invariants import (
     check_matrix_energy,
     check_mqo_decode_consistency,
     check_qubo_round_trip,
+    check_routing_feasibility,
     check_transpile_equivalence,
     random_assignments,
     random_circuit,
@@ -54,6 +55,7 @@ __all__ = [
     "check_matrix_energy",
     "check_mqo_decode_consistency",
     "check_qubo_round_trip",
+    "check_routing_feasibility",
     "check_transpile_equivalence",
     "compute_oracle",
     "random_assignments",

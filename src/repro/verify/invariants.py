@@ -35,6 +35,10 @@ Catalog
                                 graph equals the cost recomputed from
                                 the relational-algebra tree
                                 (:func:`repro.sql.cost_from_plan`)
+``routing-regret``              the deadline-aware router never leads
+                                with a stage whose predicted runtime
+                                blows the deadline while a predicted-
+                                feasible candidate exists
 ``transpile-equivalence``       transpiled circuits implement the same
                                 statevector (up to global phase and the
                                 tracked layout permutation)
@@ -65,6 +69,7 @@ __all__ = [
     "check_mqo_decode_consistency",
     "check_join_decode_consistency",
     "check_sql_plan_consistency",
+    "check_routing_feasibility",
     "check_transpile_equivalence",
     "check_embedding_validity",
 ]
@@ -537,6 +542,92 @@ def check_sql_plan_consistency(
                         "via_graph": via_graph,
                         "via_algebra": via_algebra,
                         "sql": sql_plan.query.sql,
+                    },
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Deadline-aware routing
+# ----------------------------------------------------------------------
+def check_routing_feasibility(
+    features,
+    deadlines_ms: Sequence[float],
+    subject: str = "routing",
+    optimism: float = 1.0,
+) -> List[Violation]:
+    """``routing-regret``: the router must lead with a feasible stage.
+
+    For every deadline, a fresh :class:`repro.routing.RoutingPolicy`
+    (priors only, ``optimism`` applied) decides a chain for
+    ``features``; an *unscaled* reference model then judges the
+    decision.  Whenever at least one candidate's true predicted
+    runtime fits the deadline, the chain's first stage must be one of
+    them — leading with a predicted-infeasible stage is regret the
+    router could have avoided.  Predictions must also be finite and
+    non-negative and every stage weight positive.
+
+    ``optimism != 1.0`` exists for harness self-tests: scaling the fit
+    test optimistic (``< 1``) plants exactly the over-eager-router bug
+    class this invariant catches (``--inject router``).
+    """
+    from repro.routing import RoutingPolicy, default_cost_model
+
+    reference = default_cost_model()
+    router = RoutingPolicy(model=default_cost_model(), optimism=optimism)
+    violations: List[Violation] = []
+    for deadline_ms in deadlines_ms:
+        decision = router.decide(features, deadline_ms)
+        for solver, predicted in decision.predicted_ms:
+            if not math.isfinite(predicted) or predicted < 0.0:
+                violations.append(
+                    Violation(
+                        invariant="routing-prediction-sanity",
+                        subject=subject,
+                        message=(
+                            f"predicted runtime for {solver} is {predicted!r}, "
+                            "expected finite and non-negative"
+                        ),
+                        details={"solver": solver, "deadline_ms": deadline_ms},
+                    )
+                )
+        if any(spec.weight <= 0 for spec in decision.policy):
+            violations.append(
+                Violation(
+                    invariant="routing-prediction-sanity",
+                    subject=subject,
+                    message="routed chain contains a non-positive stage weight",
+                    details={"deadline_ms": deadline_ms},
+                )
+            )
+        true_ms = {
+            spec.solver: reference.predict_runtime_ms(
+                spec.solver, features.kind, features
+            )
+            for spec in router.candidates
+        }
+        feasible = sorted(
+            solver
+            for solver, predicted in true_ms.items()
+            if predicted <= deadline_ms + ENERGY_ATOL
+        )
+        first = decision.policy[0].solver
+        if feasible and true_ms[first] > deadline_ms + ENERGY_ATOL:
+            violations.append(
+                Violation(
+                    invariant="routing-regret",
+                    subject=subject,
+                    message=(
+                        f"router leads with {first} (predicted "
+                        f"{true_ms[first]:.3g} ms) for a {deadline_ms:g} ms "
+                        f"deadline although {', '.join(feasible)} fit(s)"
+                    ),
+                    details={
+                        "deadline_ms": deadline_ms,
+                        "first_stage": first,
+                        "predicted_ms": true_ms,
+                        "feasible": feasible,
                     },
                 )
             )

@@ -6,7 +6,7 @@ out over processes with the same deterministic per-point seeding as
 the experiment drivers: rows are bit-identical for any ``--workers``
 value, which is what makes ``--json`` output diffable across runs.
 
-Five point types share one grid:
+Six point types share one grid:
 
 ``solver``      one registry solver on one case — compares the
                 reported energy against the recomputed sample energy,
@@ -26,13 +26,18 @@ Five point types share one grid:
                 the C_out cost on the extracted join graph must equal
                 the cost recomputed from the relational-algebra tree
                 for random join orders (``sql-plan-consistency``)
+``routing``     the deadline-aware router (:mod:`repro.routing`) on
+                one case across a deadline sweep — the routed chain
+                must lead with a predicted-feasible stage whenever one
+                exists (``routing-regret``), with finite non-negative
+                predictions and positive budget weights
 
-The ``inject`` parameter plants one of six known bugs (an offset
+The ``inject`` parameter plants one of seven known bugs (an offset
 shift, a mis-scaled Ising coupling, a shifted decoded cost, a
 misreported solver energy, a dropped term in the array-compiled
-kernels, or drifted SQL join selectivities) so the harness can prove
-it catches each — ``python -m repro verify --inject offset`` must
-exit non-zero.
+kernels, drifted SQL join selectivities, or an optimistic routing
+cost model) so the harness can prove it catches each —
+``python -m repro verify --inject offset`` must exit non-zero.
 """
 
 from __future__ import annotations
@@ -70,7 +75,9 @@ _ENERGY_ATOL = 1e-6
 _CHAIN_DEADLINE_S = 60.0
 
 #: bugs the harness can plant in itself to prove it catches them
-INJECTABLE_BUGS = ("none", "offset", "ising", "decode", "energy", "compiled", "sql")
+INJECTABLE_BUGS = (
+    "none", "offset", "ising", "decode", "energy", "compiled", "sql", "router",
+)
 
 #: registry aliases to drop from the default sweep (same object twice)
 _ALIASES = {"exhaustive"}
@@ -456,6 +463,37 @@ def _sql_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+#: deadline sweep (ms) for routing points: tight budgets where only
+#: the cheap stages fit, through ample ones where everything does
+_ROUTING_DEADLINES = (0.2, 0.5, 2.5, 10.0, 100.0)
+
+
+def _routing_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """routing-regret + prediction sanity on one case's features."""
+    from repro.routing import extract_features
+    from repro.verify.invariants import check_routing_feasibility
+
+    built = build_case(_case_from_params(params))
+    features = extract_features(built.adapter)
+    # an optimistic fit test is exactly the bug class the invariant
+    # exists to catch: the router believes every stage is ~20x faster
+    # than the model says and fronts infeasible stages at tight deadlines
+    optimism = 0.05 if params["inject"] == "router" else 1.0
+    violations = check_routing_feasibility(
+        features,
+        _ROUTING_DEADLINES,
+        subject=params["case_id"],
+        optimism=optimism,
+    )
+    return {
+        "type": "routing",
+        "case_id": params["case_id"],
+        "solver": None,
+        "checks": len(_ROUTING_DEADLINES),
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
 def _verify_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """Grid dispatch (module-level: must pickle into pool workers)."""
     kind = params["type"]
@@ -469,6 +507,8 @@ def _verify_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         return _gate_point(params, seed)
     if kind == "sql":
         return _sql_point(params, seed)
+    if kind == "routing":
+        return _routing_point(params, seed)
     raise ConfigurationError(f"unknown verification point type {kind!r}")
 
 
@@ -512,6 +552,7 @@ def _build_points(
         if include_chain:
             points.append({**case_base, "type": "chain"})
         points.append({**case_base, "type": "invariants"})
+        points.append({**case_base, "type": "routing"})
     if include_gate:
         for qubits, depth in ((4, 4), (5, 3)):
             for coupling in ("full", "line"):

@@ -371,6 +371,7 @@ class TestRegistryEndToEnd:
         "penalty-gap": dict(multipliers=(1.0,)),
         "hybrid-scaling": dict(sizes=((4, 2), (6, 2)), sub_size=6),
         "sql-workload": dict(queries=2, min_tables=3, max_tables=4),
+        "routed-vs-static": dict(requests=2, deadlines=(50.0,)),
     }
 
     def _registry(self):
@@ -388,7 +389,7 @@ class TestRegistryEndToEnd:
             "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
             "coherence", "quality-mqo", "quality-join", "mqo-annealer",
             "noise", "jo-direct", "penalty-gap", "hybrid-scaling",
-            "sql-workload",
+            "sql-workload", "routed-vs-static",
         ],
     )
     def test_experiment_end_to_end(self, name, monkeypatch):
@@ -411,6 +412,6 @@ class TestRegistryEndToEnd:
             "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
             "coherence", "quality-mqo", "quality-join", "mqo-annealer",
             "noise", "jo-direct", "penalty-gap", "hybrid-scaling",
-            "sql-workload",
+            "sql-workload", "routed-vs-static",
         }
         assert param_names == set(self._registry())

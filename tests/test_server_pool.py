@@ -177,3 +177,59 @@ class TestServiceConfig:
     def test_unknown_start_method_rejected(self):
         with pytest.raises(ConfigurationError):
             ProcessPoolScheduler(workers=1, start_method="no-such-method")
+
+
+class TestRoutedDeterminism:
+    """Determinism contract with the per-request router enabled.
+
+    Equal model states yield equal routing decisions, and routed seed
+    derivation is shared with the static path — so one worker fed the
+    same request stream must produce bit-identical plans on the thread
+    and the process backend.
+    """
+
+    @pytest.fixture(scope="class")
+    def routed_workload(self):
+        # no duplicates: every request must reach the router and update
+        # the cost model in the same order on both backends
+        return synthetic_requests(
+            8,
+            seed=53,
+            deadline_ms=2_000.0,
+            duplicate_fraction=0.0,
+            sql_fraction=0.25,
+        )
+
+    @pytest.fixture(scope="class")
+    def routed_results(self, routed_workload):
+        served = {}
+        for backend in ("thread", "process"):
+            with make_scheduler(
+                backend,
+                config=ServiceConfig(seed=53, routing=True),
+                workers=1,
+                warmup=[],
+                coalesce=False,
+            ) as scheduler:
+                results = scheduler.run(routed_workload)
+                served[backend] = ([signature(r) for r in results], scheduler.stats())
+        return served
+
+    def test_thread_and_process_backends_agree(self, routed_results):
+        thread_sigs, _ = routed_results["thread"]
+        process_sigs, _ = routed_results["process"]
+        assert thread_sigs == process_sigs
+
+    def test_routed_stats_merged_on_both_backends(self, routed_results, routed_workload):
+        for backend, (_sigs, stats) in routed_results.items():
+            routing = stats["routing"]
+            assert routing["enabled"], backend
+            assert routing["requests"] == len(routed_workload)
+            assert routing["deadline_miss"] <= routing["requests"]
+            assert routing["model"], backend  # per-(solver|kind) entries merged
+
+    def test_routing_flag_round_trips_through_config(self):
+        config = ServiceConfig(seed=1, routing=True)
+        assert ServiceConfig.from_dict(config.to_dict()).routing is True
+        service = config.build()
+        assert service.routing is not None
