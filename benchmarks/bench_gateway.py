@@ -26,7 +26,6 @@ import argparse
 import json
 import os
 import pathlib
-import platform
 import sys
 import time
 import urllib.error
@@ -35,6 +34,8 @@ from concurrent.futures import ThreadPoolExecutor
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from provenance import provenance_block  # noqa: E402
 
 from repro.serialization import to_jsonable  # noqa: E402
 from repro.server import ServiceConfig, make_scheduler, serve_in_background  # noqa: E402
@@ -158,8 +159,7 @@ def main(argv=None) -> int:
             "deadline_ms": args.deadline_ms,
             "seed": args.seed,
         },
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "provenance": provenance_block(),
         "runs": runs,
     }
     pathlib.Path(args.output).write_text(

@@ -30,7 +30,6 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import platform
 import sys
 import time
 
@@ -38,6 +37,8 @@ import numpy as np
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from provenance import provenance_block  # noqa: E402
 
 from repro.qubo.bqm import BinaryQuadraticModel, Vartype  # noqa: E402
 from repro.qubo.compiled import compile_bqm  # noqa: E402
@@ -217,7 +218,7 @@ def main(argv=None) -> int:
     report = {
         "benchmark": "kernels",
         "config": {"num_sweeps": num_sweeps, "num_reads": num_reads, "seed": args.seed},
-        "python": platform.python_version(),
+        "provenance": provenance_block(),
         "points": points,
     }
     pathlib.Path(args.output).write_text(

@@ -28,13 +28,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
-import platform
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from provenance import provenance_block  # noqa: E402
 
 from repro.experiments.routed_vs_static import run_routed_vs_static  # noqa: E402
 
@@ -99,8 +99,7 @@ def main(argv=None) -> int:
             "seed": args.seed,
             "smoke": args.smoke,
         },
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "provenance": provenance_block(),
         "rows": table.rows,
         "summary": summary,
     }

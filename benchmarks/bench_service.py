@@ -35,12 +35,13 @@ import argparse
 import json
 import os
 import pathlib
-import platform
 import sys
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from provenance import provenance_block  # noqa: E402
 
 from repro.server import ServiceConfig, make_scheduler  # noqa: E402
 from repro.service import synthetic_requests  # noqa: E402
@@ -147,8 +148,7 @@ def main(argv=None) -> int:
             "mqo_fraction": args.mqo_fraction,
             "duplicate_fraction": args.duplicates,
         },
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count(),
+        "provenance": provenance_block(),
         "runs": runs,
     }
     pathlib.Path(args.output).write_text(

@@ -28,13 +28,14 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
-import platform
 import statistics
 import sys
 import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from provenance import provenance_block  # noqa: E402
 
 from repro.service import OptimizationRequest, OptimizationService  # noqa: E402
 from repro.sql import (  # noqa: E402
@@ -152,7 +153,7 @@ def main(argv=None) -> int:
             "deadline_ms": args.deadline_ms,
             "smoke": args.smoke,
         },
-        "python": platform.python_version(),
+        "provenance": provenance_block(),
         **body,
     }
     pathlib.Path(args.output).write_text(

@@ -1,0 +1,51 @@
+"""Shared provenance block for every ``BENCH_*.json`` writer.
+
+Benchmark artifacts are compared across PRs, so each one must say
+*where* it was measured: interpreter, platform, core count, and the
+exact commit.  Every ``benchmarks/bench_*.py`` script stamps
+:func:`provenance_block` into its report under the ``"provenance"``
+key; keeping the block in one place means the writers cannot drift
+apart in what they record.
+
+The scripts are run as ``python benchmarks/bench_x.py``, which puts
+this directory on ``sys.path`` — they import this module directly
+(``from provenance import provenance_block``).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import platform
+import subprocess
+from typing import Dict, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+__all__ = ["provenance_block"]
+
+
+def _git_commit() -> Optional[str]:
+    """The checked-out commit, or ``None`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def provenance_block() -> Dict[str, object]:
+    """The machine/commit fingerprint stamped into every benchmark JSON."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_commit": _git_commit(),
+    }

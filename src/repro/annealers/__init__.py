@@ -1,0 +1,24 @@
+"""Multi-annealer fleet: topology-constrained devices + concurrent dispatch.
+
+The paper's capacity ceiling (one simulated Chimera/Pegasus device) is
+what the hybrid decomposer works around; this package supplies the
+scale-out half: :class:`AnnealerDevice` models one annealer with an
+embedding-aware admission check, and :class:`AnnealerFleet` dispatches
+independent sub-QUBOs across N of them concurrently with deterministic
+per-(device spec, subproblem) seeds, so fleet results are bit-identical
+regardless of fleet size or dispatch order.
+
+See ``docs/api_guide.md`` ("Sharding across annealers & replaying
+workloads") for usage; :class:`repro.hybrid.DecomposingSolver` accepts a
+fleet via its ``fleet=`` option (registry name ``"fleet"``).
+"""
+
+from .device import AnnealerDevice, bqm_fingerprint, graph_fingerprint
+from .fleet import AnnealerFleet
+
+__all__ = [
+    "AnnealerDevice",
+    "AnnealerFleet",
+    "bqm_fingerprint",
+    "graph_fingerprint",
+]

@@ -21,6 +21,11 @@ Commands
 ``serve-bench``
     Drive the optimization service with a synthetic request workload
     (thread or process backend) and print a metrics snapshot.
+``replay``
+    Stream a Zipfian-duplicated request workload (lazily generated,
+    10^3–10^6 requests) through a scheduler backend at a configurable
+    arrival rate and report cache/coalescing hit rates, rejections,
+    deadline misses, and tail latency.
 ``serve``
     Run the HTTP gateway over a scheduler backend: ``POST /optimize``,
     ``POST /sql``, ``GET /stats``, ``GET /healthz``; graceful drain on
@@ -55,7 +60,9 @@ def _experiment_registry() -> Dict[str, Callable]:
     from repro.experiments.mqo_depths import run_figure8, run_figure9
     from repro.experiments.noise_study import run_noise_study
     from repro.experiments.penalty_gap import run_penalty_gap_study
+    from repro.experiments.fleet_scaling import run_fleet_scaling
     from repro.experiments.quality import run_join_order_quality, run_mqo_quality
+    from repro.experiments.replay import run_replay_experiment
     from repro.experiments.routed_vs_static import run_routed_vs_static
     from repro.experiments.sql_workload import run_sql_workload
     from repro.experiments.tables import run_table_3, run_tables_1_2
@@ -82,6 +89,8 @@ def _experiment_registry() -> Dict[str, Callable]:
         "hybrid-scaling": run_hybrid_scaling,
         "sql-workload": run_sql_workload,
         "routed-vs-static": run_routed_vs_static,
+        "replay": run_replay_experiment,
+        "fleet-scaling": run_fleet_scaling,
     }
 
 
@@ -555,6 +564,81 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.replay import replay_stream, run_replay
+    from repro.server import ServiceConfig, make_scheduler
+
+    count = 1000 if args.smoke else args.requests
+    unique = min(args.unique, 64) if args.smoke else args.unique
+    backends = ("thread", "process") if args.backend == "both" else (args.backend,)
+
+    reports = {}
+    failures = 0
+    for backend in backends:
+        print(f"--- replay: {count} requests via {backend} backend ---")
+        with make_scheduler(
+            backend,
+            config=ServiceConfig(seed=args.seed, routing=args.route),
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+        ) as scheduler:
+            stream = replay_stream(
+                count,
+                seed=args.seed,
+                unique=unique,
+                zipf_s=args.zipf_s,
+                deadline_ms=args.deadline_ms,
+                mqo_fraction=args.mqo_fraction,
+                sql_fraction=args.sql_fraction,
+            )
+            report = run_replay(
+                scheduler,
+                stream,
+                rate=args.rate,
+                max_in_flight=args.max_in_flight,
+                progress=lambda n: print(f"  {n} submitted..."),
+                progress_every=max(1000, count // 10),
+            )
+        reports[backend] = report
+        latency = report.latency_ms
+        print(
+            f"{report.requests} requests in {report.wall_seconds:.2f}s "
+            f"({report.throughput_rps:.1f} req/s)"
+        )
+        print(
+            f"latency ms: p50 {latency.get('p50', float('nan')):.2f} "
+            f"p95 {latency.get('p95', float('nan')):.2f} "
+            f"p99 {latency.get('p99', float('nan')):.2f} "
+            f"max {latency.get('max', float('nan')):.1f}"
+        )
+        print(
+            f"cache hit {100.0 * report.cache.get('hit_rate', 0.0):.1f}%  "
+            f"coalesce hit {100.0 * report.coalesce.get('hit_rate', 0.0):.1f}%  "
+            f"rejected {100.0 * report.rejection_rate:.2f}%  "
+            f"deadline miss {100.0 * report.deadline_miss_rate:.2f}%  "
+            f"errors {report.errors}"
+        )
+        if report.errors or report.ok == 0:
+            failures += 1
+    if args.json_out is not None:
+        payload = {
+            "config": {
+                "requests": count, "unique": unique, "zipf_s": args.zipf_s,
+                "deadline_ms": args.deadline_ms, "seed": args.seed,
+                "rate": args.rate, "max_in_flight": args.max_in_flight,
+                "workers": args.workers, "queue_limit": args.queue_limit,
+                "routing": args.route,
+            },
+            "backends": {name: r.to_dict() for name, r in reports.items()},
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2)
+        print(f"replay results written to {args.json_out}")
+    return 1 if failures else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import ServiceConfig, make_scheduler, run_gateway
     from repro.service import parse_policy
@@ -907,6 +991,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=_cmd_serve_bench)
 
+    replay = sub.add_parser(
+        "replay",
+        help="stream a Zipfian-duplicated workload through a scheduler "
+        "backend at production-like volume",
+    )
+    replay.add_argument(
+        "--requests", type=int, default=100_000,
+        help="stream length (lazily generated; 10^5-10^6 is the intended range)",
+    )
+    replay.add_argument(
+        "--unique", type=int, default=512,
+        help="distinct problem slots behind the Zipf distribution",
+    )
+    replay.add_argument(
+        "--zipf-s", type=float, default=1.1,
+        help="Zipf exponent: higher = hotter head, more duplication",
+    )
+    replay.add_argument(
+        "--backend", choices=("thread", "process", "both"), default="thread",
+        help="scheduler backend(s) to replay through",
+    )
+    replay.add_argument(
+        "--workers", type=int, default=None,
+        help="scheduler workers (default: REPRO_BENCH_WORKERS or 1)",
+    )
+    replay.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop arrival rate in req/s (default: closed loop, "
+        "submit as fast as the in-flight window allows)",
+    )
+    replay.add_argument(
+        "--max-in-flight", type=int, default=256,
+        help="client-side concurrency window (bounds harness memory)",
+    )
+    replay.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="admission control: max in-flight requests before rejection",
+    )
+    replay.add_argument("--deadline-ms", type=float, default=200.0)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--mqo-fraction", type=float, default=0.5)
+    replay.add_argument("--sql-fraction", type=float, default=0.2)
+    replay.add_argument(
+        "--route", action="store_true",
+        help="enable the deadline-aware per-request router",
+    )
+    replay.add_argument(
+        "--json-out", default=None, help="dump per-backend replay reports here"
+    )
+    replay.add_argument(
+        "--smoke", action="store_true",
+        help="CI smoke: 10^3 requests over at most 64 slots",
+    )
+    replay.set_defaults(func=_cmd_replay)
+
     serve = sub.add_parser(
         "serve",
         help="HTTP gateway: POST /optimize, POST /sql, GET /stats, GET /healthz",
@@ -993,7 +1132,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--inject",
         choices=(
             "none", "offset", "ising", "decode", "energy", "compiled", "sql",
-            "router",
+            "router", "shard",
         ),
         default="none",
         help="plant a known bug to prove the harness catches it "

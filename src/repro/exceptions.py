@@ -29,6 +29,13 @@ class InfeasibleError(SolverError):
     """The model was proven infeasible."""
 
 
+class WorkerCrashError(SolverError):
+    """A process-pool worker died while a request was routed to it and
+    the request could not be (re-)placed on a live worker.  Requests
+    abandoned this way were never solved — retrying them on a healthy
+    pool is safe because solve seeds derive from request content."""
+
+
 class CircuitError(ReproError):
     """A quantum circuit was constructed or manipulated inconsistently —
     e.g. a gate applied to an out-of-range qubit or duplicate qubits."""

@@ -13,9 +13,13 @@ layer for the reproduction:
   sub-solves, round-robin until converged);
 * :class:`~repro.hybrid.tabu.TabuSampler` — Ocean-compatible tabu
   search, the default classical sub-solver;
+* :mod:`~repro.hybrid.reconcile` — boundary reconciliation for
+  fleet-mode sharding (frontier re-optimization after a concurrent
+  multi-annealer merge; see :mod:`repro.annealers`);
 * :mod:`~repro.hybrid.registry` — every end-to-end solver path
   (classical baselines, exact enumeration, annealing, gate-model
-  eigensolvers, hybrid) behind one ``Solver`` protocol keyed by name.
+  eigensolvers, hybrid, multi-annealer fleet) behind one ``Solver``
+  protocol keyed by name.
 """
 
 from repro.hybrid.decomposer import (
@@ -36,6 +40,7 @@ from repro.hybrid.registry import (
     supports_time_budget,
     valid_options,
 )
+from repro.hybrid.reconcile import frontier_variables, reconcile_boundary
 from repro.hybrid.solver import DecomposingSolver, SolveResult, greedy_descent
 from repro.hybrid.tabu import TabuSampler
 
@@ -47,9 +52,11 @@ __all__ = [
     "clamp_subproblem",
     "component_weights",
     "flip_energy_gains",
+    "frontier_variables",
     "greedy_descent",
     "make_solver",
     "pack_components",
+    "reconcile_boundary",
     "register_solver",
     "select_by_energy_impact",
     "select_by_graph_partition",

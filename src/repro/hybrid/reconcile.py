@@ -1,0 +1,130 @@
+"""Boundary reconciliation for sharded (fleet-mode) decomposition.
+
+When independent shards are solved concurrently against the *same*
+incumbent, each shard's answer is optimal only under the assumption
+that every other shard kept its old values.  Patching all shards into
+the incumbent at once (the naive merge) breaks that assumption exactly
+on the *frontier* — variables with a quadratic coupling into another
+shard — and the merged assignment can even be worse than the best
+single shard.  Trummer & Koch's multi-annealer MQO pipeline
+(arXiv 1510.06437) re-optimizes these border variables classically
+after the merge; :func:`reconcile_boundary` is that pass.
+
+Guarantees (both by construction, and both checked by the
+``shard-reconciliation`` verify invariant):
+
+* the reconciled assignment's energy is **never above** the naive
+  merge's — chunk re-solves are accepted only when they improve, and
+  the final greedy descent only descends;
+* no single frontier flip improves the reconciled assignment — the
+  pass ends with an exact single-flip descent over the frontier
+  variables (clamping the interior), and a frontier flip's full-model
+  energy delta equals its delta in that clamped subproblem.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.harness import derive_seed
+from repro.qubo.bqm import BinaryQuadraticModel
+from repro.qubo.exact import brute_force_minimum
+
+from .decomposer import clamp_subproblem
+
+Variable = Hashable
+Sample = Mapping[Variable, int]
+#: ``(clamped_sub_bqm, seed) -> (sample, energy)``
+BlockSolver = Callable[[BinaryQuadraticModel, int], Tuple[Dict[Variable, int], float]]
+
+__all__ = ["frontier_variables", "reconcile_boundary"]
+
+_EXACT_CHUNK_LIMIT = 20
+_SEED_SCOPE = "repro.hybrid.reconcile"
+
+
+def frontier_variables(
+    bqm: BinaryQuadraticModel, blocks: Sequence[Sequence[Variable]]
+) -> List[Variable]:
+    """Variables coupled (quadratically) across block boundaries.
+
+    These are the only variables whose shard-local optimality can be
+    invalidated by other shards moving; everything else sees an
+    unchanged neighbourhood.  Sorted by ``str(var)`` for determinism.
+    """
+    where: Dict[Variable, int] = {}
+    for index, block in enumerate(blocks):
+        for v in block:
+            where[v] = index
+    frontier: set = set()
+    for u, v in bqm.quadratic:
+        if where.get(u) != where.get(v):
+            frontier.add(u)
+            frontier.add(v)
+    return sorted(frontier, key=str)
+
+
+def _default_block_solver(
+    sub: BinaryQuadraticModel, seed: int
+) -> Tuple[Dict[Variable, int], float]:
+    """Exact for small chunks; single-flip descent otherwise."""
+    from .solver import greedy_descent  # local import: solver imports us
+
+    if sub.num_variables <= _EXACT_CHUNK_LIMIT:
+        result = brute_force_minimum(sub)
+        return dict(result.sample), float(result.energy)
+    start = {v: min(sub.vartype.values) for v in sub.variables}
+    descended = greedy_descent(sub, start)
+    return descended, sub.energy(descended)
+
+
+def reconcile_boundary(
+    bqm: BinaryQuadraticModel,
+    sample: Sample,
+    frontier: Sequence[Variable],
+    solve_block: Optional[BlockSolver] = None,
+    seed: int = 0,
+    chunk_size: int = 16,
+) -> Tuple[Dict[Variable, int], float]:
+    """Re-optimize ``frontier`` variables of a merged assignment.
+
+    Chunks the frontier (``str``-sorted, ``chunk_size`` at a time),
+    clamps everything else to ``sample``, re-solves each chunk with
+    ``solve_block`` and accepts only improvements, then finishes with
+    an exact greedy descent over the whole frontier.  Returns
+    ``(sample, energy)`` with ``energy <= bqm.energy(sample)``.
+
+    ``solve_block`` defaults to exact enumeration for chunks of at most
+    20 variables; the fleet solver passes its own block solver so the
+    reconciliation pass shares the solve's block caches.  Chunk seeds
+    derive from ``seed`` via the harness scheme, so the pass is
+    deterministic and independent of dispatch concurrency.
+    """
+    merged: Dict[Variable, int] = dict(sample)
+    energy = bqm.energy(merged)
+    if not frontier:
+        return merged, energy
+    solver = _default_block_solver if solve_block is None else solve_block
+    ordered = sorted(frontier, key=str)
+    for start in range(0, len(ordered), max(1, int(chunk_size))):
+        chunk = ordered[start : start + max(1, int(chunk_size))]
+        sub = clamp_subproblem(bqm, chunk, merged)
+        chunk_seed = derive_seed(seed, _SEED_SCOPE, {"chunk": start})
+        chunk_sample, chunk_energy = solver(sub, chunk_seed)
+        if chunk_energy < energy - 1e-9:
+            merged.update(chunk_sample)
+            energy = chunk_energy
+
+    # Final exact single-flip descent over the entire frontier: the
+    # clamped subproblem's flip deltas equal the full model's for
+    # frontier variables, so on exit no frontier flip improves.
+    from .solver import greedy_descent  # local import: solver imports us
+
+    sub = clamp_subproblem(bqm, ordered, merged)
+    descended = greedy_descent(sub, {v: merged[v] for v in ordered})
+    candidate = dict(merged)
+    candidate.update(descended)
+    candidate_energy = sub.energy(descended)
+    if candidate_energy < energy - 1e-12:
+        merged, energy = candidate, candidate_energy
+    return merged, energy

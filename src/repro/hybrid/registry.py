@@ -32,6 +32,8 @@ Registered names
 ``vqe``         variational quantum eigensolver (statevector)
 ``qaoa``        QAOA (statevector)
 ``hybrid``      decomposing hybrid solver (:mod:`repro.hybrid.solver`)
+``fleet``       hybrid solver sharding across a multi-annealer fleet
+                (:mod:`repro.annealers`; boundary-reconciled merges)
 ==============  ====================================================
 """
 
@@ -520,6 +522,45 @@ def _make_qaoa(max_variables: int = 20, maxiter: int = 150, reps: int = 1) -> Ei
     return EigenSolver(kind="qaoa", max_variables=max_variables, maxiter=maxiter, reps=reps)
 
 
+def _make_fleet(
+    fleet_size: int = 2,
+    family: str = "chimera",
+    m: int = 4,
+    t: int = 4,
+    num_sweeps: int = 200,
+    sub_size: int = 16,
+    sub_reads: int = 5,
+    max_rounds: int = 32,
+    stall_rounds: int = 5,
+    restarts: int = 4,
+    perturb_fraction: float = 0.3,
+    seed: Optional[int] = None,
+    boundary_reconciliation: bool = True,
+) -> DecomposingSolver:
+    """Decomposing solver sharding across a homogeneous annealer fleet.
+
+    Blocks are additionally capped at the devices' guaranteed embedding
+    capacity (the native clique), so every shard the solver produces is
+    admissible on every device.
+    """
+    from repro.annealers import AnnealerFleet  # lazy: keeps import cheap
+
+    fleet = AnnealerFleet.homogeneous(
+        fleet_size, family=family, m=m, t=t, num_sweeps=num_sweeps
+    )
+    return DecomposingSolver(
+        sub_size=sub_size,
+        sub_reads=sub_reads,
+        max_rounds=max_rounds,
+        stall_rounds=stall_rounds,
+        restarts=restarts,
+        perturb_fraction=perturb_fraction,
+        seed=seed,
+        fleet=fleet,
+        boundary_reconciliation=boundary_reconciliation,
+    )
+
+
 def _register_builtins() -> None:
     register_solver("greedy", GreedySolver)
     register_solver("genetic", GeneticSolver)
@@ -531,6 +572,7 @@ def _register_builtins() -> None:
     register_solver("vqe", _make_vqe)
     register_solver("qaoa", _make_qaoa)
     register_solver("hybrid", DecomposingSolver)
+    register_solver("fleet", _make_fleet)
 
 
 _register_builtins()

@@ -29,6 +29,19 @@ boundary to the incumbent, and iterate until no round improves.
 The run is deterministic for a fixed seed: sub-seeds and the per-round
 shuffles come from one ``default_rng`` stream and every ordering
 tie-breaks on ``str(var)``.
+
+**Fleet mode.**  Passing ``fleet=`` (an
+:class:`~repro.annealers.AnnealerFleet`) switches the solver to the
+multi-annealer scheduling mode of Trummer & Koch (arXiv 1510.06437):
+blocks are sized to device capacity, every block of a round is clamped
+against the *same* incumbent and dispatched concurrently across the
+fleet, and the merged assignment passes through a boundary
+reconciliation (:mod:`repro.hybrid.reconcile`) that re-optimizes
+frontier variables shared between shards before the round's result is
+accepted.  Block solve seeds derive from the (device spec, subproblem
+content) pair and orchestration seeds from the harness scheme, so
+fleet-mode results are bit-identical regardless of fleet size or
+dispatch order.
 """
 
 from __future__ import annotations
@@ -41,6 +54,7 @@ from typing import Dict, Hashable, List, Optional
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.harness import derive_seed
 from repro.hybrid.decomposer import (
     clamp_subproblem,
     component_weights,
@@ -49,12 +63,14 @@ from repro.hybrid.decomposer import (
     select_by_energy_impact,
     strong_components,
 )
+from repro.hybrid.reconcile import frontier_variables, reconcile_boundary
 from repro.hybrid.tabu import TabuSampler
 from repro.qubo.bqm import BinaryQuadraticModel
 from repro.qubo.compiled import compile_bqm
 from repro.qubo.exact import brute_force_minimum
 
 _EXACT_HARD_LIMIT = 26  # brute_force_minimum's own ceiling
+_FLEET_SEED_SCOPE = "repro.hybrid.fleet"
 
 
 @dataclass
@@ -147,6 +163,19 @@ class DecomposingSolver:
         Bit-identical to the uncached path — the RNG stream is drawn at
         the call site and both the exact oracle and the compiled form
         are deterministic functions of the subproblem.
+    fleet:
+        An :class:`~repro.annealers.AnnealerFleet`.  When set, the
+        solver switches to fleet mode (registry name ``"fleet"``):
+        blocks are capped at the fleet's guaranteed embedding capacity
+        (``min(sub_size, fleet.min_capacity())``), each round's blocks
+        are clamped against the same incumbent and annealed
+        concurrently across the devices, and the merged assignment is
+        boundary-reconciled before acceptance.
+    boundary_reconciliation:
+        Fleet mode only: run the frontier re-optimization pass on the
+        merged assignment (default).  Disabling it is the planted bug
+        the ``shard-reconciliation`` verify invariant exists to catch —
+        never turn it off outside harness self-tests.
     """
 
     name = "hybrid"
@@ -165,6 +194,8 @@ class DecomposingSolver:
         perturb_fraction: float = 0.3,
         seed: Optional[int] = None,
         reuse_compiled: bool = True,
+        fleet=None,
+        boundary_reconciliation: bool = True,
     ) -> None:
         if sub_size < 2:
             raise SolverError("sub_size must be at least 2")
@@ -199,6 +230,15 @@ class DecomposingSolver:
         self.perturb_fraction = perturb_fraction
         self.seed = seed
         self.reuse_compiled = reuse_compiled
+        self.fleet = fleet
+        self.boundary_reconciliation = bool(boundary_reconciliation)
+        if fleet is not None:
+            capacity = fleet.min_capacity()
+            if capacity < 2:
+                raise SolverError(
+                    f"fleet capacity {capacity} is too small to host blocks"
+                )
+            self.name = "fleet"  # instance attr shadows the class attr
 
     # ------------------------------------------------------------------
     def solve(
@@ -228,6 +268,8 @@ class DecomposingSolver:
             None if time_budget is None
             else time.monotonic() + max(0.0, float(time_budget))
         )
+        if self.fleet is not None:
+            return self._fleet_solve(bqm, seed, deadline)
         rng = np.random.default_rng(self.seed if seed is None else seed)
 
         if bqm.num_variables <= self.sub_size:
@@ -279,6 +321,177 @@ class DecomposingSolver:
             solver=self.name,
             info=info,
         )
+
+    # ------------------------------------------------------------------
+    def _fleet_solve(
+        self,
+        bqm: BinaryQuadraticModel,
+        seed: Optional[int],
+        deadline: Optional[float],
+    ) -> SolveResult:
+        """Multi-annealer scheduling mode (Trummer & Koch sharding).
+
+        Blocks are sized to ``min(sub_size, fleet.min_capacity())`` so
+        every shard embeds on every device; per-shard solve seeds come
+        from the (device spec, shard content) pair inside the fleet, and
+        all orchestration randomness (initial samples, perturbations,
+        round shuffles) flows from harness-derived seeds — never from
+        dispatch timing — so the result is bit-identical across fleet
+        sizes and dispatch orders.
+        """
+        root = self.seed if seed is None else seed
+        root = 0 if root is None else int(root)
+        fleet = self.fleet
+        capacity = min(self.sub_size, fleet.min_capacity())
+
+        if bqm.num_variables <= capacity:
+            # Fits one annealer: a single dispatch, no orchestration
+            # randomness — trivially invariant in the fleet size.
+            ((sample, energy),) = fleet.dispatch(
+                [bqm], root, num_reads=self.sub_reads
+            )
+            return SolveResult(
+                sample=sample, energy=energy, solver=self.name,
+                info={
+                    "rounds": 0, "subproblems": 1, "decomposed": False,
+                    "fleet_size": fleet.size,
+                },
+            )
+
+        rng = np.random.default_rng(
+            derive_seed(root, _FLEET_SEED_SCOPE, {"stage": "orchestrator"})
+        )
+        components = strong_components(bqm)
+        weights = component_weights(bqm, components)
+        caches = _BlockCaches() if self.reuse_compiled else None
+
+        best_sample: Dict[Hashable, int] = {}
+        best_energy = float("inf")
+        total_rounds = 0
+        total_subproblems = 0
+        reconciliations = 0
+        for restart in range(self.restarts):
+            if restart > 0 and deadline is not None and time.monotonic() >= deadline:
+                break
+            if restart == 0 or restart % 2 == 0:
+                sample = self._initial_sample(bqm, rng)
+            else:
+                sample = self._perturb(bqm, best_sample, rng)
+            restart_seed = derive_seed(
+                root, _FLEET_SEED_SCOPE, {"restart": restart}
+            )
+            sample, energy, rounds, subproblems, reconciled = self._fleet_refine(
+                bqm, sample, components, weights, rng,
+                root=root, restart_seed=restart_seed, capacity=capacity,
+                deadline=deadline, caches=caches,
+            )
+            total_rounds += rounds
+            total_subproblems += subproblems
+            reconciliations += reconciled
+            if energy < best_energy - 1e-9:
+                best_sample, best_energy = sample, energy
+
+        info = {
+            "rounds": total_rounds,
+            "subproblems": total_subproblems,
+            "restarts": self.restarts,
+            "components": len(components),
+            "decomposed": True,
+            "fleet_size": fleet.size,
+            "boundary_reconciliation": self.boundary_reconciliation,
+            "reconciliations": reconciliations,
+        }
+        if caches is not None:
+            info["block_cache_hits"] = caches.hits
+            info["block_cache_misses"] = caches.misses
+        return SolveResult(
+            sample=dict(best_sample),
+            energy=float(best_energy),
+            solver=self.name,
+            info=info,
+        )
+
+    def _fleet_refine(
+        self,
+        bqm: BinaryQuadraticModel,
+        sample: Dict[Hashable, int],
+        components: List[List[Hashable]],
+        weights: Dict[tuple, float],
+        rng: np.random.Generator,
+        root: int,
+        restart_seed: int,
+        capacity: int,
+        deadline: Optional[float] = None,
+        caches: Optional["_BlockCaches"] = None,
+    ) -> tuple:
+        """One restart's rounds of concurrent shard dispatch + merge.
+
+        Unlike the sequential :meth:`_refine`, every block of a round is
+        clamped against the *same* incumbent, so the shards are
+        independent and can anneal concurrently.  The price is paid at
+        the merge: shard-local optimality can break on the frontier, so
+        each round's candidate is the better of (a) the naive merge
+        after boundary reconciliation and (b) the best single shard
+        applied alone (whose clamped energy *is* its full-model energy).
+        """
+        energy = bqm.energy(sample)
+        rounds = 0
+        subproblems = 0
+        reconciled_rounds = 0
+        stall = 0
+        while rounds < self.max_rounds and stall < self.stall_rounds:
+            if rounds > 0 and deadline is not None and time.monotonic() >= deadline:
+                break
+            rounds += 1
+            if rounds == 1:
+                blocks = select_by_energy_impact(bqm, sample, capacity)
+            else:
+                order = [int(i) for i in rng.permutation(len(components))]
+                blocks = pack_components(components, weights, order, capacity)
+            subs = [clamp_subproblem(bqm, block, sample) for block in blocks]
+            subproblems += len(subs)
+            results = self.fleet.dispatch(subs, root, num_reads=self.sub_reads)
+
+            naive = dict(sample)
+            best_single: Optional[Dict[Hashable, int]] = None
+            best_single_energy = float("inf")
+            for shard_sample, shard_energy in results:
+                naive.update(shard_sample)
+                # clamped shard energy == full-model energy of the
+                # incumbent patched with this shard alone
+                if shard_energy < best_single_energy:
+                    best_single, best_single_energy = shard_sample, shard_energy
+            naive_energy = bqm.energy(naive)
+
+            if self.boundary_reconciliation:
+                frontier = frontier_variables(bqm, blocks)
+                merged, merged_energy = reconcile_boundary(
+                    bqm, naive, frontier,
+                    solve_block=lambda sub, s: self._solve_block(
+                        sub, s, caches=caches
+                    ),
+                    seed=derive_seed(
+                        restart_seed, _FLEET_SEED_SCOPE, {"round": rounds}
+                    ),
+                )
+                reconciled_rounds += 1
+            else:
+                merged, merged_energy = naive, naive_energy
+
+            if best_single is not None and best_single_energy < merged_energy:
+                candidate = dict(sample)
+                candidate.update(best_single)
+                candidate_energy = best_single_energy
+            else:
+                candidate, candidate_energy = merged, merged_energy
+
+            if candidate_energy < energy - 1e-9:
+                sample = dict(candidate)
+                energy = candidate_energy
+                stall = 0
+            else:
+                stall += 1
+        return sample, energy, rounds, subproblems, reconciled_rounds
 
     # ------------------------------------------------------------------
     def _refine(

@@ -43,6 +43,9 @@ DEFAULT_PRIORS: Mapping[str, Tuple[float, float]] = {
     "tabu": (-1.00, 0.70),
     "sa": (-1.20, 0.70),
     "greedy": (-1.20, 0.50),
+    # fleet-mode hybrid: per-shard anneals plus the reconciliation pass
+    # make it the costliest stage until observed runtimes say otherwise
+    "fleet": (0.10, 0.85),
 }
 
 #: prior for solvers without recorded benchmarks: assume expensive, so

@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro import serialization
-from repro.exceptions import ConfigurationError, SolverError
+from repro.exceptions import ConfigurationError, SolverError, WorkerCrashError
 from repro.service.cache import merge_cache_stats
 from repro.service.chain import StageSpec, default_policy, parse_policy
 from repro.service.core import OptimizationService, SchedulerBase, coalesce_key
@@ -255,7 +255,10 @@ class ProcessPoolScheduler(SchedulerBase):
 
         self._result_queue = ctx.Queue()
         self._task_queues = [ctx.Queue() for _ in range(self.workers)]
-        self._pending: Dict[int, Tuple[Future, int]] = {}
+        #: task_id -> (future, target worker, serialized request, retries).
+        #: The payload stays here so a request stranded on a crashed
+        #: worker can be re-enqueued verbatim on a live one.
+        self._pending: Dict[int, Tuple[Future, int, str, int]] = {}
         self._stats_waiters: Dict[int, Future] = {}
         self._next_task = 0
         self._round_robin = 0
@@ -368,13 +371,30 @@ class ProcessPoolScheduler(SchedulerBase):
         future: "Future[OptimizationResult]" = Future()
         task_id = self._next_task
         self._next_task += 1
-        target = self._round_robin % self.workers
-        self._round_robin += 1
-        self._pending[task_id] = (future, target)
-        self._task_queues[target].put(
-            ("request", task_id, serialization.dumps(request, indent=None))
-        )
+        target = self._pick_worker()
+        if target is None:
+            future.set_exception(
+                WorkerCrashError("no live workers left in the process pool")
+            )
+            return future
+        payload = serialization.dumps(request, indent=None)
+        self._pending[task_id] = (future, target, payload, 0)
+        self._task_queues[target].put(("request", task_id, payload))
         return future
+
+    def _pick_worker(self) -> Optional[int]:
+        """Next live worker in round-robin order; ``None`` if all died.
+
+        Skipping dead workers here (rather than letting the reaper mop
+        up afterwards) means a request is never parked on a queue no
+        process will ever read.  Callers hold the scheduler lock.
+        """
+        for _ in range(self.workers):
+            index = self._round_robin % self.workers
+            self._round_robin += 1
+            if self._processes[index].is_alive() and not self._said_bye[index]:
+                return index
+        return None
 
     def _rejected(self, request: OptimizationRequest, reason: str) -> OptimizationResult:
         # parent-side: workers never see rejected requests, so the
@@ -432,25 +452,46 @@ class ProcessPoolScheduler(SchedulerBase):
                     waiter.set_result(payload)
 
     def _reap_dead_workers(self) -> None:
-        """Fail futures routed to a worker that died without a goodbye."""
+        """Recover requests routed to a worker that died without a goodbye.
+
+        Every stranded request — whether it was queued behind the crash
+        or mid-solve when the process died — is re-enqueued once on a
+        live worker (safe: solve seeds derive from request content, so
+        a re-execution is bit-identical).  A request whose retry also
+        crashes, or one stranded when no live worker remains, fails with
+        a typed :class:`WorkerCrashError` instead of hanging forever.
+        """
         for index, process in enumerate(self._processes):
             if process.is_alive() or self._said_bye[index]:
                 continue
-            self._said_bye[index] = True
-            self._live -= 1
-            dead = [
-                task_id
-                for task_id, (_future, target) in list(self._pending.items())
-                if target == index
-            ]
-            for task_id in dead:
-                future, _target = self._pending.pop(task_id)
-                future.set_exception(
-                    SolverError(
-                        f"worker {index} (pid {process.pid}) died with exit code "
-                        f"{process.exitcode}"
-                    )
-                )
+            with self._lock:
+                self._said_bye[index] = True
+                self._live -= 1
+                stranded = [
+                    (task_id, self._pending.pop(task_id))
+                    for task_id, entry in list(self._pending.items())
+                    if entry[1] == index
+                ]
+            reason = (
+                f"worker {index} (pid {process.pid}) died with exit code "
+                f"{process.exitcode}"
+            )
+            for task_id, (future, _target, payload, retries) in stranded:
+                self._requeue(task_id, future, payload, retries, reason)
+
+    def _requeue(
+        self, task_id: int, future: Future, payload: str, retries: int, reason: str
+    ) -> None:
+        with self._lock:
+            target = None if retries >= 1 else self._pick_worker()
+            if target is not None:
+                self._pending[task_id] = (future, target, payload, retries + 1)
+        if target is None:
+            future.set_exception(
+                WorkerCrashError(f"request abandoned: {reason}")
+            )
+        else:
+            self._task_queues[target].put(("request", task_id, payload))
 
     def _poll_worker_states(self, timeout: float = 30.0) -> List[Dict[str, Any]]:
         """Ask every live worker for its raw metric state, in order.
@@ -482,6 +523,6 @@ class ProcessPoolScheduler(SchedulerBase):
         with self._lock:
             pending = list(self._pending.values())
             self._pending.clear()
-        for future, _target in pending:
+        for future, *_rest in pending:
             if not future.done():
                 future.set_exception(SolverError(reason))

@@ -27,6 +27,7 @@ from repro.verify.invariants import (
     check_mqo_decode_consistency,
     check_qubo_round_trip,
     check_routing_feasibility,
+    check_shard_reconciliation,
     check_transpile_equivalence,
     random_assignments,
     random_circuit,
@@ -56,6 +57,7 @@ __all__ = [
     "check_mqo_decode_consistency",
     "check_qubo_round_trip",
     "check_routing_feasibility",
+    "check_shard_reconciliation",
     "check_transpile_equivalence",
     "compute_oracle",
     "random_assignments",

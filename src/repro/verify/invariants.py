@@ -39,6 +39,11 @@ Catalog
                                 with a stage whose predicted runtime
                                 blows the deadline while a predicted-
                                 feasible candidate exists
+``shard-reconciliation``        merging independently annealed shards
+                                ends with a reconciled assignment: never
+                                worse than the naive concatenation, never
+                                worse than a reference boundary pass, and
+                                with no improving single frontier flip
 ``transpile-equivalence``       transpiled circuits implement the same
                                 statevector (up to global phase and the
                                 tracked layout permutation)
@@ -70,6 +75,7 @@ __all__ = [
     "check_join_decode_consistency",
     "check_sql_plan_consistency",
     "check_routing_feasibility",
+    "check_shard_reconciliation",
     "check_transpile_equivalence",
     "check_embedding_validity",
 ]
@@ -631,6 +637,130 @@ def check_routing_feasibility(
                     },
                 )
             )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Fleet sharding: merged shards must be boundary-reconciled
+# ----------------------------------------------------------------------
+def check_shard_reconciliation(
+    bqm: BinaryQuadraticModel,
+    seed: int = 0,
+    subject: str = "shard",
+    block_size: int = 8,
+    incumbents: int = 3,
+    fleet_size: int = 2,
+    reconcile: bool = True,
+) -> List[Violation]:
+    """``shard-reconciliation``: merged fleet shards end reconciled.
+
+    Models the fleet solver's merge step end to end: partition the
+    variables into blocks, clamp each block's subproblem against a
+    random incumbent, anneal the shards on an
+    :class:`repro.annealers.AnnealerFleet`, patch every shard into the
+    incumbent (the naive concatenation), then run the production
+    boundary pass.  The accepted assignment must
+
+    1. never be worse than the naive concatenation it started from,
+    2. never be worse than a reference :func:`reconcile_boundary` run
+       on the same merge, and
+    3. admit no improving single flip on any *frontier* variable
+       (one coupled across shards) — the post-condition of the pass's
+       final clamped descent.
+
+    ``reconcile=False`` exists for harness self-tests: skipping the
+    boundary pass is exactly the planted bug behind
+    ``--inject shard``.
+    """
+    from repro.annealers import AnnealerFleet
+    from repro.hybrid import frontier_variables, reconcile_boundary
+    from repro.hybrid.decomposer import clamp_subproblem
+
+    violations: List[Violation] = []
+    variables = sorted(bqm.variables, key=str)
+    if len(variables) < 4:
+        return violations
+    size = max(2, min(int(block_size), (len(variables) + 1) // 2))
+    blocks = [variables[i : i + size] for i in range(0, len(variables), size)]
+    frontier = frontier_variables(bqm, blocks)
+    fleet = AnnealerFleet.homogeneous(fleet_size)
+    lo, hi = bqm.vartype.values
+    rng = np.random.default_rng(seed)
+
+    for index in range(int(incumbents)):
+        values = rng.choice((lo, hi), size=len(variables))
+        incumbent = {v: int(values[i]) for i, v in enumerate(variables)}
+        shards = [clamp_subproblem(bqm, block, incumbent) for block in blocks]
+        naive: Dict[Hashable, int] = dict(incumbent)
+        for shard_sample, _ in fleet.dispatch(shards, seed):
+            naive.update(shard_sample)
+        naive_energy = bqm.energy(naive)
+        reference, reference_energy = reconcile_boundary(
+            bqm, naive, frontier, seed=seed
+        )
+        if reconcile:
+            final, final_energy = reference, reference_energy
+        else:
+            final, final_energy = naive, naive_energy
+
+        if final_energy > naive_energy + ENERGY_ATOL:
+            violations.append(
+                Violation(
+                    invariant="shard-reconciliation",
+                    subject=subject,
+                    message=(
+                        f"merged assignment at {final_energy:.9g} is worse "
+                        f"than the naive shard concatenation "
+                        f"{naive_energy:.9g} on incumbent {index}"
+                    ),
+                    details={
+                        "incumbent_index": index,
+                        "final": final_energy,
+                        "naive": naive_energy,
+                    },
+                )
+            )
+        if final_energy > reference_energy + ENERGY_ATOL:
+            violations.append(
+                Violation(
+                    invariant="shard-reconciliation",
+                    subject=subject,
+                    message=(
+                        f"accepted merge at {final_energy:.9g} misses the "
+                        f"boundary pass's {reference_energy:.9g} on "
+                        f"incumbent {index} — frontier was not reconciled"
+                    ),
+                    details={
+                        "incumbent_index": index,
+                        "final": final_energy,
+                        "reconciled": reference_energy,
+                        "frontier_size": len(frontier),
+                    },
+                )
+            )
+        for v in frontier:
+            flipped = dict(final)
+            flipped[v] = lo + hi - int(flipped[v])
+            flipped_energy = bqm.energy(flipped)
+            if flipped_energy < final_energy - ENERGY_ATOL:
+                violations.append(
+                    Violation(
+                        invariant="shard-reconciliation",
+                        subject=subject,
+                        message=(
+                            f"flipping frontier variable {v!r} improves the "
+                            f"accepted merge {final_energy:.9g} -> "
+                            f"{flipped_energy:.9g} on incumbent {index}"
+                        ),
+                        details={
+                            "incumbent_index": index,
+                            "variable": str(v),
+                            "final": final_energy,
+                            "flipped": flipped_energy,
+                        },
+                    )
+                )
+                break  # one witness flip per incumbent is enough
     return violations
 
 

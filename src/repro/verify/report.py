@@ -152,7 +152,7 @@ def summarize(
     checks = 0
     for row in rows:
         violations.extend(_row_violations(row))
-        if row.get("type") in ("invariants", "gate", "sql", "routing"):
+        if row.get("type") in ("invariants", "gate", "sql", "routing", "shard"):
             checks += int(row.get("checks", 0))
             continue
         checks += 1

@@ -6,7 +6,7 @@ out over processes with the same deterministic per-point seeding as
 the experiment drivers: rows are bit-identical for any ``--workers``
 value, which is what makes ``--json`` output diffable across runs.
 
-Six point types share one grid:
+Seven point types share one grid:
 
 ``solver``      one registry solver on one case — compares the
                 reported energy against the recomputed sample energy,
@@ -31,12 +31,20 @@ Six point types share one grid:
                 must lead with a predicted-feasible stage whenever one
                 exists (``routing-regret``), with finite non-negative
                 predictions and positive budget weights
+``shard``       the fleet merge step (:mod:`repro.annealers` +
+                :func:`repro.hybrid.reconcile_boundary`) on one case —
+                shards annealed independently against a shared
+                incumbent must merge into a reconciled assignment
+                (``shard-reconciliation``): never worse than the naive
+                concatenation or a reference boundary pass, and with
+                no improving single frontier flip left
 
-The ``inject`` parameter plants one of seven known bugs (an offset
+The ``inject`` parameter plants one of eight known bugs (an offset
 shift, a mis-scaled Ising coupling, a shifted decoded cost, a
 misreported solver energy, a dropped term in the array-compiled
-kernels, drifted SQL join selectivities, or an optimistic routing
-cost model) so the harness can prove it catches each —
+kernels, drifted SQL join selectivities, an optimistic routing
+cost model, or a skipped shard-boundary reconciliation) so the harness
+can prove it catches each —
 ``python -m repro verify --inject offset`` must exit non-zero.
 """
 
@@ -77,6 +85,7 @@ _CHAIN_DEADLINE_S = 60.0
 #: bugs the harness can plant in itself to prove it catches them
 INJECTABLE_BUGS = (
     "none", "offset", "ising", "decode", "energy", "compiled", "sql", "router",
+    "shard",
 )
 
 #: registry aliases to drop from the default sweep (same object twice)
@@ -494,6 +503,31 @@ def _routing_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     }
 
 
+def _shard_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """shard-reconciliation on one case's QUBO.
+
+    ``--inject shard`` skips the boundary pass after the naive shard
+    merge — the exact bug :class:`repro.hybrid.DecomposingSolver`'s
+    ``boundary_reconciliation=False`` knob would reintroduce.
+    """
+    from repro.verify.invariants import check_shard_reconciliation
+
+    built = build_case(_case_from_params(params))
+    violations = check_shard_reconciliation(
+        built.bqm,
+        seed=seed,
+        subject=params["case_id"],
+        reconcile=(params["inject"] != "shard"),
+    )
+    return {
+        "type": "shard",
+        "case_id": params["case_id"],
+        "solver": None,
+        "checks": 3,
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
 def _verify_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """Grid dispatch (module-level: must pickle into pool workers)."""
     kind = params["type"]
@@ -509,6 +543,8 @@ def _verify_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         return _sql_point(params, seed)
     if kind == "routing":
         return _routing_point(params, seed)
+    if kind == "shard":
+        return _shard_point(params, seed)
     raise ConfigurationError(f"unknown verification point type {kind!r}")
 
 
@@ -553,6 +589,7 @@ def _build_points(
             points.append({**case_base, "type": "chain"})
         points.append({**case_base, "type": "invariants"})
         points.append({**case_base, "type": "routing"})
+        points.append({**case_base, "type": "shard"})
     if include_gate:
         for qubits, depth in ((4, 4), (5, 3)):
             for coupling in ("full", "line"):

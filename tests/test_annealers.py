@@ -1,0 +1,112 @@
+"""Tests for :mod:`repro.annealers`: devices, capacity, fleet dispatch.
+
+The load-bearing contract is dispatch determinism: per-(device spec,
+subproblem content) seed derivation makes results independent of which
+device ran a shard, of the fleet size, and of submission order — the
+property the fleet solver and the ``fleet-scaling`` experiment build
+on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.annealers import (
+    AnnealerDevice,
+    AnnealerFleet,
+    bqm_fingerprint,
+)
+from repro.exceptions import ConfigurationError, EmbeddingError
+from repro.qubo import BinaryQuadraticModel
+
+
+def dense_bqm(n: int, seed: int = 0) -> BinaryQuadraticModel:
+    rng = np.random.default_rng(seed)
+    bqm = BinaryQuadraticModel()
+    names = [f"v{i}" for i in range(n)]
+    for i, u in enumerate(names):
+        bqm.add_linear(u, float(rng.normal()))
+        for v in names[i + 1 :]:
+            bqm.add_quadratic(u, v, float(rng.normal()))
+    return bqm
+
+
+class TestDevice:
+    def test_chimera_clique_capacity(self):
+        assert AnnealerDevice(family="chimera", m=4, t=4).clique_capacity == 16
+
+    def test_pegasus_clique_capacity(self):
+        # 12m - 10 (Boothby et al.): the largest native clique on P_m
+        assert AnnealerDevice(family="pegasus", m=4).clique_capacity == 38
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnnealerDevice(family="kagome")
+
+    def test_fits_fast_path_within_clique(self):
+        device = AnnealerDevice(m=4, t=4)
+        assert device.fits(dense_bqm(16))
+
+    def test_fits_rejects_more_variables_than_qubits(self):
+        device = AnnealerDevice(m=2, t=2)  # 2*2*2*2 = 16 qubits
+        assert not device.fits(dense_bqm(17))
+
+    def test_sample_raises_embedding_error_when_too_big(self):
+        device = AnnealerDevice(m=2, t=2)
+        with pytest.raises(EmbeddingError):
+            device.sample(dense_bqm(17), num_reads=1, root_seed=0)
+
+    def test_spec_key_is_topology_not_identity(self):
+        # two devices of the same spec share a key regardless of name:
+        # that is what makes homogeneous fleets dispatch-invariant
+        a = AnnealerDevice(name="a", m=4, t=4)
+        b = AnnealerDevice(name="b", m=4, t=4)
+        assert a.spec_key() == b.spec_key()
+        assert a.spec_key() != AnnealerDevice(name="c", m=4, t=2).spec_key()
+
+    def test_same_spec_devices_sample_identically(self):
+        bqm = dense_bqm(8, seed=3)
+        a = AnnealerDevice(name="a", m=4, t=4)
+        b = AnnealerDevice(name="b", m=4, t=4)
+        assert a.sample(bqm, num_reads=3, root_seed=11) == b.sample(
+            bqm, num_reads=3, root_seed=11
+        )
+
+
+class TestFingerprint:
+    def test_equal_models_share_fingerprint(self):
+        assert bqm_fingerprint(dense_bqm(6, seed=5)) == bqm_fingerprint(
+            dense_bqm(6, seed=5)
+        )
+
+    def test_fingerprint_tracks_content(self):
+        bqm = dense_bqm(6, seed=5)
+        changed = bqm.copy()
+        changed.add_linear("v0", 0.25)
+        assert bqm_fingerprint(bqm) != bqm_fingerprint(changed)
+
+
+class TestFleetDispatch:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnnealerFleet([])
+
+    def test_results_independent_of_fleet_size(self):
+        subs = [dense_bqm(8, seed=s) for s in range(4)]
+        one = AnnealerFleet.homogeneous(1).dispatch(subs, 7)
+        three = AnnealerFleet.homogeneous(3).dispatch(subs, 7)
+        assert one == three
+
+    def test_results_independent_of_submission_order(self):
+        subs = [dense_bqm(8, seed=s) for s in range(4)]
+        fleet = AnnealerFleet.homogeneous(2)
+        forward = fleet.dispatch(subs, 7)
+        backward = fleet.dispatch(list(reversed(subs)), 7)
+        assert forward == list(reversed(backward))
+
+    def test_dispatch_accounting(self):
+        fleet = AnnealerFleet.homogeneous(2)
+        fleet.dispatch([dense_bqm(6, seed=s) for s in range(3)], 1)
+        stats = fleet.stats()
+        assert stats["batches"] == 1
+        assert stats["subproblems"] == 3
+        assert len(stats["devices"]) == 2

@@ -372,6 +372,10 @@ class TestRegistryEndToEnd:
         "hybrid-scaling": dict(sizes=((4, 2), (6, 2)), sub_size=6),
         "sql-workload": dict(queries=2, min_tables=3, max_tables=4),
         "routed-vs-static": dict(requests=2, deadlines=(50.0,)),
+        "replay": dict(
+            requests=40, unique=8, backends=("thread",), max_in_flight=8
+        ),
+        "fleet-scaling": dict(queries=(6,), fleet_sizes=(2,), restarts=1, max_rounds=2),
     }
 
     def _registry(self):
@@ -389,7 +393,7 @@ class TestRegistryEndToEnd:
             "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
             "coherence", "quality-mqo", "quality-join", "mqo-annealer",
             "noise", "jo-direct", "penalty-gap", "hybrid-scaling",
-            "sql-workload", "routed-vs-static",
+            "sql-workload", "routed-vs-static", "replay", "fleet-scaling",
         ],
     )
     def test_experiment_end_to_end(self, name, monkeypatch):
@@ -412,6 +416,6 @@ class TestRegistryEndToEnd:
             "fig13-qaoa", "fig13-vqe", "fig14-left", "fig14-right",
             "coherence", "quality-mqo", "quality-join", "mqo-annealer",
             "noise", "jo-direct", "penalty-gap", "hybrid-scaling",
-            "sql-workload", "routed-vs-static",
+            "sql-workload", "routed-vs-static", "replay", "fleet-scaling",
         }
         assert param_names == set(self._registry())

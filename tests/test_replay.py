@@ -1,0 +1,129 @@
+"""Replay harness tests: lazy Zipfian streams + the measurement driver.
+
+The stream contract is threefold: requests are generated lazily (a
+10^6-request stream costs nothing until iterated), deterministically
+(same parameters → same requests), and prefix-stably (request *i* does
+not depend on the total count — what lets a smoke run predict the head
+of a full-scale run).
+"""
+
+import time
+from collections import Counter
+from itertools import islice
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.replay import replay_stream, run_replay, zipf_cumulative
+from repro.server import ServiceConfig, make_scheduler
+
+STREAM_KW = dict(seed=9, unique=16, zipf_s=1.2, deadline_ms=300.0)
+
+
+def head(count, take=None, **kwargs):
+    params = {**STREAM_KW, **kwargs}
+    stream = replay_stream(count, **params)
+    return list(islice(stream, take)) if take else list(stream)
+
+
+class TestZipf:
+    def test_cumulative_is_normalized_and_monotone(self):
+        weights = zipf_cumulative(32, 1.1)
+        assert weights[-1] == pytest.approx(1.0)
+        assert all(b > a for a, b in zip(weights, weights[1:]))
+
+    def test_heavier_skew_concentrates_head(self):
+        flat = zipf_cumulative(32, 0.0)
+        skewed = zipf_cumulative(32, 2.0)
+        assert skewed[0] > flat[0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_cumulative(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_cumulative(8, -0.5)
+
+
+class TestStream:
+    def test_lazy_generation(self):
+        start = time.perf_counter()
+        first = head(10**6, take=5)
+        elapsed = time.perf_counter() - start
+        assert len(first) == 5
+        # building 5 of a million takes milliseconds; a materialized
+        # stream would need minutes
+        assert elapsed < 30.0
+
+    def test_deterministic(self):
+        a = [(r.request_id, r.kind, r.seed) for r in head(80)]
+        b = [(r.request_id, r.kind, r.seed) for r in head(80)]
+        assert a == b
+
+    def test_prefix_stable_across_counts(self):
+        short = [(r.request_id, r.kind, r.seed) for r in head(50)]
+        long = [(r.request_id, r.kind, r.seed) for r in head(5000, take=50)]
+        assert short == long
+
+    def test_request_ids_are_positional(self):
+        ids = [r.request_id for r in head(3)]
+        assert ids == ["replay-0000000", "replay-0000001", "replay-0000002"]
+
+    def test_zipf_duplication_bounded_by_unique(self):
+        contents = Counter(
+            (r.kind, r.seed) for r in head(400, unique=8, zipf_s=1.5)
+        )
+        assert len(contents) <= 8
+        # heavy tail: the hottest template dominates a uniform share
+        assert contents.most_common(1)[0][1] > 400 / 8
+
+    def test_kind_mix(self):
+        kinds = {r.kind for r in head(300, mqo_fraction=0.4, sql_fraction=0.3)}
+        assert kinds == {"mqo", "join_order", "sql"}
+
+    def test_deadline_applied(self):
+        assert all(r.deadline_ms == 300.0 for r in head(10))
+
+
+class TestDriver:
+    def test_run_replay_reports_everything(self):
+        with make_scheduler(
+            "thread", config=ServiceConfig(seed=9), workers=2
+        ) as scheduler:
+            report = run_replay(
+                scheduler, replay_stream(100, **STREAM_KW), max_in_flight=32
+            )
+        assert report.requests == 100
+        assert report.errors == 0
+        assert report.ok + report.rejected == 100
+        assert report.latency_ms["count"] == 100
+        for key in ("p50", "p95", "p99"):
+            assert key in report.latency_ms
+        assert 0.0 <= report.cache["hit_rate"] <= 1.0
+        assert 0.0 <= report.coalesce["hit_rate"] <= 1.0
+        payload = report.to_dict()
+        assert payload["backend"] == "thread"
+        assert payload["throughput_rps"] > 0
+
+    def test_admission_rejections_counted(self):
+        with make_scheduler(
+            "thread",
+            config=ServiceConfig(seed=9),
+            workers=1,
+            queue_limit=1,
+        ) as scheduler:
+            report = run_replay(
+                scheduler, replay_stream(60, **STREAM_KW), max_in_flight=60
+            )
+        assert report.rejected > 0
+        assert report.rejection_rate == pytest.approx(
+            report.rejected / report.requests
+        )
+
+    def test_driver_validation(self):
+        with make_scheduler(
+            "thread", config=ServiceConfig(seed=9), workers=1
+        ) as scheduler:
+            with pytest.raises(ConfigurationError):
+                run_replay(scheduler, replay_stream(5, **STREAM_KW), max_in_flight=0)
+            with pytest.raises(ConfigurationError):
+                run_replay(scheduler, replay_stream(5, **STREAM_KW), rate=-5.0)

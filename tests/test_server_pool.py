@@ -11,7 +11,7 @@ workload.
 
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, WorkerCrashError
 from repro.serialization import to_jsonable
 from repro.server import (
     ProcessPoolScheduler,
@@ -233,3 +233,56 @@ class TestRoutedDeterminism:
         assert ServiceConfig.from_dict(config.to_dict()).routing is True
         service = config.build()
         assert service.routing is not None
+
+
+class TestDeadWorkerRecovery:
+    """A SIGKILLed worker must never leave client futures hanging.
+
+    Regression tests for the reaper: requests stranded on a crashed
+    worker (queued behind it or mid-solve) are re-enqueued on a live
+    worker, later dispatches skip the corpse, and when no live worker
+    remains the failure is a typed ``WorkerCrashError`` — not a future
+    that never resolves.
+    """
+
+    def test_inflight_requests_recovered_after_worker_kill(self):
+        requests = synthetic_requests(
+            8,
+            seed=WORKLOAD_SEED + 1,
+            deadline_ms=2000.0,
+            duplicate_fraction=0.0,
+        )
+        with ProcessPoolScheduler(
+            config=ServiceConfig(seed=WORKLOAD_SEED), workers=2
+        ) as scheduler:
+            futures = [scheduler.submit(request) for request in requests]
+            # SIGKILL one worker while its share of the batch is in
+            # flight: round-robin routed half of the requests to it
+            scheduler._processes[0].kill()
+            results = [future.result(timeout=120.0) for future in futures]
+            # the reaper has marked the corpse by now; later dispatches
+            # must route around it and still complete
+            late = [
+                scheduler.submit(request.with_id(f"late-{index}"))
+                for index, request in enumerate(requests[:4])
+            ]
+            late_results = [future.result(timeout=120.0) for future in late]
+        assert [r.request_id for r in results] == [r.request_id for r in requests]
+        assert all(r.status == "ok" and r.valid for r in results)
+        assert all(r.status == "ok" and r.valid for r in late_results)
+
+    def test_no_live_workers_raises_typed_error(self):
+        request = synthetic_requests(
+            1,
+            seed=WORKLOAD_SEED + 2,
+            deadline_ms=2000.0,
+            duplicate_fraction=0.0,
+        )[0]
+        with ProcessPoolScheduler(
+            config=ServiceConfig(seed=WORKLOAD_SEED), workers=1
+        ) as scheduler:
+            scheduler._processes[0].kill()
+            scheduler._processes[0].join(timeout=30.0)
+            future = scheduler.submit(request)
+            with pytest.raises(WorkerCrashError):
+                future.result(timeout=60.0)

@@ -21,6 +21,7 @@ from repro.verify import (
     check_matrix_energy,
     check_mqo_decode_consistency,
     check_qubo_round_trip,
+    check_shard_reconciliation,
     check_transpile_equivalence,
     compute_oracle,
     random_assignments,
@@ -147,6 +148,15 @@ class TestInvariants:
         bad = check_ising_round_trip(built.bqm, samples, j_scale=1.01)
         assert bad and bad[0].invariant == "ising-round-trip"
         assert "ising-round-trip" in bad[0].describe()
+
+    def test_shard_reconciliation_clean_on_reconciled_merge(self):
+        built = build_case(_join_case("star", 4))
+        assert check_shard_reconciliation(built.bqm, seed=0) == []
+
+    def test_shard_reconciliation_catches_skipped_boundary_pass(self):
+        built = build_case(_join_case("star", 4))
+        bad = check_shard_reconciliation(built.bqm, seed=0, reconcile=False)
+        assert bad and all(v.invariant == "shard-reconciliation" for v in bad)
 
     def test_mqo_decode_consistency_and_shift_detection(self):
         built = build_case(_mqo_case(3, 3))
